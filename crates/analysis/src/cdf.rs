@@ -1,0 +1,123 @@
+//! [`Cdf`]: empirical cumulative distribution functions.
+
+/// An empirical CDF over a sample of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_analysis::Cdf;
+///
+/// let cdf = Cdf::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.percentile(50.0), 2.0);
+/// assert_eq!(cdf.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw samples. NaNs are dropped.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs after filter"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x`, in `[0, 1]`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `p` is out of range.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty CDF");
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// The sorted samples (for plotting the full curve).
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `(x, F(x))` points at each distinct sample — the staircase curve.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            if i + 1 == self.sorted.len() || self.sorted[i + 1] != x {
+                out.push((x, (i + 1) as f64 / n));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_and_percentiles() {
+        let cdf = Cdf::from_values(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(30.0), 0.6);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(cdf.percentile(0.0), 10.0);
+        assert_eq!(cdf.percentile(50.0), 30.0);
+        assert_eq!(cdf.percentile(100.0), 50.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let cdf = Cdf::from_values(vec![3.0, 1.0, 2.0]);
+        assert_eq!(cdf.samples(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nans_are_dropped() {
+        let cdf = Cdf::from_values(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn points_collapse_duplicates() {
+        let cdf = Cdf::from_values(vec![1.0, 1.0, 2.0]);
+        assert_eq!(cdf.points(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn empty_percentile_panics() {
+        let _ = Cdf::from_values(vec![]).percentile(50.0);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(Cdf::from_values(vec![]).fraction_at_or_below(1.0), 0.0);
+    }
+}

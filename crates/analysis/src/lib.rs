@@ -1,0 +1,24 @@
+//! Statistics and rendering for the experiment harness.
+//!
+//! The paper's evaluation reports three kinds of artifact: binned
+//! min/avg/max time series (Figures 1, 2, 4), cumulative distribution
+//! functions (Figure 5), and grouped bar comparisons (Figures 6–8).
+//! This crate provides the corresponding aggregation types plus an ASCII
+//! table renderer and a JSON experiment log, so every `fig*` binary
+//! prints the same rows the paper plots and records them for
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdf;
+mod experiment;
+mod histogram;
+mod stats;
+mod table;
+
+pub use cdf::Cdf;
+pub use experiment::{ExperimentLog, ExperimentRecord};
+pub use histogram::Histogram;
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,118 @@
+//! [`Summary`]: streaming min/mean/max aggregation.
+
+/// Running min/mean/max over a stream of samples.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_analysis::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     s.add(v);
+/// }
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.max(), 6.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample. NaNs are ignored.
+    pub fn add(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut s = Summary::new();
+        s.add(f64::NAN);
+        s.add(5.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 5.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Checkpoint serialization throughput: the disk-facing hot path of the
+//! §3 cycle (one write per outgoing migration, one read per incoming).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vecycle_checkpoint::Checkpoint;
+use vecycle_mem::DigestMemory;
+use vecycle_types::{PageCount, SimTime, VmId};
+
+fn checkpoint_io(c: &mut Criterion) {
+    for pages in [1u64 << 12, 1 << 16] {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(pages), 7);
+        let cp = Checkpoint::capture(VmId::new(0), SimTime::EPOCH, &mem);
+        let mut encoded = Vec::new();
+        cp.write_to(&mut encoded).unwrap();
+
+        let mut group = c.benchmark_group(format!("checkpoint_io_{pages}_pages"));
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", pages), &cp, |b, cp| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(encoded.len());
+                cp.write_to(&mut buf).unwrap();
+                buf
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("decode", pages), &encoded, |b, bytes| {
+            b.iter(|| Checkpoint::read_from(std::hint::black_box(&bytes[..])).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("build_index", pages),
+            &cp,
+            |b, cp| b.iter(|| cp.build_index()),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, checkpoint_io);
+criterion_main!(benches);

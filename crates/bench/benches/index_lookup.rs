@@ -1,0 +1,61 @@
+//! §3.3 index ablation: sorted-array binary search vs hash map.
+//!
+//! The destination looks one checksum up per received message; for a
+//! 4 GiB VM that is up to 2^20 lookups per migration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vecycle_checkpoint::{ChecksumIndex, HashChecksumIndex, PageLookup};
+use vecycle_types::PageDigest;
+
+fn make_digests(n: u64) -> Vec<PageDigest> {
+    (0..n).map(|i| PageDigest::from_content_id(i + 1)).collect()
+}
+
+fn index_lookup(c: &mut Criterion) {
+    for n in [1u64 << 14, 1 << 18] {
+        let digests = make_digests(n);
+        let sorted = ChecksumIndex::build(digests.clone());
+        let hashed = HashChecksumIndex::build(digests.clone());
+        // Probe mix: half hits, half misses.
+        let probes: Vec<PageDigest> = (0..1024u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    PageDigest::from_content_id(i % n + 1)
+                } else {
+                    PageDigest::from_content_id(n + i)
+                }
+            })
+            .collect();
+
+        let mut group = c.benchmark_group(format!("index_lookup_{n}_entries"));
+        group.bench_with_input(BenchmarkId::new("sorted_array", n), &probes, |b, probes| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|p| sorted.contains(std::hint::black_box(**p)))
+                    .count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hash_map", n), &probes, |b, probes| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|p| hashed.contains(std::hint::black_box(**p)))
+                    .count()
+            });
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("index_build_{n}_entries"));
+        group.bench_function("sorted_array", |b| {
+            b.iter(|| ChecksumIndex::build(std::hint::black_box(digests.clone())));
+        });
+        group.bench_function("hash_map", |b| {
+            b.iter(|| HashChecksumIndex::build(std::hint::black_box(digests.clone())));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, index_lookup);
+criterion_main!(benches);

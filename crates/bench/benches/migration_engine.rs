@@ -1,0 +1,44 @@
+//! Engine throughput: simulated migrations per second at 256 MiB.
+//!
+//! Not a paper figure — this guards the harness itself: the VDI and
+//! sweep experiments run hundreds of engine invocations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use vecycle_checkpoint::ChecksumIndex;
+use vecycle_core::{MigrationEngine, Strategy};
+use vecycle_mem::{DigestMemory, MemoryImage, MutableMemory, PageContent};
+use vecycle_net::LinkSpec;
+use vecycle_types::{Bytes, PageIndex};
+
+fn migration_engine(c: &mut Criterion) {
+    let vm0 = DigestMemory::with_uniform_content(Bytes::from_mib(256), 3).unwrap();
+    let mut vm = vm0.snapshot();
+    // 25% divergence from the checkpoint.
+    let n = vm.page_count().as_u64();
+    for i in 0..n / 4 {
+        vm.write_page(PageIndex::new(i * 4), PageContent::ContentId((1 << 50) | i));
+    }
+    let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+    let index = Arc::new(ChecksumIndex::build(vm0.digests()));
+
+    let mut group = c.benchmark_group("migrate_256MiB");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("full", Strategy::full()),
+        ("dedup", Strategy::dedup()),
+        ("vecycle", Strategy::vecycle_with_index(Arc::clone(&index))),
+        (
+            "vecycle+dedup",
+            Strategy::vecycle_with_index(Arc::clone(&index)).with_dedup(),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, s| {
+            b.iter(|| engine.migrate(std::hint::black_box(&vm), s.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, migration_engine);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fingerprint-pair similarity throughput — the inner loop of the
+//! Figure 1/2/5 analyses (56 k pairs per machine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vecycle_trace::{Fingerprint, PairStats};
+use vecycle_types::{PageDigest, SimDuration, SimTime};
+
+fn fingerprint(n: u64, overlap: u64, salt: u64) -> Fingerprint {
+    let pages = (0..n)
+        .map(|i| {
+            let id = if i < overlap { i + 1 } else { (salt << 32) | (i + 1) };
+            PageDigest::from_content_id(id)
+        })
+        .collect();
+    Fingerprint::new(SimTime::EPOCH + SimDuration::from_mins(salt), pages)
+}
+
+fn similarity(c: &mut Criterion) {
+    let n = 1u64 << 16; // a 256 MiB image at full page density
+    let a = fingerprint(n, n, 0);
+    let b = fingerprint(n, n / 2, 7);
+
+    c.bench_function("similarity_64k_pages", |bch| {
+        // Forces the cached unique() sets, then measures the merge walk.
+        let _ = a.similarity(&b);
+        bch.iter(|| std::hint::black_box(&a).similarity(std::hint::black_box(&b)));
+    });
+
+    c.bench_function("pair_stats_64k_pages", |bch| {
+        bch.iter(|| PairStats::compute(std::hint::black_box(&a), std::hint::black_box(&b)));
+    });
+
+    c.bench_function("unique_set_build_64k_pages", |bch| {
+        bch.iter(|| {
+            let f = fingerprint(n, n / 2, 13);
+            std::hint::black_box(f.unique_count())
+        });
+    });
+}
+
+criterion_group!(benches, similarity);
+criterion_main!(benches);

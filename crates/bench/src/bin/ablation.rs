@@ -1,0 +1,241 @@
+//! Ablations for the design choices DESIGN.md calls out.
+//!
+//! 1. Checksum algorithm × link speed (§3.4): where does hashing become
+//!    the bottleneck?
+//! 2. Bulk vs per-page checksum exchange (§3.2).
+//! 3. Checkpoint on HDD vs SSD (§4.4): setup changes, migration doesn't.
+//! 4. Dirty tracking vs content hashes under page relocation (§4.3).
+
+use vecycle_analysis::{ExperimentLog, Table};
+use vecycle_bench::Options;
+use vecycle_core::{ExchangeProtocol, MigrationEngine, Strategy};
+use vecycle_hash::ChecksumAlgorithm;
+use vecycle_host::{CpuSpec, DiskSpec};
+use vecycle_mem::{
+    workload::{GuestWorkload, RelocationWorkload},
+    DigestMemory, Guest,
+};
+use vecycle_net::{LinkSpec, Netem};
+use vecycle_types::{Bytes, BytesPerSec, SimDuration};
+
+fn main() {
+    let opts = Options::from_args();
+    let mut log = ExperimentLog::new();
+    let ram = Bytes::from_gib(2);
+    let vm = DigestMemory::with_uniform_content(ram, opts.seed).expect("page-aligned");
+    let cp = vm.snapshot();
+
+    // --- 1. Checksum algorithm × link speed -----------------------------
+    println!("Ablation 1 — checksum algorithm vs link speed (idle 2 GiB VM)\n");
+    let links = [
+        ("1 GbE", LinkSpec::lan_gigabit()),
+        (
+            "10 GbE",
+            LinkSpec::lan_gigabit().with_bandwidth(BytesPerSec::from_mib_per_sec(1200)),
+        ),
+        (
+            "40 GbE",
+            LinkSpec::lan_gigabit().with_bandwidth(BytesPerSec::from_mib_per_sec(4800)),
+        ),
+    ];
+    let mut t = Table::new(vec!["link", "algorithm", "vecycle time [s]", "full time [s]"]);
+    for (link_name, link) in links {
+        for algo in ChecksumAlgorithm::ALL {
+            let engine = MigrationEngine::new(link).with_algorithm(algo);
+            let r = engine
+                .migrate(&vm, Strategy::vecycle(&cp))
+                .expect("non-empty");
+            let full = engine.migrate(&vm, Strategy::full()).expect("non-empty");
+            t.row(vec![
+                link_name.into(),
+                algo.to_string(),
+                format!("{:.2}", r.total_time().as_secs_f64()),
+                format!("{:.2}", full.total_time().as_secs_f64()),
+            ]);
+            log.record(
+                "ablation1",
+                format!("{link_name}/{algo}"),
+                "vecycle_time_s",
+                r.total_time().as_secs_f64(),
+            );
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "On 1 GbE every algorithm beats the wire; at 10/40 GbE the hash\n\
+         rate dominates, as §3.4 predicts — \"the migration time will be\n\
+         dominated by the checksum rate\".\n"
+    );
+
+    // --- 1b. Multi-threaded checksumming (§3.4 future work) ---------------
+    println!("Ablation 1b — checksum threads vs a 10 GbE link (2 GiB idle VM)\n");
+    let fat = LinkSpec::lan_gigabit().with_bandwidth(BytesPerSec::from_mib_per_sec(1200));
+    let full_fat = MigrationEngine::new(fat)
+        .migrate(&vm, Strategy::full())
+        .expect("non-empty");
+    let full_time = full_fat.total_time().as_secs_f64();
+    let mut t = Table::new(vec!["threads", "vecycle time [s]", "vs full migration"]);
+    for threads in [1u32, 2, 4, 8] {
+        let engine = MigrationEngine::new(fat)
+            .with_cpu(CpuSpec::phenom_ii().with_threads(threads));
+        let r = engine
+            .migrate(&vm, Strategy::vecycle(&cp))
+            .expect("non-empty");
+        let tv = r.total_time().as_secs_f64();
+        let verdict = if tv < full_time {
+            format!("wins ({:.0}% faster)", (1.0 - tv / full_time) * 100.0)
+        } else {
+            format!("loses ({:.1}x slower)", tv / full_time)
+        };
+        t.row(vec![format!("{threads}"), format!("{tv:.2}"), verdict]);
+        log.record(
+            "ablation1b",
+            format!("threads-{threads}"),
+            "time_s",
+            tv,
+        );
+    }
+    print!("{}", t.render());
+    println!("(full migration over 10 GbE: {full_time:.2} s)");
+    println!(
+        "\"A cheaper checksum, hardware-acceleration, or multi-threaded\n\
+         execution are available options to increase the checksum rate\"\n\
+         (§3.4): 4 threads re-balance a 10 GbE link.\n"
+    );
+
+    // --- 2. Bulk vs per-page exchange ------------------------------------
+    println!("Ablation 2 — checksum exchange protocol (2 GiB idle VM)\n");
+    let mut t = Table::new(vec!["link", "protocol", "time [s]", "reverse traffic"]);
+    for (link_name, link) in [("lan", LinkSpec::lan_gigabit()), ("wan", LinkSpec::wan_cloudnet())] {
+        for (proto_name, proto) in [
+            ("bulk", ExchangeProtocol::Bulk),
+            ("per-page x64", ExchangeProtocol::PerPage { pipeline_depth: 64 }),
+        ] {
+            let engine = MigrationEngine::new(link).with_exchange(proto);
+            let r = engine
+                .migrate(&vm, Strategy::vecycle(&cp))
+                .expect("non-empty");
+            t.row(vec![
+                link_name.into(),
+                proto_name.into(),
+                format!("{:.1}", r.total_time().as_secs_f64()),
+                format!("{}", r.reverse_traffic()),
+            ]);
+            log.record(
+                "ablation2",
+                format!("{link_name}/{proto_name}"),
+                "time_s",
+                r.total_time().as_secs_f64(),
+            );
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "The per-page protocol pays one pipelined RTT batch per page —\n\
+         catastrophic on the WAN, confirming the paper's choice of bulk.\n"
+    );
+
+    // --- 3. HDD vs SSD checkpoint storage --------------------------------
+    println!("Ablation 3 — checkpoint disk (2 GiB idle VM, LAN)\n");
+    let mut t = Table::new(vec!["disk", "setup [s]", "migration [s]"]);
+    for (name, disk) in [
+        ("hdd", DiskSpec::hdd_samsung_hd204ui()),
+        ("ssd", DiskSpec::ssd_intel_330()),
+    ] {
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit()).with_dest_disk(disk);
+        let r = engine
+            .migrate(&vm, Strategy::vecycle(&cp))
+            .expect("non-empty");
+        t.row(vec![
+            name.into(),
+            format!("{:.1}", r.setup().total().as_secs_f64()),
+            format!("{:.1}", r.total_time().as_secs_f64()),
+        ]);
+        log.record("ablation3", name, "migration_s", r.total_time().as_secs_f64());
+        log.record("ablation3", name, "setup_s", r.setup().total().as_secs_f64());
+    }
+    print!("{}", t.render());
+    println!(
+        "Migration time is identical: checkpoint reads happen during\n\
+         setup, off the measured path — the paper's §4.4 observation\n\
+         (\"storing the checkpoint on SSD instead of HDD had no impact\").\n"
+    );
+
+    // --- 4b. Packet loss on the WAN ---------------------------------------
+    println!("Ablation 4b — packet loss on the emulated WAN (1 GiB idle VM)\n");
+    let small = DigestMemory::with_uniform_content(Bytes::from_gib(1), opts.seed ^ 5)
+        .expect("page-aligned");
+    let cp_wan = small.snapshot();
+    let mut t = Table::new(vec!["loss", "effective bw", "full [s]", "vecycle [s]"]);
+    for loss in [0.0, 0.0005, 0.002, 0.01] {
+        let link = Netem::new().loss(loss).apply(LinkSpec::wan_cloudnet());
+        let engine = MigrationEngine::new(link);
+        let full = engine.migrate(&small, Strategy::full()).expect("non-empty");
+        let re = engine
+            .migrate(&small, Strategy::vecycle(&cp_wan))
+            .expect("non-empty");
+        t.row(vec![
+            format!("{:.2}%", loss * 100.0),
+            format!("{}", link.effective_bandwidth()),
+            format!("{:.0}", full.total_time().as_secs_f64()),
+            format!("{:.1}", re.total_time().as_secs_f64()),
+        ]);
+        log.record(
+            "ablation4b",
+            format!("loss-{loss}"),
+            "full_time_s",
+            full.total_time().as_secs_f64(),
+        );
+    }
+    print!("{}", t.render());
+    println!(
+        "Loss collapses TCP throughput (Mathis model); because VeCycle\n\
+         moves two orders of magnitude less data, it degrades gracefully\n\
+         where full migrations become impractical.\n"
+    );
+
+    // --- 4. Relocation: dirty tracking vs content hashes -----------------
+    println!("Ablation 4 — page relocation (64 MiB guest, 2000 moves)\n");
+    let mem = DigestMemory::with_uniform_content(Bytes::from_mib(64), opts.seed ^ 9)
+        .expect("page-aligned");
+    let mut guest = Guest::new(mem);
+    let gen_snapshot = guest.generations().snapshot();
+    let cp_small = guest.memory().snapshot();
+    let mut reloc = RelocationWorkload::new(opts.seed ^ 10, 2000.0);
+    reloc.advance(&mut guest, SimDuration::from_secs(1));
+
+    let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+    let dirty_strategy = Strategy::miyakodori(guest.generations(), &gen_snapshot);
+    let r_dirty = engine
+        .migrate(guest.memory(), dirty_strategy)
+        .expect("non-empty");
+    let r_hashes = engine
+        .migrate(guest.memory(), Strategy::vecycle(&cp_small))
+        .expect("non-empty");
+    let mut t = Table::new(vec!["method", "pages sent full", "traffic"]);
+    for (name, r) in [("dirty (miyakodori)", &r_dirty), ("hashes (vecycle)", &r_hashes)] {
+        t.row(vec![
+            name.into(),
+            format!("{}", r.pages_sent_full().as_u64()),
+            format!("{}", r.source_traffic()),
+        ]);
+        log.record(
+            "ablation4",
+            name,
+            "pages_full",
+            r.pages_sent_full().as_u64() as f64,
+        );
+    }
+    print!("{}", t.render());
+    println!(
+        "Relocated pages look dirty to generation counters but their\n\
+         content is still in the checkpoint: dirty tracking re-sends\n\
+         them, content hashes do not (Figure 3 / §4.3)."
+    );
+    assert!(
+        r_hashes.pages_sent_full() < r_dirty.pages_sent_full(),
+        "content hashes must beat dirty tracking under relocation"
+    );
+
+    opts.finish(&log);
+}

@@ -1,0 +1,62 @@
+//! Figure 1: memory-similarity decay over 24 h for six machines.
+//!
+//! For each machine: generate its fingerprint trace, enumerate all
+//! fingerprint pairs, bin by time delta, and print the min/avg/max
+//! similarity per hour — the three curves of each Figure 1 panel.
+
+use vecycle_analysis::{ExperimentLog, Table};
+use vecycle_bench::{machine, Options};
+use vecycle_trace::BinnedSimilarity;
+use vecycle_types::SimDuration;
+
+fn main() {
+    let opts = Options::from_args();
+    let mut log = ExperimentLog::new();
+    let names = [
+        "Server A", "Server B", "Laptop A", "Laptop B", "Crawler A", "Crawler B",
+    ];
+
+    for name in names {
+        let m = machine(name);
+        let trace = opts.trace_for(&m);
+        let series = BinnedSimilarity::compute(
+            trace.fingerprints(),
+            m.profile.fingerprint_interval,
+            SimDuration::from_hours(24),
+        );
+
+        println!(
+            "\nFigure 1 — {name} ({}, {} fingerprints, {} pages @ scale)",
+            m.ram(),
+            trace.fingerprints().len(),
+            opts.scaled_pages(m.ram()),
+        );
+        let mut t = Table::new(vec!["Δt [h]", "min", "avg", "max", "pairs"]);
+        for bin in series.bins() {
+            let h = bin.delta.as_hours_f64();
+            // Print hourly rows to keep the table readable.
+            if (h.fract()).abs() > 1e-9 {
+                continue;
+            }
+            t.row(vec![
+                format!("{h:>4.0}"),
+                format!("{:.3}", bin.min.as_f64()),
+                format!("{:.3}", bin.avg.as_f64()),
+                format!("{:.3}", bin.max.as_f64()),
+                format!("{}", bin.pairs),
+            ]);
+            let label = format!("{name}/{h:.0}h");
+            log.record("fig1", &label, "min_similarity", bin.min.as_f64());
+            log.record("fig1", &label, "avg_similarity", bin.avg.as_f64());
+            log.record("fig1", &label, "max_similarity", bin.max.as_f64());
+        }
+        print!("{}", t.render());
+    }
+
+    println!(
+        "\nPaper targets: avg similarity after 24 h between ~0.4 (Server B)\n\
+         and ~0.2 (Server C, see fig2); crawlers ~0.4 after 1 h and <0.2\n\
+         after ~5 h; worst case drops below 0.2 quickly for all systems."
+    );
+    opts.finish(&log);
+}

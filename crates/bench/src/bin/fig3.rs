@@ -1,0 +1,86 @@
+//! Figure 3: which pages does each technique transfer?
+//!
+//! The paper's Figure 3 is a schematic — dedup transfers the most pages,
+//! dirty tracking fewer, content-based redundancy elimination fewer
+//! still, and each method identifies a *distinct* set. This binary makes
+//! the schematic concrete: it applies a controlled mix of guest
+//! behaviours and reports each method's transfer set and the set
+//! relationships that explain the ordering.
+
+use vecycle_analysis::Table;
+use vecycle_bench::Options;
+use vecycle_mem::{DigestMemory, Guest, MemoryImage, PageContent};
+use vecycle_trace::{Fingerprint, PairStats};
+use vecycle_types::{PageCount, PageIndex, SimDuration, SimTime};
+
+fn main() {
+    let opts = Options::from_args();
+    let n = 10_000u64;
+    let mut guest = Guest::new(DigestMemory::with_distinct_content(
+        PageCount::new(n),
+        opts.seed,
+    ));
+    // Plant some duplicate content before the checkpoint.
+    for i in 0..500u64 {
+        guest.write_page(PageIndex::new(9_000 + i), PageContent::ContentId(1 << 60));
+    }
+    let before = Fingerprint::new(SimTime::EPOCH, guest.digests());
+
+    // Controlled divergence:
+    //   1500 pages rewritten with fresh content       (every method sends)
+    //   800 pages relocated (content moved in memory) (dirty sends, hashes don't)
+    //   400 pages rewritten with recycled content     (dirty sends, hashes don't)
+    //   300 fresh duplicate pages (3 copies of 100)   (dedup collapses)
+    for i in 0..1500u64 {
+        guest.write_page(PageIndex::new(i), PageContent::ContentId((1 << 61) | i));
+    }
+    for i in 0..800u64 {
+        guest.relocate_page(PageIndex::new(3000 + i), PageIndex::new(4000 + i));
+    }
+    for i in 0..400u64 {
+        // Copy content that existed at checkpoint time elsewhere — what a
+        // file cache does when it re-reads the same blocks.
+        guest.relocate_page(PageIndex::new(8000 + i), PageIndex::new(2000 + i));
+    }
+    for i in 0..300u64 {
+        guest.write_page(
+            PageIndex::new(5000 + i),
+            PageContent::ContentId((1 << 62) | (i % 100)),
+        );
+    }
+    let after = Fingerprint::new(SimTime::EPOCH + SimDuration::from_mins(30), guest.digests());
+
+    let stats = PairStats::compute(&before, &after);
+    println!("Figure 3 — pages transferred by each method ({n} pages total)\n");
+    let mut t = Table::new(vec!["method", "pages sent", "% of memory"]);
+    for (name, v) in [
+        ("full migration", stats.total),
+        ("dedup", stats.dedup),
+        ("dirty tracking", stats.dirty),
+        ("dirty + dedup", stats.dirty_dedup),
+        ("hashes (vecycle)", stats.hashes),
+        ("hashes + dedup", stats.hashes_dedup),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!("{v}"),
+            format!("{:.1}", v as f64 / n as f64 * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nWhy the sets differ:");
+    println!(
+        "  dirty − hashes = {} pages whose content moved or was recycled:\n\
+         \u{20}   they look updated to a tracker, but the checkpoint still\n\
+         \u{20}   holds their content (the paper's Figure 3 annotation).",
+        stats.dirty - stats.hashes,
+    );
+    println!(
+        "  dedup − (hashes+dedup) = {} pages saved by the checkpoint\n\
+         \u{20}   beyond what in-transfer dedup can see.",
+        stats.dedup - stats.hashes_dedup,
+    );
+    assert!(stats.hashes < stats.dirty, "hashes must beat dirty here");
+    assert!(stats.dirty < stats.dedup, "dirty must beat dedup here");
+}

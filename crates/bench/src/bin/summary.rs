@@ -1,0 +1,38 @@
+//! One-line-per-machine summary of the whole trace catalog — the quick
+//! sanity check before running the heavier figure binaries.
+
+use vecycle_analysis::{Histogram, Table};
+use vecycle_bench::Options;
+use vecycle_trace::{catalog, TraceStats};
+
+fn main() {
+    let opts = Options::from_args();
+    println!("Trace catalog summary (scale {} pages/GiB)\n", opts.pages_per_gib);
+    let mut t = Table::new(vec![
+        "machine", "kind", "fps", "pages", "dup", "zero", "sim@1h", "sim@24h",
+    ]);
+    let mut sim24 = Histogram::new(0.0, 1.0, 10);
+    for m in catalog() {
+        let trace = opts.trace_for(&m);
+        let s = TraceStats::compute(&trace);
+        let fmt = |r: Option<vecycle_types::Ratio>| {
+            r.map(|x| format!("{x}")).unwrap_or_else(|| "–".into())
+        };
+        if let Some(r) = s.avg_similarity_24h {
+            sim24.add(r.as_f64());
+        }
+        t.row(vec![
+            m.name.into(),
+            m.kind.to_string(),
+            format!("{}", s.fingerprints),
+            format!("{}", s.pages),
+            format!("{}", s.mean_duplicates),
+            format!("{}", s.mean_zeros),
+            fmt(s.avg_similarity_1h),
+            fmt(s.avg_similarity_24h),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nDistribution of 24 h similarities across the catalog:");
+    print!("{}", sim24.render(30));
+}

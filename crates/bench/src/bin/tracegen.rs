@@ -1,0 +1,41 @@
+//! Generates the calibrated trace set and stores it as trace files.
+//!
+//! The analyses (`fig1`–`fig5`, `fig8`) regenerate traces on the fly;
+//! this tool materializes them once so a calibrated set can be archived
+//! or shared:
+//!
+//! ```sh
+//! cargo run --release -p vecycle-bench --bin tracegen -- --scale 512
+//! ls target/traces/
+//! ```
+
+use vecycle_bench::Options;
+use vecycle_trace::{catalog, Trace};
+
+fn main() {
+    let opts = Options::from_args();
+    let dir = std::path::Path::new("target/traces");
+    std::fs::create_dir_all(dir).expect("create trace dir");
+
+    for m in catalog() {
+        let trace = opts.trace_for(&m);
+        let name = m.name.to_lowercase().replace(' ', "-");
+        let path = dir.join(format!("{name}.vtrc"));
+        let file = std::fs::File::create(&path).expect("create trace file");
+        trace
+            .write_to(std::io::BufWriter::new(file))
+            .expect("write trace");
+
+        // Verify the artifact round-trips before reporting success.
+        let back = Trace::read_from(std::fs::File::open(&path).expect("reopen"))
+            .expect("reload trace");
+        assert_eq!(back.fingerprints().len(), trace.fingerprints().len());
+        println!(
+            "{:<12} -> {} ({} fingerprints, {:.1} MiB)",
+            m.name,
+            path.display(),
+            trace.fingerprints().len(),
+            std::fs::metadata(&path).expect("stat").len() as f64 / (1024.0 * 1024.0),
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! The [`Checkpoint`] capture type.
+
+use vecycle_mem::{ByteMemory, DigestMemory, MemoryImage, MutableMemory, PageContent};
+use vecycle_types::{Bytes, PageCount, PageDigest, PageIndex, SimTime, VmId, PAGE_SIZE};
+
+use crate::ChecksumIndex;
+
+/// The payload of a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointData {
+    /// One digest per page — sufficient for every traffic computation.
+    Digests(Vec<PageDigest>),
+    /// Full page bytes (length is a multiple of the page size) — needed
+    /// for byte-exact restores in the end-to-end tests.
+    Pages(Vec<u8>),
+}
+
+/// An immutable capture of a VM's memory, stored at a host.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_checkpoint::{Checkpoint, PageLookup};
+/// use vecycle_mem::DigestMemory;
+/// use vecycle_types::{PageCount, SimTime, VmId};
+///
+/// let mem = DigestMemory::with_distinct_content(PageCount::new(64), 1);
+/// let cp = Checkpoint::capture(VmId::new(0), SimTime::EPOCH, &mem);
+/// assert_eq!(cp.page_count(), PageCount::new(64));
+/// let index = cp.build_index();
+/// assert!(index.contains(cp.digest(vecycle_types::PageIndex::new(3))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    vm: VmId,
+    taken_at: SimTime,
+    data: CheckpointData,
+}
+
+impl Checkpoint {
+    /// Captures a digest-level checkpoint of any memory image.
+    pub fn capture<M: MemoryImage>(vm: VmId, taken_at: SimTime, memory: &M) -> Self {
+        Checkpoint {
+            vm,
+            taken_at,
+            data: CheckpointData::Digests(memory.digests()),
+        }
+    }
+
+    /// Captures a full-byte checkpoint of a [`ByteMemory`].
+    pub fn capture_bytes(vm: VmId, taken_at: SimTime, memory: &ByteMemory) -> Self {
+        let n = memory.page_count().as_u64();
+        let mut bytes = Vec::with_capacity((n * PAGE_SIZE) as usize);
+        for i in 0..n {
+            bytes.extend_from_slice(memory.read_page(PageIndex::new(i)));
+        }
+        Checkpoint {
+            vm,
+            taken_at,
+            data: CheckpointData::Pages(bytes),
+        }
+    }
+
+    /// Creates a checkpoint from raw parts (used by the wire decoder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vecycle_types::Error::Corrupt`] if a `Pages` payload is
+    /// not a whole number of pages.
+    pub fn from_parts(
+        vm: VmId,
+        taken_at: SimTime,
+        data: CheckpointData,
+    ) -> vecycle_types::Result<Self> {
+        if let CheckpointData::Pages(b) = &data {
+            if !(b.len() as u64).is_multiple_of(PAGE_SIZE) {
+                return Err(vecycle_types::Error::Corrupt {
+                    detail: format!("page payload of {} bytes is not page-aligned", b.len()),
+                });
+            }
+        }
+        Ok(Checkpoint { vm, taken_at, data })
+    }
+
+    /// The VM this checkpoint belongs to.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// When the checkpoint was taken.
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+
+    /// The payload.
+    pub fn data(&self) -> &CheckpointData {
+        &self.data
+    }
+
+    /// Number of pages captured.
+    pub fn page_count(&self) -> PageCount {
+        match &self.data {
+            CheckpointData::Digests(d) => PageCount::new(d.len() as u64),
+            CheckpointData::Pages(b) => PageCount::new(b.len() as u64 / PAGE_SIZE),
+        }
+    }
+
+    /// RAM size captured.
+    pub fn ram_size(&self) -> Bytes {
+        self.page_count().bytes()
+    }
+
+    /// On-disk footprint of the payload — what storing this checkpoint
+    /// costs the host (§1 argues local storage is cheap; the store still
+    /// accounts for it).
+    pub fn storage_size(&self) -> Bytes {
+        match &self.data {
+            CheckpointData::Digests(d) => Bytes::new(d.len() as u64 * 16),
+            CheckpointData::Pages(b) => Bytes::new(b.len() as u64),
+        }
+    }
+
+    /// The digest of one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn digest(&self, idx: PageIndex) -> PageDigest {
+        match &self.data {
+            CheckpointData::Digests(d) => d[idx.as_usize()],
+            CheckpointData::Pages(_) => vecycle_hash::page_digest(
+                self.read_page(idx).expect("Pages variant has bytes"),
+            ),
+        }
+    }
+
+    /// All page digests in page order.
+    pub fn digests(&self) -> Vec<PageDigest> {
+        match &self.data {
+            CheckpointData::Digests(d) => d.clone(),
+            CheckpointData::Pages(b) => b
+                .chunks_exact(PAGE_SIZE as usize)
+                .map(vecycle_hash::page_digest)
+                .collect(),
+        }
+    }
+
+    /// Reads one page's bytes, if this is a full-byte checkpoint.
+    pub fn read_page(&self, idx: PageIndex) -> Option<&[u8]> {
+        match &self.data {
+            CheckpointData::Digests(_) => None,
+            CheckpointData::Pages(b) => {
+                let start = idx.as_usize() * PAGE_SIZE as usize;
+                b.get(start..start + PAGE_SIZE as usize)
+            }
+        }
+    }
+
+    /// Builds the §3.3 checksum index over this checkpoint.
+    pub fn build_index(&self) -> ChecksumIndex {
+        ChecksumIndex::build(self.digests())
+    }
+
+    /// Restores the checkpoint into a fresh [`DigestMemory`] — the
+    /// destination's "initialize main memory from the checkpoint file"
+    /// step (§3.3).
+    pub fn restore_digest_memory(&self) -> DigestMemory {
+        DigestMemory::from_digests(self.digests())
+    }
+
+    /// Restores a full-byte checkpoint into a fresh [`ByteMemory`].
+    ///
+    /// Returns `None` for digest-only checkpoints, which cannot supply
+    /// page bytes.
+    pub fn restore_byte_memory(&self) -> Option<ByteMemory> {
+        match &self.data {
+            CheckpointData::Digests(_) => None,
+            CheckpointData::Pages(b) => {
+                let pages = self.page_count();
+                let mut mem = ByteMemory::zeroed(pages);
+                for (i, page) in b.chunks_exact(PAGE_SIZE as usize).enumerate() {
+                    mem.write_page(PageIndex::new(i as u64), PageContent::Bytes(page));
+                }
+                Some(mem)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_cp() -> Checkpoint {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(16), 5);
+        Checkpoint::capture(VmId::new(1), SimTime::EPOCH, &mem)
+    }
+
+    #[test]
+    fn capture_preserves_digests() {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(16), 5);
+        let cp = Checkpoint::capture(VmId::new(1), SimTime::EPOCH, &mem);
+        assert_eq!(cp.digests(), mem.digests());
+        assert_eq!(cp.page_count(), PageCount::new(16));
+    }
+
+    #[test]
+    fn capture_bytes_round_trips() {
+        let mem = ByteMemory::with_distinct_content(PageCount::new(8), 9);
+        let cp = Checkpoint::capture_bytes(VmId::new(2), SimTime::EPOCH, &mem);
+        let restored = cp.restore_byte_memory().unwrap();
+        assert!(mem.content_equals(&restored));
+        // Digests agree with the live memory's.
+        for i in 0..8 {
+            let idx = PageIndex::new(i);
+            assert_eq!(cp.digest(idx), mem.page_digest(idx));
+        }
+    }
+
+    #[test]
+    fn digest_checkpoint_has_no_bytes() {
+        let cp = digest_cp();
+        assert!(cp.read_page(PageIndex::new(0)).is_none());
+        assert!(cp.restore_byte_memory().is_none());
+    }
+
+    #[test]
+    fn restore_digest_memory_matches() {
+        let cp = digest_cp();
+        let mem = cp.restore_digest_memory();
+        assert_eq!(mem.digests(), cp.digests());
+    }
+
+    #[test]
+    fn storage_size_reflects_representation() {
+        let cp = digest_cp();
+        assert_eq!(cp.storage_size(), Bytes::new(16 * 16));
+        let bm = ByteMemory::zeroed(PageCount::new(4));
+        let full = Checkpoint::capture_bytes(VmId::new(0), SimTime::EPOCH, &bm);
+        assert_eq!(full.storage_size(), Bytes::from_pages(4));
+    }
+
+    #[test]
+    fn from_parts_rejects_ragged_pages() {
+        let res = Checkpoint::from_parts(
+            VmId::new(0),
+            SimTime::EPOCH,
+            CheckpointData::Pages(vec![0u8; 100]),
+        );
+        assert!(res.is_err());
+    }
+}

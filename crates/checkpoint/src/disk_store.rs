@@ -1,0 +1,238 @@
+//! [`DiskStore`]: checkpoints persisted as real files.
+//!
+//! The in-memory [`crate::CheckpointStore`] models a host inside the
+//! simulator; this store actually writes the §3 checkpoint files to a
+//! directory — what a deployment would do — using the corruption-checked
+//! wire format. Loads that fail validation report [`Error::Corrupt`] so
+//! callers can fall back to a full migration instead of restoring
+//! garbage.
+
+use std::path::{Path, PathBuf};
+
+use vecycle_types::{Error, VmId};
+
+use crate::Checkpoint;
+
+/// A directory of checkpoint files, one per VM.
+///
+/// Layout: `<root>/vm-<id>.ckpt`, atomically replaced on save (write to
+/// a temp file, then rename) so a crash mid-save never leaves a torn
+/// checkpoint where a good one stood.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_checkpoint::{Checkpoint, DiskStore};
+/// use vecycle_mem::DigestMemory;
+/// use vecycle_types::{PageCount, SimTime, VmId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join("vecycle-diskstore-doc");
+/// let store = DiskStore::open(&dir)?;
+/// let mem = DigestMemory::with_distinct_content(PageCount::new(8), 1);
+/// store.save(&Checkpoint::capture(VmId::new(5), SimTime::EPOCH, &mem))?;
+/// let back = store.load(VmId::new(5))?.expect("checkpoint exists");
+/// assert_eq!(back.page_count(), PageCount::new(8));
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(root: impl AsRef<Path>) -> vecycle_types::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskStore { root })
+    }
+
+    /// The directory backing this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, vm: VmId) -> PathBuf {
+        self.root.join(format!("vm-{}.ckpt", vm.as_u32()))
+    }
+
+    /// Saves (atomically replaces) the checkpoint for its VM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a failed save leaves any previous
+    /// checkpoint intact.
+    pub fn save(&self, checkpoint: &Checkpoint) -> vecycle_types::Result<()> {
+        let tmp = self.root.join(format!(".vm-{}.tmp", checkpoint.vm().as_u32()));
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut writer = std::io::BufWriter::new(file);
+            checkpoint.write_to(&mut writer)?;
+            use std::io::Write;
+            writer.flush()?;
+        }
+        std::fs::rename(&tmp, self.path_for(checkpoint.vm()))?;
+        Ok(())
+    }
+
+    /// Loads the checkpoint for `vm`, if one exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the file exists but fails
+    /// validation — callers should treat that as "no usable checkpoint"
+    /// and may call [`DiskStore::remove`] to clear it.
+    pub fn load(&self, vm: VmId) -> vecycle_types::Result<Option<Checkpoint>> {
+        let path = self.path_for(vm);
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let cp = Checkpoint::read_from(std::io::BufReader::new(file))?;
+        if cp.vm() != vm {
+            return Err(Error::Corrupt {
+                detail: format!("checkpoint file for {vm} contains {}", cp.vm()),
+            });
+        }
+        Ok(Some(cp))
+    }
+
+    /// Removes the checkpoint for `vm`. Removing a missing checkpoint is
+    /// not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than "not found".
+    pub fn remove(&self, vm: VmId) -> vecycle_types::Result<()> {
+        match std::fs::remove_file(self.path_for(vm)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Lists the VMs with a stored checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn list(&self) -> vecycle_types::Result<Vec<VmId>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("vm-")
+                .and_then(|s| s.strip_suffix(".ckpt"))
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                out.push(VmId::new(id));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_mem::DigestMemory;
+    use vecycle_types::{PageCount, SimTime};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vecycle-diskstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cp(vm: u32, seed: u64) -> Checkpoint {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(16), seed);
+        Checkpoint::capture(VmId::new(vm), SimTime::EPOCH, &mem)
+    }
+
+    #[test]
+    fn save_load_remove_cycle() {
+        let dir = tmpdir("cycle");
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.load(VmId::new(1)).unwrap().is_none());
+        store.save(&cp(1, 10)).unwrap();
+        let loaded = store.load(VmId::new(1)).unwrap().unwrap();
+        assert_eq!(loaded, cp(1, 10));
+        store.remove(VmId::new(1)).unwrap();
+        assert!(store.load(VmId::new(1)).unwrap().is_none());
+        store.remove(VmId::new(1)).unwrap(); // idempotent
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn save_replaces_previous_version() {
+        let dir = tmpdir("replace");
+        let store = DiskStore::open(&dir).unwrap();
+        store.save(&cp(2, 10)).unwrap();
+        store.save(&cp(2, 11)).unwrap();
+        assert_eq!(store.load(VmId::new(2)).unwrap().unwrap(), cp(2, 11));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_reported_not_returned() {
+        let dir = tmpdir("corrupt");
+        let store = DiskStore::open(&dir).unwrap();
+        store.save(&cp(3, 10)).unwrap();
+        // Flip a byte on disk.
+        let path = dir.join("vm-3.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+        let err = store.load(VmId::new(3)).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { .. }));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn vm_id_mismatch_is_corrupt() {
+        let dir = tmpdir("mismatch");
+        let store = DiskStore::open(&dir).unwrap();
+        store.save(&cp(4, 10)).unwrap();
+        // Rename vm-4's file to claim vm-5.
+        std::fs::rename(dir.join("vm-4.ckpt"), dir.join("vm-5.ckpt")).unwrap();
+        let err = store.load(VmId::new(5)).unwrap_err();
+        assert!(err.to_string().contains("contains vm-4"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_enumerates_saved_vms() {
+        let dir = tmpdir("list");
+        let store = DiskStore::open(&dir).unwrap();
+        store.save(&cp(7, 1)).unwrap();
+        store.save(&cp(2, 2)).unwrap();
+        store.save(&cp(9, 3)).unwrap();
+        assert_eq!(
+            store.list().unwrap(),
+            vec![VmId::new(2), VmId::new(7), VmId::new(9)]
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stray_files_are_ignored_by_list() {
+        let dir = tmpdir("stray");
+        let store = DiskStore::open(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), b"hi").unwrap();
+        std::fs::write(dir.join("vm-x.ckpt"), b"junk").unwrap();
+        store.save(&cp(1, 1)).unwrap();
+        assert_eq!(store.list().unwrap(), vec![VmId::new(1)]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

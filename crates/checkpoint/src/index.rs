@@ -1,0 +1,212 @@
+//! Checksum → page-offset indexes over a checkpoint (§3.3).
+
+use std::collections::HashMap;
+
+use vecycle_types::{PageDigest, PageIndex};
+
+/// Common interface of the checkpoint indexes.
+///
+/// The destination builds one of these while sequentially reading the
+/// checkpoint file, then answers two queries per received message: *is
+/// this checksum present?* and *at which checkpoint offset?* (Listing 1's
+/// `lookup(checksum)`).
+pub trait PageLookup {
+    /// True if any page with this digest exists in the checkpoint.
+    fn contains(&self, digest: PageDigest) -> bool;
+
+    /// The checkpoint page holding this digest (first occurrence), if any.
+    fn lookup(&self, digest: PageDigest) -> Option<PageIndex>;
+
+    /// Number of distinct digests indexed.
+    fn distinct(&self) -> usize;
+}
+
+/// The paper's index: a sorted array searched with binary search.
+///
+/// §3.3: "We currently keep the checksums and their offsets in a sorted
+/// list, such that we can use binary search to quickly find the offset
+/// for a given checksum."
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_checkpoint::{ChecksumIndex, PageLookup};
+/// use vecycle_types::{PageDigest, PageIndex};
+///
+/// let digests = vec![
+///     PageDigest::from_content_id(10),
+///     PageDigest::from_content_id(20),
+///     PageDigest::from_content_id(10), // duplicate content
+/// ];
+/// let index = ChecksumIndex::build(digests);
+/// assert_eq!(index.distinct(), 2);
+/// // Duplicate digests resolve to their first offset.
+/// assert_eq!(
+///     index.lookup(PageDigest::from_content_id(10)),
+///     Some(PageIndex::new(0))
+/// );
+/// assert!(index.lookup(PageDigest::from_content_id(99)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChecksumIndex {
+    // Sorted by digest; for duplicate digests only the smallest offset
+    // is kept (any copy of the content serves a restore equally well).
+    entries: Vec<(PageDigest, PageIndex)>,
+    total_pages: u64,
+}
+
+impl ChecksumIndex {
+    /// Builds the index from per-page digests in page order.
+    pub fn build(digests: Vec<PageDigest>) -> Self {
+        let total_pages = digests.len() as u64;
+        let mut entries: Vec<(PageDigest, PageIndex)> = digests
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (d, PageIndex::new(i as u64)))
+            .collect();
+        // Sort by digest, then offset, so dedup keeps the first offset.
+        entries.sort_unstable();
+        entries.dedup_by_key(|(d, _)| *d);
+        ChecksumIndex {
+            entries,
+            total_pages,
+        }
+    }
+
+    /// Number of pages the underlying checkpoint holds (with duplicates).
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// All indexed digests in sorted order — what the destination sends
+    /// to the source in the bulk checksum pre-exchange (§3.2).
+    pub fn digests(&self) -> impl Iterator<Item = PageDigest> + '_ {
+        self.entries.iter().map(|(d, _)| *d)
+    }
+
+    /// Wire size of the bulk checksum exchange: 16 bytes per distinct
+    /// digest (the paper estimates 16 MiB for a 4 GiB VM with unique
+    /// pages).
+    pub fn wire_size(&self) -> vecycle_types::Bytes {
+        vecycle_types::Bytes::new(self.entries.len() as u64 * 16)
+    }
+}
+
+impl PageLookup for ChecksumIndex {
+    fn contains(&self, digest: PageDigest) -> bool {
+        self.entries
+            .binary_search_by_key(&digest, |(d, _)| *d)
+            .is_ok()
+    }
+
+    fn lookup(&self, digest: PageDigest) -> Option<PageIndex> {
+        self.entries
+            .binary_search_by_key(&digest, |(d, _)| *d)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// A hash-map index — the ablation alternative to the sorted array.
+///
+/// Same semantics as [`ChecksumIndex`]; O(1) expected lookups at the
+/// cost of a larger build-time allocation. The `index_lookup` bench
+/// compares the two.
+#[derive(Debug, Clone)]
+pub struct HashChecksumIndex {
+    map: HashMap<PageDigest, PageIndex>,
+}
+
+impl HashChecksumIndex {
+    /// Builds the index from per-page digests in page order.
+    pub fn build(digests: Vec<PageDigest>) -> Self {
+        let mut map = HashMap::with_capacity(digests.len());
+        for (i, d) in digests.into_iter().enumerate() {
+            // Keep the first offset for duplicate contents.
+            map.entry(d).or_insert_with(|| PageIndex::new(i as u64));
+        }
+        HashChecksumIndex { map }
+    }
+}
+
+impl PageLookup for HashChecksumIndex {
+    fn contains(&self, digest: PageDigest) -> bool {
+        self.map.contains_key(&digest)
+    }
+
+    fn lookup(&self, digest: PageDigest) -> Option<PageIndex> {
+        self.map.get(&digest).copied()
+    }
+
+    fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u64) -> PageDigest {
+        PageDigest::from_content_id(id)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let index = ChecksumIndex::build(vec![d(5), d(3), d(5), d(1)]);
+        assert_eq!(index.total_pages(), 4);
+        assert_eq!(index.distinct(), 3);
+        assert_eq!(index.lookup(d(3)), Some(PageIndex::new(1)));
+        assert_eq!(index.lookup(d(5)), Some(PageIndex::new(0)));
+        assert!(!index.contains(d(42)));
+    }
+
+    #[test]
+    fn digests_are_sorted() {
+        let index = ChecksumIndex::build(vec![d(9), d(2), d(7)]);
+        let v: Vec<_> = index.digests().collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn wire_size_is_16_bytes_per_distinct() {
+        let index = ChecksumIndex::build(vec![d(1), d(1), d(2)]);
+        assert_eq!(index.wire_size().as_u64(), 32);
+    }
+
+    #[test]
+    fn paper_wire_size_example() {
+        // "a 4 GiB VM has 2^20 pages ... 2^20 * 2^4 bytes = 16 MiB of MD5
+        // checksums" — with all-unique pages.
+        let n = 1u64 << 20;
+        let digests: Vec<_> = (0..n).map(|i| d(i + 1)).collect();
+        let index = ChecksumIndex::build(digests);
+        assert_eq!(
+            index.wire_size(),
+            vecycle_types::Bytes::from_mib(16)
+        );
+    }
+
+    #[test]
+    fn hash_index_agrees_with_sorted_index() {
+        let digests: Vec<_> = [5u64, 3, 5, 1, 8, 3].iter().map(|&i| d(i)).collect();
+        let sorted = ChecksumIndex::build(digests.clone());
+        let hashed = HashChecksumIndex::build(digests.clone());
+        assert_eq!(sorted.distinct(), hashed.distinct());
+        for probe in [1u64, 2, 3, 4, 5, 8, 9] {
+            assert_eq!(sorted.contains(d(probe)), hashed.contains(d(probe)));
+            assert_eq!(sorted.lookup(d(probe)), hashed.lookup(d(probe)));
+        }
+    }
+
+    #[test]
+    fn empty_index_is_empty() {
+        let index = ChecksumIndex::build(Vec::new());
+        assert_eq!(index.distinct(), 0);
+        assert!(!index.contains(d(1)));
+    }
+}

@@ -1,0 +1,34 @@
+//! VM checkpoints: the artifact VeCycle recycles.
+//!
+//! On an outgoing migration the source writes a checkpoint of the VM to
+//! its local disk (§3 of the paper); a later *incoming* migration of the
+//! same VM initializes guest memory from that checkpoint and builds a
+//! checksum index over it, so the source only needs to send pages whose
+//! content the checkpoint lacks.
+//!
+//! This crate provides:
+//!
+//! * [`Checkpoint`] — an immutable capture of guest memory, either
+//!   digest-only (scalable) or with full page bytes (byte-exact restore);
+//! * a versioned on-disk format with corruption detection
+//!   ([`Checkpoint::write_to`] / [`Checkpoint::read_from`]);
+//! * [`ChecksumIndex`] — the sorted checksum → offset index of §3.3
+//!   ("we currently keep the checksums and their offsets in a sorted
+//!   list, such that we can use binary search"), plus a hash-map variant
+//!   for the index ablation;
+//! * [`CheckpointStore`] — the per-host store that keeps the most recent
+//!   checkpoint per VM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod disk_store;
+mod index;
+mod store;
+mod wire;
+
+pub use checkpoint::{Checkpoint, CheckpointData};
+pub use disk_store::DiskStore;
+pub use index::{ChecksumIndex, HashChecksumIndex, PageLookup};
+pub use store::CheckpointStore;

@@ -1,0 +1,217 @@
+//! [`CheckpointStore`]: the per-host checkpoint collection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use vecycle_types::{Bytes, SimTime, VmId};
+
+use crate::Checkpoint;
+
+/// The checkpoints a host keeps on its local disk.
+///
+/// The paper's scheme stores one checkpoint per VM per visited host and
+/// replaces it on every outgoing migration; we additionally keep a small
+/// version history (newest first) with byte-budget eviction, since "local
+/// storage is cheap" but not infinite.
+///
+/// The store is internally synchronized — hosts are shared between the
+/// scenario driver and the migration engine.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_checkpoint::{Checkpoint, CheckpointStore};
+/// use vecycle_mem::DigestMemory;
+/// use vecycle_types::{PageCount, SimTime, VmId};
+///
+/// let store = CheckpointStore::new();
+/// let vm = VmId::new(3);
+/// let mem = DigestMemory::with_distinct_content(PageCount::new(8), 1);
+/// store.save(Checkpoint::capture(vm, SimTime::EPOCH, &mem));
+/// assert!(store.latest(vm).is_some());
+/// assert!(store.latest(VmId::new(9)).is_none());
+/// ```
+#[derive(Debug)]
+pub struct CheckpointStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    by_vm: HashMap<VmId, Vec<Arc<Checkpoint>>>,
+    versions_per_vm: usize,
+    used: Bytes,
+}
+
+impl CheckpointStore {
+    /// Creates a store keeping one checkpoint version per VM (the
+    /// paper's behaviour).
+    pub fn new() -> Self {
+        CheckpointStore::with_versions(1)
+    }
+
+    /// Creates a store keeping up to `versions_per_vm` checkpoints per
+    /// VM, newest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `versions_per_vm` is zero.
+    pub fn with_versions(versions_per_vm: usize) -> Self {
+        assert!(versions_per_vm > 0, "must keep at least one version");
+        CheckpointStore {
+            inner: RwLock::new(Inner {
+                by_vm: HashMap::new(),
+                versions_per_vm,
+                used: Bytes::ZERO,
+            }),
+        }
+    }
+
+    /// Saves a checkpoint, evicting the oldest version beyond the limit.
+    pub fn save(&self, checkpoint: Checkpoint) {
+        let mut inner = self.inner.write();
+        let size = checkpoint.storage_size();
+        let cap = inner.versions_per_vm;
+        let versions = inner.by_vm.entry(checkpoint.vm()).or_default();
+        versions.insert(0, Arc::new(checkpoint));
+        let mut freed = Bytes::ZERO;
+        while versions.len() > cap {
+            let evicted = versions.pop().expect("len > cap >= 1");
+            freed += evicted.storage_size();
+        }
+        inner.used = (inner.used + size).saturating_sub(freed);
+    }
+
+    /// The most recent checkpoint for `vm`, if any.
+    pub fn latest(&self, vm: VmId) -> Option<Arc<Checkpoint>> {
+        self.inner.read().by_vm.get(&vm)?.first().cloned()
+    }
+
+    /// The most recent checkpoint for `vm` taken at or before `at`.
+    ///
+    /// Scenario drivers use this to ask "what would the host have had on
+    /// disk at that point of the schedule?".
+    pub fn latest_before(&self, vm: VmId, at: SimTime) -> Option<Arc<Checkpoint>> {
+        self.inner
+            .read()
+            .by_vm
+            .get(&vm)?
+            .iter()
+            .find(|c| c.taken_at() <= at)
+            .cloned()
+    }
+
+    /// Removes all checkpoints for `vm`, returning how many were dropped.
+    pub fn remove(&self, vm: VmId) -> usize {
+        let mut inner = self.inner.write();
+        match inner.by_vm.remove(&vm) {
+            Some(versions) => {
+                let freed: Bytes = versions.iter().map(|c| c.storage_size()).sum();
+                inner.used = inner.used.saturating_sub(freed);
+                versions.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Total bytes of checkpoint data currently stored.
+    pub fn used(&self) -> Bytes {
+        self.inner.read().used
+    }
+
+    /// Number of VMs with at least one checkpoint.
+    pub fn vm_count(&self) -> usize {
+        self.inner.read().by_vm.len()
+    }
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_mem::DigestMemory;
+    use vecycle_types::{PageCount, SimDuration};
+
+    fn cp(vm: u32, hour: u64, seed: u64) -> Checkpoint {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(8), seed);
+        Checkpoint::capture(
+            VmId::new(vm),
+            SimTime::EPOCH + SimDuration::from_hours(hour),
+            &mem,
+        )
+    }
+
+    #[test]
+    fn latest_returns_newest() {
+        let store = CheckpointStore::with_versions(2);
+        store.save(cp(1, 0, 10));
+        store.save(cp(1, 5, 11));
+        let latest = store.latest(VmId::new(1)).unwrap();
+        assert_eq!(
+            latest.taken_at(),
+            SimTime::EPOCH + SimDuration::from_hours(5)
+        );
+    }
+
+    #[test]
+    fn version_limit_evicts_oldest() {
+        let store = CheckpointStore::new(); // 1 version
+        store.save(cp(1, 0, 10));
+        let used_one = store.used();
+        store.save(cp(1, 5, 11));
+        assert_eq!(store.used(), used_one); // replaced, not accumulated
+        let latest = store.latest(VmId::new(1)).unwrap();
+        assert_eq!(
+            latest.taken_at(),
+            SimTime::EPOCH + SimDuration::from_hours(5)
+        );
+    }
+
+    #[test]
+    fn latest_before_respects_time() {
+        let store = CheckpointStore::with_versions(3);
+        store.save(cp(1, 0, 10));
+        store.save(cp(1, 10, 11));
+        let at5 = store
+            .latest_before(VmId::new(1), SimTime::EPOCH + SimDuration::from_hours(5))
+            .unwrap();
+        assert_eq!(at5.taken_at(), SimTime::EPOCH);
+        assert!(store
+            .latest_before(VmId::new(2), SimTime::EPOCH)
+            .is_none());
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let store = CheckpointStore::with_versions(2);
+        store.save(cp(1, 0, 10));
+        store.save(cp(2, 0, 20));
+        assert_eq!(store.vm_count(), 2);
+        assert_eq!(store.remove(VmId::new(1)), 1);
+        assert_eq!(store.vm_count(), 1);
+        store.remove(VmId::new(2));
+        assert_eq!(store.used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn vms_are_isolated() {
+        let store = CheckpointStore::new();
+        store.save(cp(1, 0, 10));
+        store.save(cp(2, 3, 20));
+        assert_eq!(store.latest(VmId::new(1)).unwrap().vm(), VmId::new(1));
+        assert_eq!(store.latest(VmId::new(2)).unwrap().vm(), VmId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn zero_versions_panics() {
+        let _ = CheckpointStore::with_versions(0);
+    }
+}

@@ -1,0 +1,239 @@
+//! On-disk serialization of checkpoints, with corruption detection.
+
+use bytes::{Buf, BufMut};
+
+use vecycle_hash::{Fnv1a64, Hasher};
+use vecycle_types::{Error, PageDigest, SimTime, VmId, PAGE_SIZE};
+
+use crate::{Checkpoint, CheckpointData};
+
+const MAGIC: &[u8; 8] = b"VECYCHK1";
+const VERSION: u16 = 1;
+const KIND_DIGESTS: u8 = 0;
+const KIND_PAGES: u8 = 1;
+
+impl Checkpoint {
+    /// Serializes the checkpoint to `w`.
+    ///
+    /// Layout: magic, version, kind, VM id, timestamp, page count,
+    /// payload, then an FNV-1a 64 trailer over everything before it.
+    /// The trailer catches truncation and bit rot on load — cheap
+    /// insurance for data that may sit on a host's disk for days.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to<W: std::io::Write>(&self, mut w: W) -> vecycle_types::Result<()> {
+        let mut buf = Vec::with_capacity(64 + self.storage_size().as_u64() as usize);
+        buf.put_slice(MAGIC);
+        buf.put_u16(VERSION);
+        match self.data() {
+            CheckpointData::Digests(_) => buf.put_u8(KIND_DIGESTS),
+            CheckpointData::Pages(_) => buf.put_u8(KIND_PAGES),
+        }
+        buf.put_u8(0); // reserved
+        buf.put_u32(self.vm().as_u32());
+        buf.put_u64(self.taken_at().since_epoch().as_nanos());
+        buf.put_u64(self.page_count().as_u64());
+        match self.data() {
+            CheckpointData::Digests(digests) => {
+                for d in digests {
+                    buf.put_slice(d.as_bytes());
+                }
+            }
+            CheckpointData::Pages(bytes) => buf.put_slice(bytes),
+        }
+        let mut fnv = Fnv1a64::new();
+        fnv.update(&buf);
+        let trailer = fnv.finalize();
+        w.write_all(&buf)?;
+        w.write_all(&trailer)?;
+        Ok(())
+    }
+
+    /// Deserializes a checkpoint previously written by
+    /// [`Checkpoint::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on bad magic, version, kind, truncated
+    /// payload or trailer mismatch, and [`Error::Io`] on read failures.
+    pub fn read_from<R: std::io::Read>(mut r: R) -> vecycle_types::Result<Checkpoint> {
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        if raw.len() < 8 + 2 + 1 + 1 + 4 + 8 + 8 + 8 {
+            return Err(Error::Corrupt {
+                detail: format!("checkpoint file too short: {} bytes", raw.len()),
+            });
+        }
+        let (body, trailer) = raw.split_at(raw.len() - 8);
+        let mut fnv = Fnv1a64::new();
+        fnv.update(body);
+        if fnv.finalize() != <[u8; 8]>::try_from(trailer).expect("8 bytes") {
+            return Err(Error::Corrupt {
+                detail: "checkpoint trailer checksum mismatch".into(),
+            });
+        }
+
+        let mut buf = body;
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(Error::Corrupt {
+                detail: "bad checkpoint magic".into(),
+            });
+        }
+        let version = buf.get_u16();
+        if version != VERSION {
+            return Err(Error::Corrupt {
+                detail: format!("unsupported checkpoint version {version}"),
+            });
+        }
+        let kind = buf.get_u8();
+        let _reserved = buf.get_u8();
+        let vm = VmId::new(buf.get_u32());
+        let taken_at = SimTime::from_epoch(vecycle_types::SimDuration::from_nanos(
+            buf.get_u64(),
+        ));
+        let pages = buf.get_u64();
+
+        let data = match kind {
+            KIND_DIGESTS => {
+                let need = pages as usize * 16;
+                if buf.remaining() != need {
+                    return Err(Error::Corrupt {
+                        detail: format!(
+                            "digest payload length {} != expected {need}",
+                            buf.remaining()
+                        ),
+                    });
+                }
+                let mut digests = Vec::with_capacity(pages as usize);
+                for _ in 0..pages {
+                    let mut d = [0u8; 16];
+                    buf.copy_to_slice(&mut d);
+                    digests.push(PageDigest::new(d));
+                }
+                CheckpointData::Digests(digests)
+            }
+            KIND_PAGES => {
+                let need = pages as usize * PAGE_SIZE as usize;
+                if buf.remaining() != need {
+                    return Err(Error::Corrupt {
+                        detail: format!(
+                            "page payload length {} != expected {need}",
+                            buf.remaining()
+                        ),
+                    });
+                }
+                CheckpointData::Pages(buf.copy_to_bytes(need).to_vec())
+            }
+            other => {
+                return Err(Error::Corrupt {
+                    detail: format!("unknown checkpoint kind {other}"),
+                })
+            }
+        };
+        Checkpoint::from_parts(vm, taken_at, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_mem::{ByteMemory, DigestMemory};
+    use vecycle_types::{PageCount, SimDuration};
+
+    fn sample() -> Checkpoint {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(32), 3);
+        Checkpoint::capture(
+            VmId::new(7),
+            SimTime::EPOCH + SimDuration::from_hours(5),
+            &mem,
+        )
+    }
+
+    #[test]
+    fn digest_checkpoint_round_trips() {
+        let cp = sample();
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        let back = Checkpoint::read_from(&file[..]).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn byte_checkpoint_round_trips() {
+        let mem = ByteMemory::with_distinct_content(PageCount::new(4), 11);
+        let cp = Checkpoint::capture_bytes(VmId::new(1), SimTime::EPOCH, &mem);
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        let back = Checkpoint::read_from(&file[..]).unwrap();
+        assert_eq!(back, cp);
+        assert!(back.restore_byte_memory().unwrap().content_equals(&mem));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let cp = sample();
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        for cut in [file.len() - 1, file.len() / 2, 10] {
+            let err = Checkpoint::read_from(&file[..cut]).unwrap_err();
+            assert!(
+                matches!(err, Error::Corrupt { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let cp = sample();
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        let mid = file.len() / 2;
+        file[mid] ^= 0x40;
+        assert!(matches!(
+            Checkpoint::read_from(&file[..]),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let cp = sample();
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        file[0] = b'X';
+        // Trailer now mismatches too; either way it must fail Corrupt.
+        assert!(matches!(
+            Checkpoint::read_from(&file[..]),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let cp = sample();
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        // Bump version and re-fix the trailer so only the version differs.
+        file[9] = 2;
+        let body_len = file.len() - 8;
+        let mut fnv = Fnv1a64::new();
+        fnv.update(&file[..body_len]);
+        let t = fnv.finalize();
+        file[body_len..].copy_from_slice(&t);
+        let err = Checkpoint::read_from(&file[..]).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn empty_input_is_corrupt_not_panic() {
+        assert!(matches!(
+            Checkpoint::read_from(&[][..]),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,442 @@
+//! Subcommand dispatch and implementations.
+
+use vecycle_analysis::Table;
+use vecycle_checkpoint::Checkpoint;
+use vecycle_core::session::{RecyclePolicy, ScheduleSummary, VeCycleSession, VmInstance};
+use vecycle_core::{estimate, MigrationEngine, Strategy};
+use vecycle_host::{Cluster, CpuSpec, MigrationSchedule};
+use vecycle_mem::workload::IdleWorkload;
+use vecycle_mem::{DigestMemory, Guest, MemoryImage, MutableMemory, PageContent};
+use vecycle_net::LinkSpec;
+use vecycle_trace::{catalog, Trace, TraceGenerator, TraceStats};
+use vecycle_types::{HostId, PageIndex, Ratio, VmId};
+
+use crate::args::{parse_duration, parse_link, parse_size, Args};
+
+const HELP: &str = "\
+vecycle — checkpoint-recycled VM migration simulator
+
+USAGE:
+  vecycle trace gen --machine <name> --out <file.vtrc> [--scale N] [--seed N]
+  vecycle trace stat <file.vtrc>
+  vecycle trace list
+  vecycle checkpoint inspect <file.ckpt>
+  vecycle estimate --ram <size> --similarity <0..1> [--link lan|wan|wan:p%]
+  vecycle simulate migrate --ram <size> --similarity <0..1> [--link ...] [--seed N]
+  vecycle simulate vdi [--policy vecycle|dedup|baseline|adaptive] [--ram <size>]
+  vecycle simulate pingpong [--ram <size>] [--gap 2h] [--count 10]
+  vecycle help
+
+Sizes look like 4GiB / 512MiB; machines are Table-1 names (try
+`vecycle trace list`).";
+
+/// Runs a command line. Returns a user-facing error string on failure.
+///
+/// # Errors
+///
+/// Every user mistake (unknown subcommand, bad flag, missing file)
+/// surfaces here as a message.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = match argv.split_first() {
+        None => return Err("no subcommand".into()),
+        Some((c, r)) => (c.as_str(), r),
+    };
+    match cmd {
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "trace" => trace_cmd(rest),
+        "checkpoint" => checkpoint_cmd(rest),
+        "estimate" => estimate_cmd(rest),
+        "simulate" => simulate_cmd(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn trace_cmd(argv: &[String]) -> Result<(), String> {
+    let (sub, rest) = argv
+        .split_first()
+        .ok_or("trace needs a subcommand: gen | stat | list")?;
+    let args = Args::parse(rest)?;
+    match sub.as_str() {
+        "list" => {
+            let mut t = Table::new(vec!["machine", "kind", "ram", "trace span"]);
+            for m in catalog() {
+                t.row(vec![
+                    m.name.into(),
+                    m.kind.to_string(),
+                    format!("{}", m.ram()),
+                    format!("{:.0} days", m.profile.trace_duration.as_hours_f64() / 24.0),
+                ]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+        "gen" => {
+            let name = args.require("machine")?;
+            let out = args.require("out")?;
+            let scale: u64 = args.get_parsed("scale", 1024)?;
+            let seed: u64 = args.get_parsed("seed", 0x7ec)?;
+            let machine = catalog()
+                .into_iter()
+                .find(|m| m.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| format!("no machine named {name:?} (see `vecycle trace list`)"))?;
+            let pages =
+                ((machine.ram().as_gib_f64() * scale as f64).round() as u64).max(64);
+            let trace = TraceGenerator::new(machine.profile.clone(), seed)
+                .scale_pages(pages)
+                .generate()
+                .map_err(|e| e.to_string())?;
+            let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+            trace
+                .write_to(std::io::BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} fingerprints × {pages} pages to {out}",
+                trace.fingerprints().len()
+            );
+            Ok(())
+        }
+        "stat" => {
+            let path = args
+                .positional()
+                .first()
+                .ok_or("trace stat needs a file argument")?;
+            let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            let trace =
+                Trace::read_from(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+            println!("{path}: nominal RAM {}", trace.ram());
+            println!("{}", TraceStats::compute(&trace));
+            Ok(())
+        }
+        other => Err(format!("unknown trace subcommand {other:?}")),
+    }
+}
+
+fn checkpoint_cmd(argv: &[String]) -> Result<(), String> {
+    let (sub, rest) = argv
+        .split_first()
+        .ok_or("checkpoint needs a subcommand: inspect")?;
+    let args = Args::parse(rest)?;
+    match sub.as_str() {
+        "inspect" => {
+            let path = args
+                .positional()
+                .first()
+                .ok_or("checkpoint inspect needs a file argument")?;
+            let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            let cp = Checkpoint::read_from(std::io::BufReader::new(file))
+                .map_err(|e| e.to_string())?;
+            let index = cp.build_index();
+            use vecycle_checkpoint::PageLookup;
+            println!("{path}:");
+            println!("  vm:            {}", cp.vm());
+            println!("  taken at:      {}", cp.taken_at());
+            println!("  pages:         {}", cp.page_count().as_u64());
+            println!("  ram:           {}", cp.ram_size());
+            println!("  storage:       {}", cp.storage_size());
+            println!("  distinct:      {} hashes", index.distinct());
+            println!("  exchange size: {}", index.wire_size());
+            Ok(())
+        }
+        other => Err(format!("unknown checkpoint subcommand {other:?}")),
+    }
+}
+
+fn estimate_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let ram = parse_size(args.require("ram")?)?;
+    let similarity: f64 = args.get_parsed("similarity", f64::NAN)?;
+    if !(0.0..=1.0).contains(&similarity) {
+        return Err("--similarity must be in [0, 1]".into());
+    }
+    let link = parse_link(args.get("link").unwrap_or("lan"))?;
+    let cpu = CpuSpec::phenom_ii();
+    let full = estimate::estimate_full(ram, Ratio::ZERO, link);
+    let vecycle = estimate::estimate_vecycle(
+        ram,
+        Ratio::new(similarity),
+        Ratio::ZERO,
+        link,
+        &cpu,
+        vecycle_hash::ChecksumAlgorithm::Md5,
+    );
+    let mut t = Table::new(vec!["strategy", "traffic", "time"]);
+    t.row(vec![
+        "full".into(),
+        format!("{}", full.traffic),
+        format!("{}", full.time),
+    ]);
+    t.row(vec![
+        "vecycle".into(),
+        format!("{}", vecycle.traffic),
+        format!("{}", vecycle.time),
+    ]);
+    print!("{}", t.render());
+    match estimate::break_even_similarity(ram, link, &cpu, vecycle_hash::ChecksumAlgorithm::Md5)
+    {
+        Some(s) => println!("break-even similarity on this link: {s}"),
+        None => println!("vecycle cannot beat a full migration on this link"),
+    }
+    Ok(())
+}
+
+fn simulate_cmd(argv: &[String]) -> Result<(), String> {
+    let (sub, rest) = argv
+        .split_first()
+        .ok_or("simulate needs a subcommand: migrate | vdi")?;
+    let args = Args::parse(rest)?;
+    match sub.as_str() {
+        "migrate" => {
+            let ram = parse_size(args.require("ram")?)?;
+            let similarity: f64 = args.get_parsed("similarity", 1.0)?;
+            if !(0.0..=1.0).contains(&similarity) {
+                return Err("--similarity must be in [0, 1]".into());
+            }
+            let link = parse_link(args.get("link").unwrap_or("lan"))?;
+            let seed: u64 = args.get_parsed("seed", 1)?;
+            if ram.as_u64() % vecycle_types::PAGE_SIZE != 0 || ram.is_zero() {
+                return Err("--ram must be a positive multiple of 4KiB".into());
+            }
+
+            let base = DigestMemory::with_uniform_content(ram, seed)
+                .map_err(|e| e.to_string())?;
+            let mut vm = base.snapshot();
+            let novel = ((1.0 - similarity)
+                * vm.page_count().as_u64() as f64)
+                .round() as u64;
+            for i in 0..novel {
+                vm.write_page(PageIndex::new(i), PageContent::ContentId((1 << 54) | i));
+            }
+            let engine = MigrationEngine::new(link);
+            let full = engine
+                .migrate(&vm, Strategy::full())
+                .map_err(|e| e.to_string())?;
+            let re = engine
+                .migrate(&vm, Strategy::vecycle(&base))
+                .map_err(|e| e.to_string())?;
+            println!("{full}");
+            println!("{re}");
+            println!(
+                "reduction: traffic -{:.0}%, time -{:.0}%",
+                (1.0 - re.source_traffic().as_f64() / full.source_traffic().as_f64()) * 100.0,
+                (1.0 - re.total_time().as_secs_f64() / full.total_time().as_secs_f64()) * 100.0,
+            );
+            Ok(())
+        }
+        "vdi" => {
+            let ram = parse_size(args.get("ram").unwrap_or("256MiB"))?;
+            let policy = match args.get("policy").unwrap_or("vecycle") {
+                "vecycle" => RecyclePolicy::VeCycle,
+                "dedup" => RecyclePolicy::DedupOnly,
+                "baseline" => RecyclePolicy::Baseline,
+                "adaptive" => RecyclePolicy::Adaptive {
+                    min_similarity: 0.3,
+                },
+                other => return Err(format!("unknown policy {other:?}")),
+            };
+            if ram.as_u64() % vecycle_types::PAGE_SIZE != 0 || ram.is_zero() {
+                return Err("--ram must be a positive multiple of 4KiB".into());
+            }
+            let seed: u64 = args.get_parsed("seed", 3)?;
+
+            let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+            let session = VeCycleSession::new(cluster).with_policy(policy);
+            let mem =
+                DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
+            let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(1));
+            let schedule =
+                MigrationSchedule::vdi(VmId::new(0), HostId::new(0), HostId::new(1), 19);
+            // ~20% of pages touched per 8h working stretch.
+            let rate = ram.pages_ceil().as_u64() as f64 * 0.2 / (8.0 * 3600.0);
+            let mut workload = IdleWorkload::new(seed ^ 1, rate);
+            let reports = session
+                .run_schedule(&mut vm, &schedule, &mut workload)
+                .map_err(|e| e.to_string())?;
+
+            let mut t = Table::new(vec!["#", "strategy", "traffic", "% of ram", "time"]);
+            for (i, r) in reports.iter().enumerate() {
+                t.row(vec![
+                    format!("{}", i + 1),
+                    r.strategy().to_string(),
+                    format!("{}", r.source_traffic()),
+                    format!("{:.0}%", r.traffic_fraction_of_ram().as_percent()),
+                    format!("{}", r.total_time()),
+                ]);
+            }
+            print!("{}", t.render());
+            println!("{}", ScheduleSummary::of(&reports));
+            Ok(())
+        }
+        "pingpong" => {
+            let ram = parse_size(args.get("ram").unwrap_or("128MiB"))?;
+            let gap = parse_duration(args.get("gap").unwrap_or("2h"))?;
+            let count: u64 = args.get_parsed("count", 10)?;
+            if count == 0 {
+                return Err("--count must be positive".into());
+            }
+            if ram.as_u64() % vecycle_types::PAGE_SIZE != 0 || ram.is_zero() {
+                return Err("--ram must be a positive multiple of 4KiB".into());
+            }
+            let seed: u64 = args.get_parsed("seed", 5)?;
+
+            let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+            let session = VeCycleSession::new(cluster);
+            let mem =
+                DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
+            let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(0));
+            let schedule = MigrationSchedule::ping_pong(
+                VmId::new(0),
+                HostId::new(0),
+                HostId::new(1),
+                vecycle_types::SimTime::EPOCH + gap,
+                gap,
+                count,
+            );
+            let rate = ram.pages_ceil().as_u64() as f64 * 0.05 / gap.as_secs_f64();
+            let mut workload = IdleWorkload::new(seed ^ 1, rate);
+            let reports = session
+                .run_schedule(&mut vm, &schedule, &mut workload)
+                .map_err(|e| e.to_string())?;
+            let mut t = Table::new(vec!["#", "strategy", "traffic", "time"]);
+            for (i, r) in reports.iter().enumerate() {
+                t.row(vec![
+                    format!("{}", i + 1),
+                    r.strategy().to_string(),
+                    format!("{}", r.source_traffic()),
+                    format!("{}", r.total_time()),
+                ]);
+            }
+            print!("{}", t.render());
+            Ok(())
+        }
+        other => Err(format!("unknown simulate subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_runs() {
+        run(&argv(&["help"])).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn trace_list_runs() {
+        run(&argv(&["trace", "list"])).unwrap();
+    }
+
+    #[test]
+    fn trace_gen_and_stat_round_trip() {
+        let dir = std::env::temp_dir().join(format!("vecycle-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.vtrc");
+        run(&argv(&[
+            "trace",
+            "gen",
+            "--machine",
+            "Server A",
+            "--out",
+            path.to_str().unwrap(),
+            "--scale",
+            "64",
+        ]))
+        .unwrap();
+        run(&argv(&["trace", "stat", path.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn trace_gen_unknown_machine_errors() {
+        let err = run(&argv(&[
+            "trace", "gen", "--machine", "Server Z", "--out", "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no machine"));
+    }
+
+    #[test]
+    fn estimate_validates_similarity() {
+        assert!(run(&argv(&[
+            "estimate", "--ram", "1GiB", "--similarity", "1.5"
+        ]))
+        .is_err());
+        run(&argv(&[
+            "estimate", "--ram", "1GiB", "--similarity", "0.8", "--link", "wan",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_migrate_runs() {
+        run(&argv(&[
+            "simulate",
+            "migrate",
+            "--ram",
+            "16MiB",
+            "--similarity",
+            "0.75",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_migrate_rejects_bad_ram() {
+        assert!(run(&argv(&[
+            "simulate", "migrate", "--ram", "1000", "--similarity", "0.5",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_vdi_all_policies_run() {
+        for policy in ["vecycle", "dedup", "baseline", "adaptive"] {
+            run(&argv(&[
+                "simulate", "vdi", "--ram", "16MiB", "--policy", policy,
+            ]))
+            .unwrap();
+        }
+        assert!(run(&argv(&["simulate", "vdi", "--policy", "magic"])).is_err());
+    }
+
+    #[test]
+    fn simulate_pingpong_runs() {
+        run(&argv(&[
+            "simulate", "pingpong", "--ram", "8MiB", "--gap", "1h", "--count", "4",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["simulate", "pingpong", "--count", "0"])).is_err());
+        assert!(run(&argv(&["simulate", "pingpong", "--gap", "90m"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_inspect_round_trip() {
+        use vecycle_types::{PageCount, SimTime};
+        let dir = std::env::temp_dir().join(format!("vecycle-cli-cp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vm.ckpt");
+        let mem = DigestMemory::with_distinct_content(PageCount::new(16), 1);
+        let cp = Checkpoint::capture(VmId::new(3), SimTime::EPOCH, &mem);
+        cp.write_to(std::fs::File::create(&path).unwrap()).unwrap();
+        run(&argv(&["checkpoint", "inspect", path.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_inspect_missing_file_errors() {
+        assert!(run(&argv(&["checkpoint", "inspect", "/nonexistent.ckpt"])).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! `vecycle` — the command-line front end.
+//!
+//! ```text
+//! vecycle trace gen --machine "Server A" --out server-a.vtrc [--scale N]
+//! vecycle trace stat <file.vtrc>
+//! vecycle checkpoint inspect <file.ckpt>
+//! vecycle estimate --ram 4GiB --similarity 0.6 --link wan
+//! vecycle simulate migrate --ram 1GiB --similarity 0.8 --link lan
+//! vecycle simulate vdi [--policy vecycle|dedup|baseline]
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `vecycle help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

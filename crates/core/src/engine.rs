@@ -1,0 +1,1063 @@
+//! [`MigrationEngine`]: the pre-copy loop with pluggable first rounds.
+
+use std::collections::HashMap;
+
+use vecycle_checkpoint::PageLookup;
+use vecycle_host::{CpuSpec, DiskSpec};
+use vecycle_mem::{workload::GuestWorkload, Guest, MemoryImage, MutableMemory};
+use vecycle_net::{wire, LinkSpec, TrafficCategory, TrafficLedger};
+use vecycle_types::{Bytes, PageCount, PageIndex, SimDuration};
+
+use crate::strategy::PageAction;
+use crate::{MigrationReport, PageMsg, RoundReport, SetupReport, Strategy, Transcript};
+
+/// How source and destination agree on which checksums the destination
+/// holds (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeProtocol {
+    /// The destination sends all its checksums in bulk before the first
+    /// copy round — the paper's choice.
+    Bulk,
+    /// The source queries the destination per page; `pipeline_depth`
+    /// queries are in flight at once. The paper expects this to be slow
+    /// ("high frequency exchange of small messages") — the protocol
+    /// ablation quantifies by how much.
+    PerPage {
+        /// Concurrent in-flight queries.
+        pipeline_depth: u32,
+    },
+}
+
+/// A delta/block-compression model for full-page payloads.
+///
+/// Svärd et al. \[24 in the paper\] show compression shrinks migration
+/// data at a CPU cost; this model captures both: payloads shrink to
+/// `ratio` of their size, and compressing competes with the wire for
+/// round time at `throughput`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaCompression {
+    ratio: f64,
+    throughput: vecycle_types::BytesPerSec,
+}
+
+impl DeltaCompression {
+    /// Creates a compression model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio ≤ 1`.
+    pub fn new(ratio: f64, throughput: vecycle_types::BytesPerSec) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "compression ratio must be in (0, 1], got {ratio}"
+        );
+        DeltaCompression { ratio, throughput }
+    }
+
+    /// The output/input size ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Compressed wire size of a payload.
+    pub fn compress(&self, payload: Bytes) -> Bytes {
+        Bytes::new((payload.as_f64() * self.ratio).ceil() as u64)
+    }
+
+    /// CPU time to compress a payload.
+    pub fn time(&self, payload: Bytes) -> SimDuration {
+        self.throughput.time_to_transfer(payload)
+    }
+}
+
+/// QEMU-style XBZRLE delta encoding for *re-sent* pages.
+///
+/// In pre-copy rounds ≥ 2 the source re-sends pages the guest dirtied;
+/// QEMU's XBZRLE cache keeps the previously-sent version and transmits
+/// only the byte delta when the page is still cached. Modeled here as a
+/// cache hit rate and a mean delta/page size ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Xbzrle {
+    hit_rate: f64,
+    delta_ratio: f64,
+}
+
+impl Xbzrle {
+    /// Creates an XBZRLE model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are in `[0, 1]`.
+    pub fn new(hit_rate: f64, delta_ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&hit_rate) && (0.0..=1.0).contains(&delta_ratio),
+            "xbzrle parameters must be fractions: hit {hit_rate}, delta {delta_ratio}"
+        );
+        Xbzrle {
+            hit_rate,
+            delta_ratio,
+        }
+    }
+
+    /// Mean wire bytes for one re-sent page of `raw` bytes.
+    pub fn resend_bytes(&self, raw: Bytes) -> Bytes {
+        let mean = self.hit_rate * self.delta_ratio + (1.0 - self.hit_rate);
+        Bytes::new((raw.as_f64() * mean).ceil() as u64)
+    }
+}
+
+/// The migration engine: link, CPU and policy knobs.
+///
+/// Construct with [`MigrationEngine::new`] and adjust with the `with_*`
+/// methods. The engine is stateless across migrations and can be reused.
+#[derive(Debug, Clone)]
+pub struct MigrationEngine {
+    link: LinkSpec,
+    cpu: CpuSpec,
+    dest_disk: DiskSpec,
+    algorithm: vecycle_hash::ChecksumAlgorithm,
+    exchange: ExchangeProtocol,
+    max_rounds: u32,
+    max_downtime: SimDuration,
+    zero_suppression: bool,
+    compression: Option<DeltaCompression>,
+    xbzrle: Option<Xbzrle>,
+}
+
+impl MigrationEngine {
+    /// Creates an engine with the paper's benchmark defaults: Phenom-II
+    /// checksum rates, MD5, checkpoint on HDD, bulk exchange, QEMU-like
+    /// round limit and 300 ms downtime target.
+    pub fn new(link: LinkSpec) -> Self {
+        MigrationEngine {
+            link,
+            cpu: CpuSpec::phenom_ii(),
+            dest_disk: DiskSpec::hdd_samsung_hd204ui(),
+            algorithm: vecycle_hash::ChecksumAlgorithm::Md5,
+            exchange: ExchangeProtocol::Bulk,
+            max_rounds: 30,
+            max_downtime: SimDuration::from_millis(300),
+            // QEMU 2.0 suppresses all-zero pages by default; the
+            // prototype inherits it, so so do we.
+            zero_suppression: true,
+            compression: None,
+            xbzrle: None,
+        }
+    }
+
+    /// Replaces the CPU model.
+    #[must_use]
+    pub fn with_cpu(mut self, cpu: CpuSpec) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Replaces the destination checkpoint disk model.
+    #[must_use]
+    pub fn with_dest_disk(mut self, disk: DiskSpec) -> Self {
+        self.dest_disk = disk;
+        self
+    }
+
+    /// Replaces the checksum algorithm (§3.4 ablation).
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: vecycle_hash::ChecksumAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Replaces the checksum-exchange protocol.
+    #[must_use]
+    pub fn with_exchange(mut self, exchange: ExchangeProtocol) -> Self {
+        self.exchange = exchange;
+        self
+    }
+
+    /// Limits the number of pre-copy rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds` is zero.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        assert!(max_rounds > 0, "need at least one round");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the stop-and-copy downtime target.
+    #[must_use]
+    pub fn with_max_downtime(mut self, max_downtime: SimDuration) -> Self {
+        self.max_downtime = max_downtime;
+        self
+    }
+
+    /// Enables or disables QEMU-style zero-page suppression (default on).
+    #[must_use]
+    pub fn with_zero_page_suppression(mut self, enabled: bool) -> Self {
+        self.zero_suppression = enabled;
+        self
+    }
+
+    /// Enables delta compression of full-page payloads (default off).
+    #[must_use]
+    pub fn with_compression(mut self, compression: DeltaCompression) -> Self {
+        self.compression = Some(compression);
+        self
+    }
+
+    /// Enables XBZRLE delta encoding for re-sent pages (default off).
+    #[must_use]
+    pub fn with_xbzrle(mut self, xbzrle: Xbzrle) -> Self {
+        self.xbzrle = Some(xbzrle);
+        self
+    }
+
+    /// Estimates the similarity between `vm` and a checkpoint index by
+    /// probing `samples` evenly-spaced pages — the cheap test a
+    /// deployment can run before committing to checksum the whole image
+    /// (an always-busy VM gains little from VeCycle, §2.3).
+    pub fn estimate_similarity<M: MemoryImage>(
+        vm: &M,
+        index: &vecycle_checkpoint::ChecksumIndex,
+        samples: u64,
+    ) -> vecycle_types::Ratio {
+        let n = vm.page_count().as_u64();
+        if n == 0 || samples == 0 {
+            return vecycle_types::Ratio::ZERO;
+        }
+        let samples = samples.min(n);
+        let mut hits = 0u64;
+        // Weyl-sequence probing: deterministic but aperiodic, so guests
+        // with regular write patterns (every k-th page) don't alias the
+        // sample (a plain stride would).
+        for k in 0..samples {
+            let mixed = (k + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let idx = PageIndex::new(mixed % n);
+            if index.contains(vm.page_digest(idx)) {
+                hits += 1;
+            }
+        }
+        vecycle_types::Ratio::new(hits as f64 / samples as f64)
+    }
+
+    /// The engine's link.
+    pub fn link(&self) -> LinkSpec {
+        self.link
+    }
+
+    /// Migrates a *static* memory image (no concurrent guest writes):
+    /// one copy round plus the completion handshake. This is the
+    /// idle-VM measurement shape of §4.4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vecycle_types::Error::InvalidConfig`] if the image is
+    /// empty.
+    pub fn migrate<M: MemoryImage>(
+        &self,
+        vm: &M,
+        strategy: Strategy,
+    ) -> vecycle_types::Result<MigrationReport> {
+        self.migrate_inner(vm, strategy, None)
+    }
+
+    /// Like [`MigrationEngine::migrate`], but also records the message
+    /// stream so a destination can replay it (see
+    /// [`crate::apply_transcript`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MigrationEngine::migrate`].
+    pub fn migrate_with_transcript<M: MemoryImage>(
+        &self,
+        vm: &M,
+        strategy: Strategy,
+    ) -> vecycle_types::Result<(MigrationReport, Transcript)> {
+        let mut transcript = Transcript::new();
+        let report = self.migrate_inner(vm, strategy, Some(&mut transcript))?;
+        Ok((report, transcript))
+    }
+
+    fn migrate_inner<M: MemoryImage>(
+        &self,
+        vm: &M,
+        strategy: Strategy,
+        transcript: Option<&mut Transcript>,
+    ) -> vecycle_types::Result<MigrationReport> {
+        let n = vm.page_count();
+        if n == PageCount::ZERO {
+            return Err(vecycle_types::Error::InvalidConfig {
+                reason: "cannot migrate an empty memory image".into(),
+            });
+        }
+        let mut forward = TrafficLedger::new();
+        let mut reverse = TrafficLedger::new();
+        let setup = self.setup_phase(&strategy, vm.ram_size(), &mut reverse);
+        let mut sent = HashMap::new();
+        let round1 = self.first_round(
+            vm,
+            &strategy,
+            &mut sent,
+            &mut forward,
+            &mut reverse,
+            transcript,
+        );
+        let downtime = self.stop_and_copy(0, &mut forward);
+        Ok(MigrationReport::new(
+            strategy.name(),
+            vm.ram_size(),
+            vec![round1],
+            downtime,
+            setup,
+            forward,
+            reverse,
+        ))
+    }
+
+    /// Migrates a *gang* of VMs to the same destination with a shared
+    /// sender-side dedup cache — cluster-level deduplication in the
+    /// spirit of VMFlock/Shrinker (related work §5): identical pages
+    /// across co-migrating VMs cross the wire once.
+    ///
+    /// `vms[i]` migrates under `strategies[i]`; cross-VM dedup only
+    /// applies where a strategy enables dedup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vecycle_types::Error::InvalidConfig`] if the slices
+    /// have different lengths, the gang is empty, or any image is empty.
+    pub fn migrate_gang<M: MemoryImage>(
+        &self,
+        vms: &[&M],
+        strategies: &[Strategy],
+    ) -> vecycle_types::Result<Vec<MigrationReport>> {
+        if vms.is_empty() || vms.len() != strategies.len() {
+            return Err(vecycle_types::Error::InvalidConfig {
+                reason: format!(
+                    "gang of {} VMs with {} strategies",
+                    vms.len(),
+                    strategies.len()
+                ),
+            });
+        }
+        let mut sent = HashMap::new();
+        let mut reports = Vec::with_capacity(vms.len());
+        for (vm, strategy) in vms.iter().zip(strategies) {
+            if vm.page_count() == PageCount::ZERO {
+                return Err(vecycle_types::Error::InvalidConfig {
+                    reason: "cannot migrate an empty memory image".into(),
+                });
+            }
+            let mut forward = TrafficLedger::new();
+            let mut reverse = TrafficLedger::new();
+            let setup = self.setup_phase(strategy, vm.ram_size(), &mut reverse);
+            let round1 = self.first_round(
+                *vm,
+                strategy,
+                &mut sent,
+                &mut forward,
+                &mut reverse,
+                None,
+            );
+            let downtime = self.stop_and_copy(0, &mut forward);
+            reports.push(MigrationReport::new(
+                strategy.name(),
+                vm.ram_size(),
+                vec![round1],
+                downtime,
+                setup,
+                forward,
+                reverse,
+            ));
+        }
+        Ok(reports)
+    }
+
+    /// Migrates a *live* guest: the workload keeps dirtying memory while
+    /// rounds are in flight, exactly as in §3.1's description.
+    ///
+    /// The guest's dirty tracker is cleared at the start (dirty logging
+    /// begins when migration begins) and left cleared on return; the
+    /// guest's memory reflects all writes the workload performed during
+    /// the migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vecycle_types::Error::InvalidConfig`] if the guest has
+    /// no pages.
+    pub fn migrate_live<M, W>(
+        &self,
+        guest: &mut Guest<M>,
+        workload: &mut W,
+        strategy: Strategy,
+    ) -> vecycle_types::Result<MigrationReport>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        let n = guest.page_count();
+        if n == PageCount::ZERO {
+            return Err(vecycle_types::Error::InvalidConfig {
+                reason: "cannot migrate an empty guest".into(),
+            });
+        }
+        let mut forward = TrafficLedger::new();
+        let mut reverse = TrafficLedger::new();
+        let setup = self.setup_phase(&strategy, guest.ram_size(), &mut reverse);
+
+        guest.dirty_mut().clear();
+        let mut sent = HashMap::new();
+        let round1 = self.first_round(
+            guest,
+            &strategy,
+            &mut sent,
+            &mut forward,
+            &mut reverse,
+            None,
+        );
+        let mut rounds = vec![round1];
+        workload.advance(guest, rounds[0].duration);
+        let mut dirty = guest.dirty_mut().drain();
+
+        // Iterative pre-copy: re-send dirty pages until the residual set
+        // fits the downtime budget or the round limit is hit.
+        while rounds.len() < self.max_rounds as usize
+            && dirty.len() as u64 > self.downtime_budget_pages()
+        {
+            let round_no = rounds.len() as u32 + 1;
+            let page_msg = match self.xbzrle {
+                Some(x) => {
+                    // Re-sent pages are delta-encoded against the cached
+                    // previous version.
+                    Bytes::new(wire::MSG_HEADER + wire::CHECKSUM_SIZE)
+                        + x.resend_bytes(Bytes::new(vecycle_types::PAGE_SIZE))
+                }
+                None => self.full_page_wire_size(),
+            };
+            let (full, zeros) = self.split_zero_pages(guest, &dirty);
+            let bytes =
+                page_msg * full + wire::zero_page_msg() * zeros;
+            forward.record_many(TrafficCategory::FullPages, full, page_msg);
+            forward.record_many(TrafficCategory::ZeroMarkers, zeros, wire::zero_page_msg());
+            forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
+            let compress_cost = match self.compression {
+                Some(c) => c.time(Bytes::from_pages(full)),
+                None => SimDuration::ZERO,
+            };
+            let duration = self.link.transfer_time(bytes).max(compress_cost);
+            rounds.push(RoundReport {
+                round: round_no,
+                full_pages: PageCount::new(full),
+                checksum_pages: PageCount::ZERO,
+                dedup_refs: PageCount::ZERO,
+                skipped_pages: PageCount::ZERO,
+                zero_pages: PageCount::new(zeros),
+                bytes_sent: bytes,
+                duration,
+            });
+            workload.advance(guest, duration);
+            dirty = guest.dirty_mut().drain();
+        }
+
+        let downtime = self.stop_and_copy(dirty.len() as u64, &mut forward);
+        Ok(MigrationReport::new(
+            strategy.name(),
+            guest.ram_size(),
+            rounds,
+            downtime,
+            setup,
+            forward,
+            reverse,
+        ))
+    }
+
+    /// Splits a dirty set into (full, zero) page counts under the
+    /// current zero-suppression setting.
+    fn split_zero_pages<M: MemoryImage>(&self, vm: &M, dirty: &[PageIndex]) -> (u64, u64) {
+        if !self.zero_suppression {
+            return (dirty.len() as u64, 0);
+        }
+        let zeros = dirty
+            .iter()
+            .filter(|idx| vm.page_digest(**idx).is_zero_page())
+            .count() as u64;
+        (dirty.len() as u64 - zeros, zeros)
+    }
+
+    /// Pages the final round may still carry within the downtime target.
+    fn downtime_budget_pages(&self) -> u64 {
+        let budget = self
+            .link
+            .effective_bandwidth()
+            .bytes_in(self.max_downtime);
+        budget.as_u64() / wire::full_page_msg().as_u64()
+    }
+
+    fn setup_phase(
+        &self,
+        strategy: &Strategy,
+        ram: Bytes,
+        reverse: &mut TrafficLedger,
+    ) -> SetupReport {
+        let Some(index) = strategy.index() else {
+            return SetupReport::default();
+        };
+        // Destination: sequential checkpoint read, hashing each block as
+        // it streams past (§3.3); the slower of disk and hash rate wins.
+        let read = self
+            .dest_disk
+            .sequential_time(ram)
+            .max(self.cpu.checksum_time(self.algorithm, ram));
+        // Sorting ~n log n digest comparisons; ~20 ns per element-move is
+        // generous for 16-byte keys.
+        let entries = index.distinct() as u64;
+        let index_build =
+            SimDuration::from_nanos(entries.max(1) * (64 - entries.max(2).leading_zeros() as u64) * 20);
+        let mut setup = SetupReport {
+            checkpoint_read: read,
+            checkpoint_write: SimDuration::ZERO,
+            index_build,
+            exchange_bytes: Bytes::ZERO,
+            exchange_time: SimDuration::ZERO,
+        };
+        if matches!(self.exchange, ExchangeProtocol::Bulk) {
+            let bytes = wire::bulk_exchange(entries);
+            reverse.record(TrafficCategory::BulkExchange, bytes);
+            setup.exchange_bytes = bytes;
+            setup.exchange_time = self.link.transfer_time(bytes);
+        }
+        setup
+    }
+
+    fn first_round<M: MemoryImage>(
+        &self,
+        vm: &M,
+        strategy: &Strategy,
+        sent: &mut HashMap<vecycle_types::PageDigest, PageIndex>,
+        forward: &mut TrafficLedger,
+        reverse: &mut TrafficLedger,
+        mut transcript: Option<&mut Transcript>,
+    ) -> RoundReport {
+        let n = vm.page_count().as_u64();
+        let mut full = 0u64;
+        let mut checksums = 0u64;
+        let mut refs = 0u64;
+        let mut skipped = 0u64;
+        let mut zeros = 0u64;
+
+        for i in 0..n {
+            let idx = PageIndex::new(i);
+            let digest = vm.page_digest(idx);
+            let action = strategy.classify(idx, digest, sent);
+            // Zero suppression applies whenever a payload would be sent:
+            // a 13-byte marker beats both the full page and the 28-byte
+            // checksum message. Dirty-tracking skips stay skips.
+            if self.zero_suppression
+                && digest.is_zero_page()
+                && action != PageAction::Skip
+            {
+                zeros += 1;
+                if let Some(t) = transcript.as_deref_mut() {
+                    t.push(PageMsg::Zero { idx });
+                }
+                continue;
+            }
+            match action {
+                PageAction::SendFull => {
+                    full += 1;
+                    sent.entry(digest).or_insert(idx);
+                    if let Some(t) = transcript.as_deref_mut() {
+                        t.push(PageMsg::Full {
+                            idx,
+                            digest,
+                            bytes: vm.page_bytes(idx).map(|b| b.to_vec().into_boxed_slice()),
+                        });
+                    }
+                }
+                PageAction::SendChecksum => {
+                    checksums += 1;
+                    sent.entry(digest).or_insert(idx);
+                    if let Some(t) = transcript.as_deref_mut() {
+                        t.push(PageMsg::Checksum { idx, digest });
+                    }
+                }
+                PageAction::SendDedupRef(source) => {
+                    refs += 1;
+                    if let Some(t) = transcript.as_deref_mut() {
+                        t.push(PageMsg::DedupRef { idx, source });
+                    }
+                }
+                PageAction::Skip => skipped += 1,
+            }
+        }
+
+        let page_msg = self.full_page_wire_size();
+        forward.record_many(TrafficCategory::FullPages, full, page_msg);
+        forward.record_many(TrafficCategory::Checksums, checksums, wire::checksum_msg());
+        forward.record_many(TrafficCategory::DedupRefs, refs, wire::dedup_ref_msg());
+        forward.record_many(TrafficCategory::ZeroMarkers, zeros, wire::zero_page_msg());
+        forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
+        // Miyakodori ships the page-reuse bitmap so the destination knows
+        // which checkpoint pages stand (1 bit per page).
+        if skipped > 0 {
+            forward.record(
+                TrafficCategory::Control,
+                Bytes::new(n.div_ceil(8) + wire::MSG_HEADER),
+            );
+        }
+
+        let mut query_time = SimDuration::ZERO;
+        if strategy.needs_exchange() {
+            if let ExchangeProtocol::PerPage { pipeline_depth } = self.exchange {
+                // Every scanned page costs a query/reply pair; queries
+                // pipeline `pipeline_depth` deep.
+                forward.record_many(TrafficCategory::Checksums, n, wire::page_query());
+                reverse.record_many(TrafficCategory::Control, n, wire::page_query_reply());
+                let rtts = n.div_ceil(u64::from(pipeline_depth.max(1)));
+                query_time = SimDuration::from_secs_f64(
+                    self.link.round_trip().as_secs_f64() * rtts as f64,
+                );
+            }
+        }
+
+        let bytes = forward.total();
+        let network = self.link.transfer_time(bytes);
+        // §3.4: with reuse, the checksum rate bounds the round from
+        // below; checksums for all n pages are computed during round 1.
+        let checksum_cost = if strategy.computes_checksums() {
+            self.cpu
+                .checksum_time(self.algorithm, Bytes::from_pages(n))
+        } else {
+            SimDuration::ZERO
+        };
+        let compress_cost = match self.compression {
+            Some(c) => c.time(Bytes::from_pages(full)),
+            None => SimDuration::ZERO,
+        };
+        let duration = network
+            .max(checksum_cost)
+            .max(compress_cost)
+            .saturating_add(query_time);
+
+        RoundReport {
+            round: 1,
+            full_pages: PageCount::new(full),
+            checksum_pages: PageCount::new(checksums),
+            dedup_refs: PageCount::new(refs),
+            skipped_pages: PageCount::new(skipped),
+            zero_pages: PageCount::new(zeros),
+            bytes_sent: bytes,
+            duration,
+        }
+    }
+
+    /// Wire size of one full-page message after optional compression.
+    fn full_page_wire_size(&self) -> Bytes {
+        match self.compression {
+            Some(c) => {
+                let payload = c.compress(Bytes::new(vecycle_types::PAGE_SIZE));
+                Bytes::new(wire::MSG_HEADER + wire::CHECKSUM_SIZE) + payload
+            }
+            None => wire::full_page_msg(),
+        }
+    }
+
+    fn stop_and_copy(&self, dirty_full: u64, forward: &mut TrafficLedger) -> SimDuration {
+        // The final flush re-sends pages already transferred once, so
+        // XBZRLE applies here as well.
+        let page_msg = match self.xbzrle {
+            Some(x) => {
+                Bytes::new(wire::MSG_HEADER + wire::CHECKSUM_SIZE)
+                    + x.resend_bytes(Bytes::new(vecycle_types::PAGE_SIZE))
+            }
+            None => self.full_page_wire_size(),
+        };
+        forward.record_many(TrafficCategory::FullPages, dirty_full, page_msg);
+        forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
+        let bytes = page_msg * dirty_full;
+        // Pause, flush the residue, hand over execution: one transfer
+        // plus the resume handshake.
+        self.link
+            .transfer_time(bytes)
+            .saturating_add(self.link.round_trip())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_mem::{
+        workload::{IdleWorkload, SilentWorkload},
+        DigestMemory, PageContent,
+    };
+
+    fn mem(mib: u64, seed: u64) -> DigestMemory {
+        DigestMemory::with_uniform_content(Bytes::from_mib(mib), seed).unwrap()
+    }
+
+    #[test]
+    fn full_migration_sends_whole_ram() {
+        let vm = mem(16, 1);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let r = engine.migrate(&vm, Strategy::full()).unwrap();
+        assert_eq!(r.pages_sent_full(), vm.page_count());
+        // Traffic is RAM plus per-page framing.
+        assert!(r.source_traffic() > vm.ram_size());
+        let overhead = r.source_traffic().as_f64() / vm.ram_size().as_f64();
+        assert!(overhead < 1.01, "framing overhead too large: {overhead}");
+        assert_eq!(r.reverse_traffic(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn identical_checkpoint_reduces_traffic_by_two_orders() {
+        let vm = mem(16, 1);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let r = engine
+            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
+            .unwrap();
+        assert_eq!(r.pages_sent_full(), PageCount::ZERO);
+        assert_eq!(r.pages_reused(), vm.page_count());
+        // 28 bytes replace 4124: ~99% reduction (paper: 1 GB -> 15 MB).
+        let frac = r.traffic_fraction_of_ram().as_f64();
+        assert!(frac < 0.01, "fraction = {frac}");
+    }
+
+    #[test]
+    fn lan_times_match_figure_6() {
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        // Full migration of 1 GiB: "around 10 seconds".
+        let vm1 = mem(1024, 2);
+        let full = engine.migrate(&vm1, Strategy::full()).unwrap();
+        let t = full.total_time().as_secs_f64();
+        assert!(t > 8.0 && t < 11.0, "full 1 GiB took {t}");
+        // VeCycle on an idle VM: checksum-rate bound, ~3 s.
+        let re = engine
+            .migrate(&vm1, Strategy::vecycle(&vm1.snapshot()))
+            .unwrap();
+        let t = re.total_time().as_secs_f64();
+        assert!(t > 2.5 && t < 3.5, "vecycle 1 GiB took {t}");
+    }
+
+    #[test]
+    fn wan_reduction_is_dramatic() {
+        let engine = MigrationEngine::new(LinkSpec::wan_cloudnet());
+        let vm = mem(1024, 3);
+        let full = engine.migrate(&vm, Strategy::full()).unwrap();
+        let re = engine
+            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
+            .unwrap();
+        // Paper: 177 s -> 16 s for 1 GiB.
+        let tf = full.total_time().as_secs_f64();
+        let tr = re.total_time().as_secs_f64();
+        assert!(tf > 150.0, "full WAN took {tf}");
+        assert!(tr < 25.0, "vecycle WAN took {tr}");
+    }
+
+    #[test]
+    fn dedup_reduces_traffic_on_duplicated_memory() {
+        // Half the pages duplicate the other half.
+        let mut vm = mem(8, 4);
+        let n = vm.page_count().as_u64();
+        for i in 0..n / 2 {
+            vm.relocate_page(PageIndex::new(i), PageIndex::new(i + n / 2));
+        }
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let full = engine.migrate(&vm, Strategy::full()).unwrap();
+        let dedup = engine.migrate(&vm, Strategy::dedup()).unwrap();
+        assert!(dedup.source_traffic().as_f64() < full.source_traffic().as_f64() * 0.55);
+        let r = dedup.rounds()[0].dedup_refs;
+        assert_eq!(r, PageCount::new(n / 2));
+    }
+
+    #[test]
+    fn partial_overlap_scales_traffic() {
+        // 25% of pages changed since checkpoint: traffic ≈ 25% of full.
+        let vm0 = mem(16, 5);
+        let mut vm = vm0.snapshot();
+        let n = vm.page_count().as_u64();
+        for i in 0..n / 4 {
+            vm.write_page(PageIndex::new(i * 4), PageContent::ContentId(1 << 50 | i));
+        }
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let r = engine.migrate(&vm, Strategy::vecycle(&vm0)).unwrap();
+        let frac = r.traffic_fraction_of_ram().as_f64();
+        assert!((frac - 0.25).abs() < 0.02, "fraction = {frac}");
+    }
+
+    #[test]
+    fn live_migration_with_idle_workload_converges() {
+        let mut guest = Guest::new(mem(8, 6));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let mut wl = IdleWorkload::new(7, 50.0);
+        let r = engine
+            .migrate_live(&mut guest, &mut wl, Strategy::full())
+            .unwrap();
+        assert!(!r.rounds().is_empty());
+        assert!(r.downtime() <= SimDuration::from_millis(400));
+        // All of RAM went over plus the dirty residue.
+        assert!(r.pages_sent_full() >= guest.page_count());
+    }
+
+    #[test]
+    fn live_migration_silent_workload_is_single_round() {
+        let mut guest = Guest::new(mem(4, 8));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let r = engine
+            .migrate_live(&mut guest, &mut SilentWorkload, Strategy::full())
+            .unwrap();
+        assert_eq!(r.rounds().len(), 1);
+        assert_eq!(r.pages_sent_full(), guest.page_count());
+    }
+
+    #[test]
+    fn round_limit_bounds_busy_guests() {
+        let mut guest = Guest::new(mem(4, 9));
+        let engine =
+            MigrationEngine::new(LinkSpec::lan_gigabit()).with_max_rounds(3);
+        // Very hot workload that would never converge.
+        let mut wl = IdleWorkload::new(10, 200_000.0);
+        let r = engine
+            .migrate_live(&mut guest, &mut wl, Strategy::full())
+            .unwrap();
+        assert!(r.rounds().len() <= 3);
+        assert!(r.downtime() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn per_page_protocol_is_slower_but_skips_bulk_exchange() {
+        let vm = mem(16, 11);
+        let cp = vm.snapshot();
+        let bulk = MigrationEngine::new(LinkSpec::wan_cloudnet());
+        let perpage = MigrationEngine::new(LinkSpec::wan_cloudnet())
+            .with_exchange(ExchangeProtocol::PerPage { pipeline_depth: 16 });
+        let rb = bulk.migrate(&vm, Strategy::vecycle(&cp)).unwrap();
+        let rp = perpage.migrate(&vm, Strategy::vecycle(&cp)).unwrap();
+        assert!(rp.total_time() > rb.total_time() * 5);
+        assert!(!rb.setup().exchange_bytes.is_zero());
+        assert!(rp.setup().exchange_bytes.is_zero());
+    }
+
+    #[test]
+    fn xbzrle_shrinks_resend_rounds() {
+        let run = |engine: MigrationEngine| {
+            let mut guest = Guest::new(mem(8, 40));
+            let mut wl = IdleWorkload::new(41, 30_000.0);
+            engine
+                .migrate_live(&mut guest, &mut wl, Strategy::full())
+                .unwrap()
+        };
+        // A 1 ms downtime target forces genuine re-send rounds.
+        let plain = run(MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_max_rounds(4)
+            .with_max_downtime(SimDuration::from_millis(1)));
+        let xb = run(MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_max_rounds(4)
+            .with_max_downtime(SimDuration::from_millis(1))
+            .with_xbzrle(Xbzrle::new(0.9, 0.1)));
+        // Round 1 is identical; later rounds carry deltas instead of
+        // full pages.
+        assert!(xb.source_traffic() < plain.source_traffic());
+        assert_eq!(
+            xb.rounds()[0].bytes_sent,
+            plain.rounds()[0].bytes_sent
+        );
+        if xb.rounds().len() > 1 && plain.rounds().len() > 1 {
+            let per_page_xb = xb.rounds()[1].bytes_sent.as_f64()
+                / xb.rounds()[1].full_pages.as_u64().max(1) as f64;
+            let per_page_plain = plain.rounds()[1].bytes_sent.as_f64()
+                / plain.rounds()[1].full_pages.as_u64().max(1) as f64;
+            assert!(per_page_xb < per_page_plain * 0.3);
+        }
+    }
+
+    #[test]
+    fn similarity_estimator_tracks_truth() {
+        let base = mem(16, 42);
+        let mut vm = base.snapshot();
+        let n = vm.page_count().as_u64();
+        for i in 0..n / 2 {
+            vm.write_page(PageIndex::new(i * 2), PageContent::ContentId((1 << 59) | i));
+        }
+        let index = vecycle_checkpoint::ChecksumIndex::build(base.digests());
+        let est = MigrationEngine::estimate_similarity(&vm, &index, 512).as_f64();
+        assert!((est - 0.5).abs() < 0.1, "estimate = {est}");
+        // Extremes.
+        assert_eq!(
+            MigrationEngine::estimate_similarity(&base, &index, 64).as_f64(),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "xbzrle parameters")]
+    fn invalid_xbzrle_panics() {
+        let _ = Xbzrle::new(1.5, 0.1);
+    }
+
+    #[test]
+    fn gang_migration_dedups_across_vms() {
+        // Two VMs sharing most content (e.g. same guest OS image).
+        let a = mem(8, 30);
+        let mut b = a.snapshot();
+        let n = b.page_count().as_u64();
+        for i in 0..n / 10 {
+            b.write_page(PageIndex::new(i), PageContent::ContentId((1 << 55) | i));
+        }
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let gang = engine
+            .migrate_gang(&[&a, &b], &[Strategy::dedup(), Strategy::dedup()])
+            .unwrap();
+        let solo_b = engine.migrate(&b, Strategy::dedup()).unwrap();
+        // Solo, B sends nearly everything; in the gang, 90% of B's pages
+        // were already sent by A and collapse to references.
+        assert!(gang[1].source_traffic().as_f64() < solo_b.source_traffic().as_f64() * 0.2);
+        // A itself pays full price either way.
+        let solo_a = engine.migrate(&a, Strategy::dedup()).unwrap();
+        assert_eq!(gang[0].source_traffic(), solo_a.source_traffic());
+    }
+
+    #[test]
+    fn gang_without_dedup_gains_nothing() {
+        let a = mem(4, 31);
+        let b = a.snapshot();
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let gang = engine
+            .migrate_gang(&[&a, &b], &[Strategy::full(), Strategy::full()])
+            .unwrap();
+        let solo = engine.migrate(&b, Strategy::full()).unwrap();
+        assert_eq!(gang[1].source_traffic(), solo.source_traffic());
+    }
+
+    #[test]
+    fn gang_combines_per_vm_checkpoints_with_shared_dedup() {
+        // Each VM has its own checkpoint at the destination *and* the
+        // gang shares a dedup cache: novel-but-shared content crosses
+        // once.
+        let a0 = mem(4, 33);
+        let mut a1 = a0.snapshot();
+        let b0 = mem(4, 34);
+        let mut b1 = b0.snapshot();
+        let n = a1.page_count().as_u64();
+        // Both VMs gain the *same* novel content (e.g. a software
+        // update applied to both).
+        for i in 0..n / 4 {
+            let content = PageContent::ContentId((1 << 53) | i);
+            a1.write_page(PageIndex::new(i), content);
+            b1.write_page(PageIndex::new(i), content);
+        }
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let strategies = vec![
+            Strategy::vecycle(&a0).with_dedup(),
+            Strategy::vecycle(&b0).with_dedup(),
+        ];
+        let gang = engine.migrate_gang(&[&a1, &b1], &strategies).unwrap();
+        // VM a pays for the novel quarter once...
+        assert_eq!(gang[0].pages_sent_full(), PageCount::new(n / 4));
+        // ...and VM b references it all: zero full pages.
+        assert_eq!(gang[1].pages_sent_full(), PageCount::ZERO);
+        assert_eq!(gang[1].rounds()[0].dedup_refs, PageCount::new(n / 4));
+    }
+
+    #[test]
+    fn gang_validates_inputs() {
+        let a = mem(4, 32);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        assert!(engine.migrate_gang::<DigestMemory>(&[], &[]).is_err());
+        assert!(engine.migrate_gang(&[&a], &[]).is_err());
+    }
+
+    #[test]
+    fn empty_image_is_rejected() {
+        let vm = DigestMemory::zeroed(PageCount::ZERO);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        assert!(engine.migrate(&vm, Strategy::full()).is_err());
+    }
+
+    #[test]
+    fn zero_pages_are_suppressed_by_default() {
+        // A freshly booted guest is mostly zeros; QEMU (and thus the
+        // baseline) ships markers, not pages.
+        let vm = DigestMemory::zeroed(PageCount::new(1024));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let r = engine.migrate(&vm, Strategy::full()).unwrap();
+        assert_eq!(r.pages_sent_full(), PageCount::ZERO);
+        assert_eq!(r.zero_pages(), PageCount::new(1024));
+        assert!(r.source_traffic() < Bytes::from_kib(16));
+    }
+
+    #[test]
+    fn zero_suppression_can_be_disabled() {
+        let vm = DigestMemory::zeroed(PageCount::new(256));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_zero_page_suppression(false);
+        let r = engine.migrate(&vm, Strategy::full()).unwrap();
+        assert_eq!(r.pages_sent_full(), PageCount::new(256));
+        assert_eq!(r.zero_pages(), PageCount::ZERO);
+    }
+
+    #[test]
+    fn zero_marker_beats_checksum_message_under_vecycle() {
+        // Zero pages present in the checkpoint could go as 28-byte
+        // checksum messages; the 13-byte marker wins instead.
+        let vm = DigestMemory::zeroed(PageCount::new(128));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let r = engine
+            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
+            .unwrap();
+        assert_eq!(r.zero_pages(), PageCount::new(128));
+        assert_eq!(r.pages_reused(), PageCount::ZERO);
+    }
+
+    #[test]
+    fn compression_shrinks_traffic() {
+        let vm = mem(16, 20);
+        let plain = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let compressed = MigrationEngine::new(LinkSpec::lan_gigabit()).with_compression(
+            DeltaCompression::new(0.5, vecycle_types::BytesPerSec::from_mib_per_sec(800)),
+        );
+        let rp = plain.migrate(&vm, Strategy::full()).unwrap();
+        let rc = compressed.migrate(&vm, Strategy::full()).unwrap();
+        assert!(rc.source_traffic().as_f64() < rp.source_traffic().as_f64() * 0.55);
+        assert_eq!(rc.pages_sent_full(), rp.pages_sent_full());
+    }
+
+    #[test]
+    fn slow_compressor_becomes_the_bottleneck() {
+        let vm = mem(64, 21);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit()).with_compression(
+            DeltaCompression::new(0.9, vecycle_types::BytesPerSec::from_mib_per_sec(30)),
+        );
+        let r = engine.migrate(&vm, Strategy::full()).unwrap();
+        // 64 MiB at 30 MiB/s ≈ 2.1 s of compression vs ~0.5 s of wire.
+        assert!(r.total_time().as_secs_f64() > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn invalid_compression_ratio_panics() {
+        let _ = DeltaCompression::new(
+            0.0,
+            vecycle_types::BytesPerSec::from_mib_per_sec(100),
+        );
+    }
+
+    #[test]
+    fn setup_is_excluded_from_migration_time() {
+        let vm = mem(64, 12);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let r = engine
+            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
+            .unwrap();
+        assert!(r.setup().total() > SimDuration::ZERO);
+        assert!(r.setup().checkpoint_read > SimDuration::ZERO);
+        // total_time must not include the setup term.
+        let rounds_plus_down: SimDuration = r
+            .rounds()
+            .iter()
+            .map(|x| x.duration)
+            .sum::<SimDuration>()
+            + r.downtime();
+        assert_eq!(r.total_time(), rounds_plus_down);
+    }
+}

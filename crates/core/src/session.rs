@@ -1,0 +1,524 @@
+//! [`VeCycleSession`]: the paper's deployment loop over hosts and
+//! checkpoints.
+//!
+//! §3 describes the operational cycle: *"On an outgoing migration, the
+//! source writes a checkpoint of the VM to its local disk. A subsequent
+//! incoming migration of the same VM reuses the local checkpoint to
+//! bootstrap the VM."* This module owns that cycle so callers only say
+//! "move this VM there now".
+
+use vecycle_checkpoint::Checkpoint;
+use vecycle_host::{Cluster, MigrationSchedule};
+use vecycle_mem::{workload::GuestWorkload, Guest, MutableMemory};
+use vecycle_types::{Error, HostId, SimTime, VmId};
+
+use crate::{MigrationEngine, MigrationReport, Strategy};
+
+/// What first-round technique the session applies when a checkpoint is
+/// (or is not) available at the destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecyclePolicy {
+    /// Always full migrations (the QEMU baseline).
+    Baseline,
+    /// Sender-side dedup only.
+    DedupOnly,
+    /// VeCycle: recycle a destination checkpoint when present, falling
+    /// back to dedup when none exists (as §4.6 assumes: "VeCycle still
+    /// uses deduplication").
+    VeCycle,
+    /// Adaptive: probe a page sample against the destination checkpoint
+    /// and only recycle when the estimated similarity clears
+    /// `min_similarity` — busy VMs skip the checksum pass entirely
+    /// (§2.3: "an active VM with no idle intervals will only gain a
+    /// small benefit from a local checkpoint").
+    Adaptive {
+        /// Minimum estimated similarity to engage VeCycle.
+        min_similarity: f64,
+    },
+}
+
+/// Aggregate statistics over the reports of a schedule run.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_core::session::ScheduleSummary;
+///
+/// let summary = ScheduleSummary::of(&[]);
+/// assert_eq!(summary.migrations, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleSummary {
+    /// Number of migrations aggregated.
+    pub migrations: usize,
+    /// Total source → destination traffic.
+    pub total_traffic: vecycle_types::Bytes,
+    /// Mean migration time.
+    pub mean_time: vecycle_types::SimDuration,
+    /// Worst stop-and-copy downtime observed.
+    pub max_downtime: vecycle_types::SimDuration,
+    /// Migrations that recycled a checkpoint (vecycle strategies).
+    pub recycled: usize,
+}
+
+impl ScheduleSummary {
+    /// Aggregates a report list (e.g. from
+    /// [`VeCycleSession::run_schedule`]).
+    pub fn of(reports: &[crate::MigrationReport]) -> ScheduleSummary {
+        use crate::StrategyName;
+        let total_traffic = reports.iter().map(|r| r.source_traffic()).sum();
+        let total_time: vecycle_types::SimDuration =
+            reports.iter().map(|r| r.total_time()).sum();
+        let mean_time = if reports.is_empty() {
+            vecycle_types::SimDuration::ZERO
+        } else {
+            vecycle_types::SimDuration::from_nanos(
+                total_time.as_nanos() / reports.len() as u64,
+            )
+        };
+        let max_downtime = reports
+            .iter()
+            .map(|r| r.downtime())
+            .fold(vecycle_types::SimDuration::ZERO, |a, b| a.max(b));
+        let recycled = reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.strategy(),
+                    StrategyName::VeCycle | StrategyName::VeCycleDedup
+                )
+            })
+            .count();
+        ScheduleSummary {
+            migrations: reports.len(),
+            total_traffic,
+            mean_time,
+            max_downtime,
+            recycled,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} migrations ({} recycled): {} total, mean time {}, worst downtime {}",
+            self.migrations,
+            self.recycled,
+            self.total_traffic,
+            self.mean_time,
+            self.max_downtime,
+        )
+    }
+}
+
+/// A placed VM: guest state plus its current host.
+#[derive(Debug)]
+pub struct VmInstance<M> {
+    id: VmId,
+    guest: Guest<M>,
+    location: HostId,
+}
+
+impl<M: MutableMemory> VmInstance<M> {
+    /// Places a guest on `host`.
+    pub fn new(id: VmId, guest: Guest<M>, host: HostId) -> Self {
+        VmInstance {
+            id,
+            guest,
+            location: host,
+        }
+    }
+
+    /// The VM's identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// Where the VM currently runs.
+    pub fn location(&self) -> HostId {
+        self.location
+    }
+
+    /// The guest state.
+    pub fn guest(&self) -> &Guest<M> {
+        &self.guest
+    }
+
+    /// Mutable guest state (for driving workloads between migrations).
+    pub fn guest_mut(&mut self) -> &mut Guest<M> {
+        &mut self.guest
+    }
+}
+
+/// Drives checkpoint-recycled migrations across a [`Cluster`].
+#[derive(Debug)]
+pub struct VeCycleSession {
+    cluster: Cluster,
+    engine: MigrationEngine,
+    policy: RecyclePolicy,
+}
+
+impl VeCycleSession {
+    /// Creates a session over `cluster` with the VeCycle policy and an
+    /// engine configured from the cluster's link.
+    pub fn new(cluster: Cluster) -> Self {
+        let engine = MigrationEngine::new(cluster.link());
+        VeCycleSession {
+            cluster,
+            engine,
+            policy: RecyclePolicy::VeCycle,
+        }
+    }
+
+    /// Overrides the policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RecyclePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: MigrationEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Migrates `vm` to `to` at simulated instant `now`, running
+    /// `workload` inside the guest during the copy rounds.
+    ///
+    /// Implements the full cycle: pick a strategy from the destination's
+    /// checkpoint store, run the pre-copy engine, store a fresh
+    /// checkpoint of the *post-migration* state at the source (the host
+    /// being vacated), and update the VM's location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if `to` is not in the cluster or the
+    /// VM's current host is unknown, and propagates engine errors.
+    pub fn migrate<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        to: HostId,
+        now: SimTime,
+        workload: &mut W,
+    ) -> vecycle_types::Result<MigrationReport>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        let source = self
+            .cluster
+            .host(vm.location)
+            .ok_or_else(|| Error::NotFound {
+                what: format!("source host {}", vm.location),
+            })?
+            .clone();
+        let dest = self
+            .cluster
+            .host(to)
+            .ok_or_else(|| Error::NotFound {
+                what: format!("destination host {to}"),
+            })?
+            .clone();
+
+        let strategy = match self.policy {
+            RecyclePolicy::Baseline => Strategy::full(),
+            RecyclePolicy::DedupOnly => Strategy::dedup(),
+            RecyclePolicy::VeCycle => match dest.store().latest(vm.id) {
+                Some(cp) if cp.page_count() == vm.guest.page_count() => {
+                    Strategy::vecycle_from_checkpoint(&cp).with_dedup()
+                }
+                // First visit (or resized VM): no checkpoint to recycle.
+                _ => Strategy::dedup(),
+            },
+            RecyclePolicy::Adaptive { min_similarity } => {
+                match dest.store().latest(vm.id) {
+                    Some(cp) if cp.page_count() == vm.guest.page_count() => {
+                        let index = std::sync::Arc::new(cp.build_index());
+                        let estimate = MigrationEngine::estimate_similarity(
+                            vm.guest.memory(),
+                            &index,
+                            256,
+                        );
+                        if estimate.as_f64() >= min_similarity {
+                            Strategy::vecycle_with_index(index).with_dedup()
+                        } else {
+                            Strategy::dedup()
+                        }
+                    }
+                    _ => Strategy::dedup(),
+                }
+            }
+        };
+
+        let mut report = self
+            .engine
+            .migrate_live(&mut vm.guest, workload, strategy)?;
+
+        // "After the migration, the source writes a checkpoint of the VM
+        // to its local disk" — the state that just left. The write is
+        // off the critical path but its cost is accounted in the setup
+        // report.
+        source
+            .store()
+            .save(Checkpoint::capture(vm.id, now, vm.guest.memory()));
+        report.setup_mut().checkpoint_write =
+            source.disk().sequential_time(vm.guest.ram_size());
+        vm.location = to;
+        Ok(report)
+    }
+
+    /// Runs a [`MigrationSchedule`], advancing `workload` through the
+    /// gaps between migrations so the guest keeps aging between moves.
+    ///
+    /// Returns one report per leg, in schedule order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first leg whose source host does not match the VM's
+    /// current location (an inconsistent schedule) or whose migration
+    /// fails.
+    pub fn run_schedule<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        schedule: &MigrationSchedule,
+        workload: &mut W,
+    ) -> vecycle_types::Result<Vec<MigrationReport>>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        let mut reports = Vec::with_capacity(schedule.len());
+        let mut clock = SimTime::EPOCH;
+        for leg in schedule {
+            if leg.from != vm.location {
+                return Err(Error::InvalidConfig {
+                    reason: format!(
+                        "schedule expects {} at {} but it is at {}",
+                        vm.id, leg.from, vm.location
+                    ),
+                });
+            }
+            let gap = leg.at.duration_since(clock);
+            workload.advance(&mut vm.guest, gap);
+            clock = leg.at;
+            reports.push(self.migrate(vm, leg.to, clock, workload)?);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_mem::{workload::SilentWorkload, DigestMemory};
+    use vecycle_net::LinkSpec;
+    use vecycle_types::{Bytes, PageCount, SimDuration};
+
+    fn session() -> VeCycleSession {
+        VeCycleSession::new(Cluster::homogeneous(2, LinkSpec::lan_gigabit()))
+    }
+
+    fn instance() -> VmInstance<DigestMemory> {
+        let mem = DigestMemory::with_uniform_content(Bytes::from_mib(4), 1).unwrap();
+        VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(0))
+    }
+
+    #[test]
+    fn first_migration_is_dedup_second_recycles() {
+        let s = session();
+        let mut vm = instance();
+        let r1 = s
+            .migrate(&mut vm, HostId::new(1), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+        assert_eq!(r1.strategy().to_string(), "dedup");
+        assert_eq!(vm.location(), HostId::new(1));
+        // Host 0 now holds a checkpoint; migrating back recycles it.
+        let r2 = s
+            .migrate(
+                &mut vm,
+                HostId::new(0),
+                SimTime::EPOCH + SimDuration::from_hours(1),
+                &mut SilentWorkload,
+            )
+            .unwrap();
+        assert_eq!(r2.strategy().to_string(), "vecycle+dedup");
+        assert!(r2.source_traffic().as_f64() < r1.source_traffic().as_f64() / 10.0);
+    }
+
+    #[test]
+    fn baseline_policy_never_recycles() {
+        let s = session().with_policy(RecyclePolicy::Baseline);
+        let mut vm = instance();
+        for hop in [1u32, 0, 1] {
+            let r = s
+                .migrate(&mut vm, HostId::new(hop), SimTime::EPOCH, &mut SilentWorkload)
+                .unwrap();
+            assert_eq!(r.strategy().to_string(), "full");
+        }
+    }
+
+    #[test]
+    fn checkpoints_accumulate_at_vacated_hosts() {
+        let s = session();
+        let mut vm = instance();
+        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+        assert_eq!(s.cluster().hosts()[0].store().vm_count(), 1);
+        assert_eq!(s.cluster().hosts()[1].store().vm_count(), 0);
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let s = session();
+        let mut vm = instance();
+        let err = s
+            .migrate(&mut vm, HostId::new(9), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap_err();
+        assert!(matches!(err, Error::NotFound { .. }));
+        assert_eq!(vm.location(), HostId::new(0));
+    }
+
+    #[test]
+    fn ping_pong_schedule_runs_end_to_end() {
+        let s = session();
+        let mut vm = instance();
+        let schedule = MigrationSchedule::ping_pong(
+            vm.id(),
+            HostId::new(0),
+            HostId::new(1),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::from_hours(2),
+            4,
+        );
+        let reports = s
+            .run_schedule(&mut vm, &schedule, &mut SilentWorkload)
+            .unwrap();
+        assert_eq!(reports.len(), 4);
+        // Leg 1 finds no checkpoint; every later leg returns to a host
+        // that stored one when the VM left it.
+        assert_eq!(reports[0].strategy().to_string(), "dedup");
+        assert_eq!(reports[1].strategy().to_string(), "vecycle+dedup");
+        assert_eq!(reports[2].strategy().to_string(), "vecycle+dedup");
+        assert_eq!(reports[3].strategy().to_string(), "vecycle+dedup");
+        assert_eq!(vm.location(), HostId::new(0));
+    }
+
+    #[test]
+    fn inconsistent_schedule_is_rejected() {
+        let s = session();
+        let mut vm = instance();
+        let schedule = MigrationSchedule::ping_pong(
+            vm.id(),
+            HostId::new(1), // VM is actually at host 0
+            HostId::new(0),
+            SimTime::EPOCH,
+            SimDuration::from_hours(1),
+            1,
+        );
+        assert!(s
+            .run_schedule(&mut vm, &schedule, &mut SilentWorkload)
+            .is_err());
+    }
+
+    #[test]
+    fn resized_vm_does_not_recycle_stale_checkpoint() {
+        let s = session();
+        let mut vm = instance();
+        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+        // Replace with a larger VM under the same ID.
+        let bigger = DigestMemory::with_uniform_content(Bytes::from_mib(8), 2).unwrap();
+        let mut vm2 = VmInstance::new(VmId::new(0), Guest::new(bigger), HostId::new(1));
+        let r = s
+            .migrate(&mut vm2, HostId::new(0), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+        assert_eq!(r.strategy().to_string(), "dedup");
+    }
+
+    #[test]
+    fn schedule_summary_aggregates() {
+        let s = session();
+        let mut vm = instance();
+        let schedule = MigrationSchedule::ping_pong(
+            vm.id(),
+            HostId::new(0),
+            HostId::new(1),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::from_hours(1),
+            5,
+        );
+        let reports = s
+            .run_schedule(&mut vm, &schedule, &mut SilentWorkload)
+            .unwrap();
+        let summary = ScheduleSummary::of(&reports);
+        assert_eq!(summary.migrations, 5);
+        assert_eq!(summary.recycled, 4); // first leg has no checkpoint
+        let by_hand: vecycle_types::Bytes =
+            reports.iter().map(|r| r.source_traffic()).sum();
+        assert_eq!(summary.total_traffic, by_hand);
+        assert!(summary.mean_time > SimDuration::ZERO);
+        assert!(summary.to_string().contains("5 migrations (4 recycled)"));
+    }
+
+    #[test]
+    fn adaptive_policy_recycles_only_similar_guests() {
+        use vecycle_mem::PageContent;
+        use vecycle_types::PageIndex;
+
+        let s = session().with_policy(RecyclePolicy::Adaptive {
+            min_similarity: 0.5,
+        });
+        // Warm up: leave a checkpoint at host 0.
+        let mut vm = instance();
+        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+
+        // Barely diverged guest: estimate high, recycles.
+        let r = s
+            .migrate(
+                &mut vm,
+                HostId::new(0),
+                SimTime::EPOCH + SimDuration::from_hours(1),
+                &mut SilentWorkload,
+            )
+            .unwrap();
+        assert_eq!(r.strategy().to_string(), "vecycle+dedup");
+
+        // Rewrite nearly everything: estimate collapses, falls back.
+        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH + SimDuration::from_hours(2), &mut SilentWorkload)
+            .unwrap();
+        let n = vm.guest().page_count().as_u64();
+        for i in 0..n {
+            vm.guest_mut()
+                .write_page(PageIndex::new(i), PageContent::ContentId((1 << 58) | i));
+        }
+        let r = s
+            .migrate(
+                &mut vm,
+                HostId::new(0),
+                SimTime::EPOCH + SimDuration::from_hours(3),
+                &mut SilentWorkload,
+            )
+            .unwrap();
+        assert_eq!(r.strategy().to_string(), "dedup");
+    }
+
+    #[test]
+    fn sizes_match_checkpoint_pages() {
+        let s = session();
+        let mut vm = instance();
+        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+        let cp = s.cluster().hosts()[0].store().latest(VmId::new(0)).unwrap();
+        assert_eq!(cp.page_count(), PageCount::new(1024));
+    }
+}

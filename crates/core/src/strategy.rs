@@ -1,0 +1,304 @@
+//! First-round traffic-reduction strategies.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use vecycle_checkpoint::{Checkpoint, ChecksumIndex, PageLookup};
+use vecycle_mem::{GenerationSnapshot, GenerationTable, MemoryImage};
+use vecycle_types::{PageDigest, PageIndex};
+
+/// Which technique a strategy implements, for reports and figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyName {
+    /// Indiscriminate full first round (QEMU 2.0 baseline).
+    Full,
+    /// Sender-side deduplication only.
+    Dedup,
+    /// Dirty-page tracking against a stored generation vector.
+    Dirty,
+    /// Dirty tracking combined with deduplication.
+    DirtyDedup,
+    /// Content-based redundancy elimination (VeCycle).
+    VeCycle,
+    /// VeCycle combined with deduplication.
+    VeCycleDedup,
+}
+
+impl std::fmt::Display for StrategyName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StrategyName::Full => "full",
+            StrategyName::Dedup => "dedup",
+            StrategyName::Dirty => "dirty",
+            StrategyName::DirtyDedup => "dirty+dedup",
+            StrategyName::VeCycle => "vecycle",
+            StrategyName::VeCycleDedup => "vecycle+dedup",
+        })
+    }
+}
+
+/// How the source treats one page in the first copy round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageAction {
+    /// Transfer the full page (plus its checksum under VeCycle).
+    SendFull,
+    /// Send only the checksum; the destination has the content.
+    SendChecksum,
+    /// Send a back-reference to an identical page sent earlier in this
+    /// migration (sender-side dedup).
+    SendDedupRef(PageIndex),
+    /// Send nothing; dirty tracking proved the destination's checkpoint
+    /// copy is current.
+    Skip,
+}
+
+/// A first-round traffic-reduction strategy.
+///
+/// Construct with [`Strategy::full`], [`Strategy::dedup`],
+/// [`Strategy::vecycle`], [`Strategy::miyakodori`] or their combining
+/// variants, then pass to [`crate::MigrationEngine::migrate`].
+#[derive(Debug, Clone)]
+pub struct Strategy {
+    name: StrategyName,
+    dedup: bool,
+    /// VeCycle: index over the destination's checkpoint.
+    index: Option<Arc<ChecksumIndex>>,
+    /// Miyakodori: pages whose generation is unchanged since checkpoint.
+    reusable: Option<Arc<HashSet<PageIndex>>>,
+}
+
+impl Strategy {
+    /// The QEMU 2.0 baseline: send every page in full.
+    pub fn full() -> Self {
+        Strategy {
+            name: StrategyName::Full,
+            dedup: false,
+            index: None,
+            reusable: None,
+        }
+    }
+
+    /// Sender-side deduplication: each distinct content is sent once per
+    /// migration; repeats become back-references (CloudNet-style).
+    pub fn dedup() -> Self {
+        Strategy {
+            name: StrategyName::Dedup,
+            dedup: true,
+            index: None,
+            reusable: None,
+        }
+    }
+
+    /// VeCycle: content-based redundancy elimination against a checkpoint
+    /// image held at the destination.
+    pub fn vecycle<M: MemoryImage>(checkpoint: &M) -> Self {
+        Strategy::vecycle_with_index(Arc::new(ChecksumIndex::build(checkpoint.digests())))
+    }
+
+    /// VeCycle from a stored [`Checkpoint`].
+    pub fn vecycle_from_checkpoint(checkpoint: &Checkpoint) -> Self {
+        Strategy::vecycle_with_index(Arc::new(checkpoint.build_index()))
+    }
+
+    /// VeCycle from a pre-built index (avoids rebuilding across
+    /// repeated migrations in benches).
+    pub fn vecycle_with_index(index: Arc<ChecksumIndex>) -> Self {
+        Strategy {
+            name: StrategyName::VeCycle,
+            dedup: false,
+            index: Some(index),
+            reusable: None,
+        }
+    }
+
+    /// Miyakodori-style dirty tracking: `table` is the guest's current
+    /// generation table, `snapshot` the vector stored with the
+    /// destination's checkpoint. Pages with unchanged generations are
+    /// skipped entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table and snapshot cover different page counts.
+    pub fn miyakodori(table: &GenerationTable, snapshot: &GenerationSnapshot) -> Self {
+        let reusable: HashSet<PageIndex> = table.unchanged_since(snapshot).into_iter().collect();
+        Strategy {
+            name: StrategyName::Dirty,
+            dedup: false,
+            index: None,
+            reusable: Some(Arc::new(reusable)),
+        }
+    }
+
+    /// Adds sender-side deduplication on top of this strategy.
+    #[must_use]
+    pub fn with_dedup(mut self) -> Self {
+        self.dedup = true;
+        self.name = match self.name {
+            StrategyName::Full | StrategyName::Dedup => StrategyName::Dedup,
+            StrategyName::Dirty | StrategyName::DirtyDedup => StrategyName::DirtyDedup,
+            StrategyName::VeCycle | StrategyName::VeCycleDedup => StrategyName::VeCycleDedup,
+        };
+        self
+    }
+
+    /// The technique this strategy implements.
+    pub fn name(&self) -> StrategyName {
+        self.name
+    }
+
+    /// True if this strategy needs per-page checksums at the source
+    /// (drives the checksum-rate term of migration time, §3.4).
+    pub fn computes_checksums(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// True if this strategy requires a checksum pre-exchange.
+    pub fn needs_exchange(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The checkpoint index, if this is a VeCycle strategy.
+    pub fn index(&self) -> Option<&ChecksumIndex> {
+        self.index.as_deref()
+    }
+
+    /// Decides the first-round action for one page.
+    ///
+    /// `sent` is the per-migration dedup cache: digest → first page index
+    /// that carried this content. The caller inserts into it when this
+    /// returns [`PageAction::SendFull`] or [`PageAction::SendChecksum`].
+    pub fn classify(
+        &self,
+        idx: PageIndex,
+        digest: PageDigest,
+        sent: &std::collections::HashMap<PageDigest, PageIndex>,
+    ) -> PageAction {
+        if let Some(reusable) = &self.reusable {
+            if reusable.contains(&idx) {
+                return PageAction::Skip;
+            }
+        }
+        if let Some(index) = &self.index {
+            if index.contains(digest) {
+                return PageAction::SendChecksum;
+            }
+        }
+        if self.dedup {
+            if let Some(&first) = sent.get(&digest) {
+                return PageAction::SendDedupRef(first);
+            }
+        }
+        PageAction::SendFull
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use vecycle_mem::DigestMemory;
+    use vecycle_types::PageCount;
+
+    fn d(id: u64) -> PageDigest {
+        PageDigest::from_content_id(id)
+    }
+
+    #[test]
+    fn full_sends_everything() {
+        let s = Strategy::full();
+        let sent = HashMap::new();
+        assert_eq!(
+            s.classify(PageIndex::new(0), d(1), &sent),
+            PageAction::SendFull
+        );
+        assert!(!s.computes_checksums());
+        assert_eq!(s.name(), StrategyName::Full);
+    }
+
+    #[test]
+    fn dedup_references_repeats() {
+        let s = Strategy::dedup();
+        let mut sent = HashMap::new();
+        assert_eq!(
+            s.classify(PageIndex::new(0), d(1), &sent),
+            PageAction::SendFull
+        );
+        sent.insert(d(1), PageIndex::new(0));
+        assert_eq!(
+            s.classify(PageIndex::new(5), d(1), &sent),
+            PageAction::SendDedupRef(PageIndex::new(0))
+        );
+    }
+
+    #[test]
+    fn vecycle_sends_checksums_for_known_content() {
+        let cp = DigestMemory::with_distinct_content(PageCount::new(4), 1);
+        let s = Strategy::vecycle(&cp);
+        let sent = HashMap::new();
+        let known = cp.page_digest(PageIndex::new(2));
+        assert_eq!(
+            s.classify(PageIndex::new(9), known, &sent),
+            PageAction::SendChecksum
+        );
+        assert_eq!(
+            s.classify(PageIndex::new(9), d(999_999), &sent),
+            PageAction::SendFull
+        );
+        assert!(s.computes_checksums());
+        assert!(s.needs_exchange());
+    }
+
+    #[test]
+    fn vecycle_dedup_prefers_checkpoint_over_ref() {
+        let cp = DigestMemory::with_distinct_content(PageCount::new(4), 1);
+        let s = Strategy::vecycle(&cp).with_dedup();
+        assert_eq!(s.name(), StrategyName::VeCycleDedup);
+        let mut sent = HashMap::new();
+        let known = cp.page_digest(PageIndex::new(0));
+        sent.insert(known, PageIndex::new(3));
+        // Checkpoint hit wins: a checksum message is the cheapest option
+        // and the destination's copy is already in place.
+        assert_eq!(
+            s.classify(PageIndex::new(7), known, &sent),
+            PageAction::SendChecksum
+        );
+        // Novel-but-repeated content becomes a dedup ref.
+        sent.insert(d(42), PageIndex::new(1));
+        assert_eq!(
+            s.classify(PageIndex::new(8), d(42), &sent),
+            PageAction::SendDedupRef(PageIndex::new(1))
+        );
+    }
+
+    #[test]
+    fn miyakodori_skips_unchanged_generations() {
+        let mut table = GenerationTable::new(PageCount::new(4));
+        let snap = table.snapshot();
+        table.bump(PageIndex::new(1));
+        let s = Strategy::miyakodori(&table, &snap);
+        let sent = HashMap::new();
+        assert_eq!(
+            s.classify(PageIndex::new(0), d(1), &sent),
+            PageAction::Skip
+        );
+        assert_eq!(
+            s.classify(PageIndex::new(1), d(2), &sent),
+            PageAction::SendFull
+        );
+        assert!(!s.computes_checksums());
+    }
+
+    #[test]
+    fn strategy_names_render() {
+        assert_eq!(Strategy::full().name().to_string(), "full");
+        assert_eq!(
+            Strategy::full().with_dedup().name().to_string(),
+            "dedup"
+        );
+        let cp = DigestMemory::zeroed(PageCount::new(1));
+        assert_eq!(
+            Strategy::vecycle(&cp).with_dedup().name().to_string(),
+            "vecycle+dedup"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Migration transcripts and the destination merge (Listing 1).
+
+use vecycle_checkpoint::{Checkpoint, PageLookup};
+use vecycle_mem::{ByteMemory, MemoryImage, MutableMemory, PageContent};
+use vecycle_types::{Error, PageDigest, PageIndex};
+
+/// One message of the migration stream, as the destination receives it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageMsg {
+    /// A full page: number, checksum, and (for byte-level sources) the
+    /// page bytes. "Sending the checksum along with the full page saves
+    /// the receiver from re-computing the checksum" (§3.2).
+    Full {
+        /// Guest page number.
+        idx: PageIndex,
+        /// Content checksum.
+        digest: PageDigest,
+        /// Page bytes; `None` when the source is digest-level.
+        bytes: Option<Box<[u8]>>,
+    },
+    /// Only the checksum: the destination already holds this content.
+    Checksum {
+        /// Guest page number.
+        idx: PageIndex,
+        /// Content checksum.
+        digest: PageDigest,
+    },
+    /// Back-reference to a page sent earlier in this migration.
+    DedupRef {
+        /// Guest page number.
+        idx: PageIndex,
+        /// The earlier page carrying identical content.
+        source: PageIndex,
+    },
+    /// An all-zero page, suppressed to a marker.
+    Zero {
+        /// Guest page number.
+        idx: PageIndex,
+    },
+}
+
+/// The ordered message stream of one migration.
+pub type Transcript = Vec<PageMsg>;
+
+/// Applies a transcript at the destination, reconstructing guest memory.
+///
+/// This is Listing 1 of the paper: memory starts initialized from the
+/// local `checkpoint`; each checksum message is verified against the
+/// already-resident page and, on mismatch, resolved through the
+/// checkpoint's checksum index (`lookup` + read at the found offset).
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] if a checksum message references content
+/// that neither the resident page nor the checkpoint can supply, or if a
+/// dedup reference points at a page not yet received — both indicate a
+/// protocol violation or checkpoint corruption.
+pub fn apply_transcript(
+    checkpoint: &Checkpoint,
+    transcript: &Transcript,
+) -> vecycle_types::Result<ByteMemory> {
+    let index = checkpoint.build_index();
+    let mut mem = checkpoint.restore_byte_memory().ok_or(Error::InvalidConfig {
+        reason: "destination merge needs a full-byte checkpoint".into(),
+    })?;
+
+    for msg in transcript {
+        match msg {
+            PageMsg::Full { idx, digest, bytes } => {
+                let bytes = bytes.as_deref().ok_or(Error::Corrupt {
+                    detail: format!("full-page message for {idx} carries no bytes"),
+                })?;
+                mem.write_page(*idx, PageContent::Bytes(bytes));
+                // The attached checksum lets the receiver verify without
+                // re-hashing later; verify here to model that.
+                if mem.page_digest(*idx) != *digest {
+                    return Err(Error::Corrupt {
+                        detail: format!("page {idx} bytes do not match attached checksum"),
+                    });
+                }
+            }
+            PageMsg::Checksum { idx, digest } => {
+                // Listing 1: if the resident page (from the checkpoint
+                // restore) already matches, nothing to do; otherwise look
+                // the checksum up and copy from the checkpoint offset.
+                if mem.page_digest(*idx) == *digest {
+                    continue;
+                }
+                let offset = index.lookup(*digest).ok_or(Error::Corrupt {
+                    detail: format!(
+                        "checksum for {idx} not found in checkpoint index"
+                    ),
+                })?;
+                let page = checkpoint.read_page(offset).ok_or(Error::Corrupt {
+                    detail: format!("checkpoint page {offset} unreadable"),
+                })?;
+                mem.write_page(*idx, PageContent::Bytes(page));
+                if mem.page_digest(*idx) != *digest {
+                    return Err(Error::Corrupt {
+                        detail: format!(
+                            "checkpoint content at {offset} does not match checksum for {idx}"
+                        ),
+                    });
+                }
+            }
+            PageMsg::DedupRef { idx, source } => {
+                if source.as_u64() >= mem.page_count().as_u64() {
+                    return Err(Error::Corrupt {
+                        detail: format!("dedup reference {source} out of range"),
+                    });
+                }
+                mem.relocate_page(*source, *idx);
+            }
+            PageMsg::Zero { idx } => {
+                mem.write_page(*idx, PageContent::Zero);
+            }
+        }
+    }
+    Ok(mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_types::{PageCount, SimTime, VmId};
+
+    fn byte_mem(seed: u64) -> ByteMemory {
+        ByteMemory::with_distinct_content(PageCount::new(8), seed)
+    }
+
+    fn cp_of(mem: &ByteMemory) -> Checkpoint {
+        Checkpoint::capture_bytes(VmId::new(0), SimTime::EPOCH, mem)
+    }
+
+    #[test]
+    fn checksum_only_transcript_restores_checkpoint_state() {
+        let mem = byte_mem(1);
+        let cp = cp_of(&mem);
+        let transcript: Transcript = (0..8)
+            .map(|i| PageMsg::Checksum {
+                idx: PageIndex::new(i),
+                digest: mem.page_digest(PageIndex::new(i)),
+            })
+            .collect();
+        let rebuilt = apply_transcript(&cp, &transcript).unwrap();
+        assert!(rebuilt.content_equals(&mem));
+    }
+
+    #[test]
+    fn relocated_content_is_found_via_index() {
+        let mut now = byte_mem(1);
+        let cp = cp_of(&now);
+        // Guest relocates page 2's content to page 5 after checkpoint.
+        now.relocate_page(PageIndex::new(2), PageIndex::new(5));
+        let transcript: Transcript = (0..8)
+            .map(|i| PageMsg::Checksum {
+                idx: PageIndex::new(i),
+                digest: now.page_digest(PageIndex::new(i)),
+            })
+            .collect();
+        let rebuilt = apply_transcript(&cp, &transcript).unwrap();
+        assert!(rebuilt.content_equals(&now));
+    }
+
+    #[test]
+    fn full_pages_overwrite() {
+        let mut now = byte_mem(1);
+        let cp = cp_of(&now);
+        now.write_page(PageIndex::new(3), PageContent::Bytes(b"fresh data"));
+        let mut transcript = Transcript::new();
+        for i in 0..8u64 {
+            let idx = PageIndex::new(i);
+            if i == 3 {
+                transcript.push(PageMsg::Full {
+                    idx,
+                    digest: now.page_digest(idx),
+                    bytes: Some(now.read_page(idx).to_vec().into_boxed_slice()),
+                });
+            } else {
+                transcript.push(PageMsg::Checksum {
+                    idx,
+                    digest: now.page_digest(idx),
+                });
+            }
+        }
+        let rebuilt = apply_transcript(&cp, &transcript).unwrap();
+        assert!(rebuilt.content_equals(&now));
+    }
+
+    #[test]
+    fn dedup_refs_copy_earlier_pages() {
+        let mut now = ByteMemory::zeroed(PageCount::new(4));
+        now.write_page(PageIndex::new(0), PageContent::Bytes(b"dup"));
+        now.write_page(PageIndex::new(2), PageContent::Bytes(b"dup"));
+        let cp = cp_of(&ByteMemory::zeroed(PageCount::new(4)));
+        let transcript = vec![
+            PageMsg::Full {
+                idx: PageIndex::new(0),
+                digest: now.page_digest(PageIndex::new(0)),
+                bytes: Some(now.read_page(PageIndex::new(0)).to_vec().into_boxed_slice()),
+            },
+            PageMsg::DedupRef {
+                idx: PageIndex::new(2),
+                source: PageIndex::new(0),
+            },
+        ];
+        let rebuilt = apply_transcript(&cp, &transcript).unwrap();
+        assert!(rebuilt.content_equals(&now));
+    }
+
+    #[test]
+    fn unknown_checksum_is_an_error() {
+        let mem = byte_mem(1);
+        let cp = cp_of(&mem);
+        let transcript = vec![PageMsg::Checksum {
+            idx: PageIndex::new(0),
+            digest: PageDigest::from_content_id(0xdead_beef),
+        }];
+        let err = apply_transcript(&cp, &transcript).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { .. }));
+    }
+
+    #[test]
+    fn corrupted_full_page_is_detected() {
+        let mem = byte_mem(1);
+        let cp = cp_of(&mem);
+        let transcript = vec![PageMsg::Full {
+            idx: PageIndex::new(0),
+            digest: PageDigest::from_content_id(1), // wrong digest
+            bytes: Some(vec![9u8; 4096].into_boxed_slice()),
+        }];
+        assert!(apply_transcript(&cp, &transcript).is_err());
+    }
+
+    #[test]
+    fn digest_only_checkpoint_is_rejected() {
+        let mem = byte_mem(1);
+        let cp = Checkpoint::capture(VmId::new(0), SimTime::EPOCH, &mem);
+        let err = apply_transcript(&cp, &Transcript::new()).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn zero_marker_zeroes_the_page() {
+        let mem = byte_mem(1);
+        let cp = cp_of(&mem);
+        let transcript = vec![PageMsg::Zero {
+            idx: PageIndex::new(2),
+        }];
+        let rebuilt = apply_transcript(&cp, &transcript).unwrap();
+        assert!(rebuilt
+            .page_digest(PageIndex::new(2))
+            .is_zero_page());
+        // Other pages keep the checkpoint content.
+        assert_eq!(
+            rebuilt.read_page(PageIndex::new(0)),
+            mem.read_page(PageIndex::new(0))
+        );
+    }
+
+    #[test]
+    fn out_of_range_dedup_ref_is_an_error() {
+        let mem = byte_mem(1);
+        let cp = cp_of(&mem);
+        let transcript = vec![PageMsg::DedupRef {
+            idx: PageIndex::new(0),
+            source: PageIndex::new(99),
+        }];
+        assert!(apply_transcript(&cp, &transcript).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! FNV-1a 64-bit hash.
+//!
+//! Non-cryptographic; used for cheap *probing* in sender-side
+//! deduplication, where candidate matches can be confirmed by a local
+//! byte-for-byte comparison (the CloudNet observation the paper recounts
+//! in §4.2). Never used where a collision would corrupt a migration.
+
+use crate::Hasher;
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_hash::{Fnv1a64, Hasher};
+///
+/// // Well-known FNV-1a test vector.
+/// let d = Fnv1a64::digest(b"a");
+/// assert_eq!(u64::from_be_bytes(d), 0xaf63dc4c8601ec8c);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Fnv1a64 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Fnv1a64 {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// The current 64-bit state, without consuming the hasher.
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64::new()
+    }
+}
+
+impl Hasher for Fnv1a64 {
+    type Output = [u8; 8];
+
+    fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        for &b in data {
+            s ^= u64::from(b);
+            s = s.wrapping_mul(PRIME);
+        }
+        self.state = s;
+    }
+
+    fn finalize(self) -> [u8; 8] {
+        self.state.to_be_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Vectors from the reference FNV distribution.
+        let cases: [(&[u8], u64); 4] = [
+            (b"", 0xcbf29ce484222325),
+            (b"a", 0xaf63dc4c8601ec8c),
+            (b"foobar", 0x85944171f73967e8),
+            (b"chongo was here!\n", 0x46810940eff5f915),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(u64::from_be_bytes(Fnv1a64::digest(input)), expect);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"split me into pieces";
+        let mut h = Fnv1a64::new();
+        h.update(&data[..5]);
+        h.update(&data[5..]);
+        assert_eq!(h.finalize(), Fnv1a64::digest(data));
+    }
+
+    #[test]
+    fn value_peek_matches_finalize() {
+        let mut h = Fnv1a64::new();
+        h.update(b"peek");
+        let peek = h.value();
+        assert_eq!(h.finalize(), peek.to_be_bytes());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: streaming semantics of every hash.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vecycle_hash::{Fnv1a64, Hasher, Md5, Sha1, Sha256};
+
+fn chunked_digest<H: Hasher + Default>(data: &[u8], cuts: &[usize]) -> H::Output {
+    let mut h = H::default();
+    let mut start = 0;
+    let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (data.len() + 1)).collect();
+    cuts.sort_unstable();
+    for cut in cuts {
+        if cut > start {
+            h.update(&data[start..cut]);
+            start = cut;
+        }
+    }
+    h.update(&data[start..]);
+    h.finalize()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn md5_chunking_is_transparent(data in vec(any::<u8>(), 0..2048), cuts in vec(any::<usize>(), 0..8)) {
+        prop_assert_eq!(chunked_digest::<Md5>(&data, &cuts), Md5::digest(&data));
+    }
+
+    #[test]
+    fn sha1_chunking_is_transparent(data in vec(any::<u8>(), 0..2048), cuts in vec(any::<usize>(), 0..8)) {
+        prop_assert_eq!(chunked_digest::<Sha1>(&data, &cuts), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn sha256_chunking_is_transparent(data in vec(any::<u8>(), 0..2048), cuts in vec(any::<usize>(), 0..8)) {
+        prop_assert_eq!(chunked_digest::<Sha256>(&data, &cuts), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn fnv_matches_reference_fold(data in vec(any::<u8>(), 0..512)) {
+        let expected = data.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, &b| {
+            (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        prop_assert_eq!(u64::from_be_bytes(Fnv1a64::digest(&data)), expected);
+    }
+
+    /// Single-byte perturbations always change the digest (for inputs
+    /// short enough that accidental collisions are unthinkable).
+    #[test]
+    fn md5_detects_single_byte_change(data in vec(any::<u8>(), 1..256), pos_seed in any::<usize>(), delta in 1u8..=255) {
+        let mut mutated = data.clone();
+        let pos = pos_seed % data.len();
+        mutated[pos] = mutated[pos].wrapping_add(delta);
+        prop_assert_ne!(Md5::digest(&data), Md5::digest(&mutated));
+    }
+
+    /// The page-digest helper maps exactly the all-zero page to the
+    /// sentinel.
+    #[test]
+    fn zero_page_sentinel_is_exact(data in vec(any::<u8>(), 4096..=4096)) {
+        let digest = vecycle_hash::page_digest(&data);
+        let all_zero = data.iter().all(|&b| b == 0);
+        prop_assert_eq!(digest.is_zero_page(), all_zero);
+    }
+}

@@ -1,0 +1,182 @@
+//! [`Host`] and [`Cluster`].
+
+use std::sync::Arc;
+
+use vecycle_checkpoint::CheckpointStore;
+use vecycle_net::LinkSpec;
+use vecycle_types::HostId;
+
+use crate::{CpuSpec, DiskSpec};
+
+/// A physical host: CPU, checkpoint disk and checkpoint store.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_host::Host;
+/// use vecycle_types::HostId;
+///
+/// let host = Host::benchmark_default(HostId::new(0));
+/// assert_eq!(host.id(), HostId::new(0));
+/// assert_eq!(host.store().vm_count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Host {
+    id: HostId,
+    cpu: CpuSpec,
+    disk: DiskSpec,
+    store: Arc<CheckpointStore>,
+}
+
+impl Host {
+    /// Creates a host from explicit components.
+    pub fn new(id: HostId, cpu: CpuSpec, disk: DiskSpec) -> Self {
+        Host {
+            id,
+            cpu,
+            disk,
+            store: Arc::new(CheckpointStore::new()),
+        }
+    }
+
+    /// A host configured like the paper's benchmark machines (§4.1):
+    /// Phenom II CPU, checkpoints on the spinning disk.
+    pub fn benchmark_default(id: HostId) -> Self {
+        Host::new(id, CpuSpec::phenom_ii(), DiskSpec::hdd_samsung_hd204ui())
+    }
+
+    /// The host's identifier.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// The host's CPU model.
+    pub fn cpu(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// The host's checkpoint disk model.
+    pub fn disk(&self) -> &DiskSpec {
+        &self.disk
+    }
+
+    /// The host's checkpoint store (shared; hosts are cheaply cloneable).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Replaces the disk model (for the HDD-vs-SSD ablation).
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskSpec) -> Self {
+        self.disk = disk;
+        self
+    }
+}
+
+/// A set of hosts joined by a network.
+///
+/// The paper's experiments use two hosts and one link; the IBM study's
+/// patterns involve small host sets. One [`LinkSpec`] describes every
+/// pair — adequate for a rack or an emulated WAN between two sites.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    hosts: Vec<Host>,
+    link: LinkSpec,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` benchmark-default hosts joined by `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn homogeneous(n: u32, link: LinkSpec) -> Self {
+        assert!(n > 0, "a cluster needs at least one host");
+        Cluster {
+            hosts: (0..n).map(|i| Host::benchmark_default(HostId::new(i))).collect(),
+            link,
+        }
+    }
+
+    /// Creates a cluster from explicit hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty.
+    pub fn from_hosts(hosts: Vec<Host>, link: LinkSpec) -> Self {
+        assert!(!hosts.is_empty(), "a cluster needs at least one host");
+        Cluster { hosts, link }
+    }
+
+    /// The hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Looks up a host by ID.
+    pub fn host(&self, id: HostId) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.id() == id)
+    }
+
+    /// The link between any pair of hosts.
+    pub fn link(&self) -> LinkSpec {
+        self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster_has_dense_ids() {
+        let c = Cluster::homogeneous(3, LinkSpec::lan_gigabit());
+        assert_eq!(c.hosts().len(), 3);
+        for (i, h) in c.hosts().iter().enumerate() {
+            assert_eq!(h.id().as_usize(), i);
+        }
+        assert!(c.host(HostId::new(2)).is_some());
+        assert!(c.host(HostId::new(3)).is_none());
+    }
+
+    #[test]
+    fn host_stores_are_independent() {
+        use vecycle_checkpoint::Checkpoint;
+        use vecycle_mem::DigestMemory;
+        use vecycle_types::{PageCount, SimTime, VmId};
+
+        let c = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+        let mem = DigestMemory::with_distinct_content(PageCount::new(4), 1);
+        c.hosts()[0]
+            .store()
+            .save(Checkpoint::capture(VmId::new(0), SimTime::EPOCH, &mem));
+        assert_eq!(c.hosts()[0].store().vm_count(), 1);
+        assert_eq!(c.hosts()[1].store().vm_count(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let h = Host::benchmark_default(HostId::new(0));
+        let h2 = h.clone();
+        use vecycle_checkpoint::Checkpoint;
+        use vecycle_mem::DigestMemory;
+        use vecycle_types::{PageCount, SimTime, VmId};
+        let mem = DigestMemory::with_distinct_content(PageCount::new(4), 1);
+        h.store()
+            .save(Checkpoint::capture(VmId::new(0), SimTime::EPOCH, &mem));
+        assert_eq!(h2.store().vm_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_cluster_panics() {
+        let _ = Cluster::homogeneous(0, LinkSpec::lan_gigabit());
+    }
+
+    #[test]
+    fn with_disk_swaps_model() {
+        use crate::disk::DiskKind;
+        let h = Host::benchmark_default(HostId::new(0)).with_disk(DiskSpec::ssd_intel_330());
+        assert_eq!(h.disk().kind(), DiskKind::Ssd);
+    }
+}

@@ -1,0 +1,192 @@
+//! [`ByteMemory`]: a guest memory image backed by real page bytes.
+
+use vecycle_types::{PageCount, PageDigest, PageIndex, PAGE_SIZE};
+
+use crate::{MemoryImage, MutableMemory, PageContent};
+
+/// A guest memory image holding actual 4 KiB page contents.
+///
+/// Digests are computed with real MD5 (via [`vecycle_hash::page_digest`])
+/// and cached per page; writes invalidate the cache lazily. This image is
+/// meant for modest sizes — integration tests use tens of MiB to prove the
+/// destination merge logic (Listing 1 of the paper) reconstructs memory
+/// byte-for-byte.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_mem::{ByteMemory, MemoryImage, MutableMemory, PageContent};
+/// use vecycle_types::{PageCount, PageIndex};
+///
+/// let mut vm = ByteMemory::zeroed(PageCount::new(16));
+/// vm.write_page(PageIndex::new(3), PageContent::Bytes(b"guest data"));
+/// assert_eq!(&vm.read_page(PageIndex::new(3))[..10], b"guest data");
+/// assert!(!vm.page_digest(PageIndex::new(3)).is_zero_page());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByteMemory {
+    bytes: Vec<u8>,
+    digest_cache: Vec<Option<PageDigest>>,
+}
+
+impl ByteMemory {
+    /// Creates an all-zero memory of `pages` pages.
+    pub fn zeroed(pages: PageCount) -> Self {
+        let n = pages.as_usize();
+        ByteMemory {
+            bytes: vec![0u8; n * PAGE_SIZE as usize],
+            digest_cache: vec![Some(PageDigest::ZERO_PAGE); n],
+        }
+    }
+
+    /// Creates a memory where every page holds distinct deterministic
+    /// content derived from `seed`.
+    pub fn with_distinct_content(pages: PageCount, seed: u64) -> Self {
+        let mut mem = ByteMemory::zeroed(pages);
+        for i in 0..pages.as_u64() {
+            mem.write_page(
+                PageIndex::new(i),
+                PageContent::ContentId((seed << 40) ^ (i + 1)),
+            );
+        }
+        mem
+    }
+
+    /// Reads one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn read_page(&self, idx: PageIndex) -> &[u8] {
+        let start = idx.as_usize() * PAGE_SIZE as usize;
+        &self.bytes[start..start + PAGE_SIZE as usize]
+    }
+
+    /// An immutable deep copy of the current state.
+    pub fn snapshot(&self) -> ByteMemory {
+        self.clone()
+    }
+
+    /// True if every page of `self` and `other` is byte-identical.
+    pub fn content_equals(&self, other: &ByteMemory) -> bool {
+        self.bytes == other.bytes
+    }
+
+    fn page_range(&self, idx: PageIndex) -> std::ops::Range<usize> {
+        let start = idx.as_usize() * PAGE_SIZE as usize;
+        start..start + PAGE_SIZE as usize
+    }
+}
+
+impl MemoryImage for ByteMemory {
+    fn page_count(&self) -> PageCount {
+        PageCount::new(self.digest_cache.len() as u64)
+    }
+
+    fn page_digest(&self, idx: PageIndex) -> PageDigest {
+        if let Some(d) = self.digest_cache[idx.as_usize()] {
+            return d;
+        }
+        vecycle_hash::page_digest(self.read_page(idx))
+    }
+
+    fn page_bytes(&self, idx: PageIndex) -> Option<&[u8]> {
+        Some(self.read_page(idx))
+    }
+}
+
+impl MutableMemory for ByteMemory {
+    fn write_page(&mut self, idx: PageIndex, content: PageContent<'_>) {
+        let range = self.page_range(idx);
+        match content {
+            PageContent::Zero => {
+                self.bytes[range].fill(0);
+                self.digest_cache[idx.as_usize()] = Some(PageDigest::ZERO_PAGE);
+            }
+            other => {
+                let page = other.materialize();
+                self.bytes[range].copy_from_slice(&page);
+                // Recompute eagerly: callers interleave reads and writes
+                // and the hash cost is what ByteMemory exists to pay.
+                self.digest_cache[idx.as_usize()] = Some(vecycle_hash::page_digest(&page));
+            }
+        }
+    }
+
+    fn relocate_page(&mut self, src: PageIndex, dst: PageIndex) {
+        let src_range = self.page_range(src);
+        let page = self.bytes[src_range].to_vec();
+        let dst_range = self.page_range(dst);
+        self.bytes[dst_range].copy_from_slice(&page);
+        self.digest_cache[dst.as_usize()] = self.digest_cache[src.as_usize()];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_pages_have_zero_digest() {
+        let m = ByteMemory::zeroed(PageCount::new(4));
+        for i in 0..4 {
+            assert!(m.page_digest(PageIndex::new(i)).is_zero_page());
+        }
+    }
+
+    #[test]
+    fn digest_matches_real_md5() {
+        let mut m = ByteMemory::zeroed(PageCount::new(2));
+        m.write_page(PageIndex::new(1), PageContent::Bytes(b"abc"));
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        page[..3].copy_from_slice(b"abc");
+        assert_eq!(
+            m.page_digest(PageIndex::new(1)),
+            vecycle_hash::page_digest(&page)
+        );
+    }
+
+    #[test]
+    fn digest_agrees_with_digest_memory_for_content_ids() {
+        use crate::DigestMemory;
+        let mut bytes = ByteMemory::zeroed(PageCount::new(3));
+        let mut digests = DigestMemory::zeroed(PageCount::new(3));
+        for i in 0..3u64 {
+            bytes.write_page(PageIndex::new(i), PageContent::ContentId(100 + i));
+            digests.write_page(PageIndex::new(i), PageContent::ContentId(100 + i));
+        }
+        // The two representations *classify* pages identically: same
+        // content ID -> same digest within each representation. They use
+        // different digest functions internally (MD5 vs ID expansion), so
+        // what must agree is equality structure, not raw digest values.
+        for i in 0..3u64 {
+            for j in 0..3u64 {
+                let idx_i = PageIndex::new(i);
+                let idx_j = PageIndex::new(j);
+                assert_eq!(
+                    bytes.page_digest(idx_i) == bytes.page_digest(idx_j),
+                    digests.page_digest(idx_i) == digests.page_digest(idx_j),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relocate_copies_bytes_and_digest() {
+        let mut m = ByteMemory::with_distinct_content(PageCount::new(4), 5);
+        let src = PageIndex::new(1);
+        let dst = PageIndex::new(3);
+        m.relocate_page(src, dst);
+        assert_eq!(m.read_page(src), m.read_page(dst));
+        assert_eq!(m.page_digest(src), m.page_digest(dst));
+    }
+
+    #[test]
+    fn content_equals_detects_divergence() {
+        let a = ByteMemory::with_distinct_content(PageCount::new(4), 5);
+        let mut b = a.snapshot();
+        assert!(a.content_equals(&b));
+        b.write_page(PageIndex::new(0), PageContent::Zero);
+        assert!(!a.content_equals(&b));
+    }
+}

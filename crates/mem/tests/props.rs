@@ -1,0 +1,84 @@
+//! Property tests: trackers against reference models.
+
+use std::collections::HashSet;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vecycle_mem::{
+    DigestMemory, DirtyTracker, GenerationTable, Guest, MemoryImage, MutableMemory,
+    PageContent,
+};
+use vecycle_types::{PageCount, PageIndex};
+
+const PAGES: u64 = 96;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DirtyTracker behaves exactly like a sorted set of marked pages.
+    #[test]
+    fn dirty_tracker_matches_set_model(marks in vec(0u64..PAGES, 0..300)) {
+        let mut tracker = DirtyTracker::new(PageCount::new(PAGES));
+        let mut model: HashSet<u64> = HashSet::new();
+        for m in marks {
+            tracker.mark(PageIndex::new(m));
+            model.insert(m);
+            prop_assert!(tracker.is_dirty(PageIndex::new(m)));
+        }
+        prop_assert_eq!(tracker.dirty_count().as_u64(), model.len() as u64);
+        let mut expected: Vec<u64> = model.into_iter().collect();
+        expected.sort_unstable();
+        let drained: Vec<u64> = tracker.drain().into_iter().map(|p| p.as_u64()).collect();
+        prop_assert_eq!(drained, expected);
+        prop_assert_eq!(tracker.dirty_count().as_u64(), 0);
+    }
+
+    /// A guest's dirty set and changed-content set coincide for
+    /// fresh-content writes (no recycling, no relocation).
+    #[test]
+    fn dirty_set_equals_diff_for_fresh_writes(writes in vec(0u64..PAGES, 0..64)) {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(PAGES), 7);
+        let snapshot = mem.snapshot();
+        let mut guest = Guest::new(mem);
+        for (i, w) in writes.iter().enumerate() {
+            guest.write_page(
+                PageIndex::new(*w),
+                PageContent::ContentId((1 << 50) | i as u64),
+            );
+        }
+        let diff = guest.memory().pages_differing_from(&snapshot);
+        // Every changed page is dirty; a page rewritten repeatedly is
+        // one dirty bit; a dirty page always differs because content is
+        // always fresh.
+        prop_assert_eq!(guest.dirty().dirty_count(), diff);
+    }
+
+    /// Generations count writes exactly.
+    #[test]
+    fn generation_counts_writes(writes in vec(0u64..PAGES, 0..200)) {
+        let mut table = GenerationTable::new(PageCount::new(PAGES));
+        let mut counts = vec![0u64; PAGES as usize];
+        for w in &writes {
+            table.bump(PageIndex::new(*w));
+            counts[*w as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(table.generation(PageIndex::new(i as u64)).as_u64(), c);
+        }
+    }
+
+    /// Relocation never invents content: digests after any relocation
+    /// sequence are a subset of digests before.
+    #[test]
+    fn relocation_preserves_content_universe(moves in vec((0u64..PAGES, 0u64..PAGES), 0..64)) {
+        let mut mem = DigestMemory::with_distinct_content(PageCount::new(PAGES), 9);
+        let before: HashSet<_> = mem.digests().into_iter().collect();
+        for (src, dst) in moves {
+            mem.relocate_page(PageIndex::new(src), PageIndex::new(dst));
+        }
+        for d in mem.digests() {
+            prop_assert!(before.contains(&d));
+        }
+    }
+}

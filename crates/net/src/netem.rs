@@ -1,0 +1,182 @@
+//! [`Netem`]: emulated network impairments, as the paper's testbed used.
+//!
+//! §4.4: "We used netem to emulate the wide area network in our Linux
+//! benchmark environment." This module models what netem does to a TCP
+//! stream analytically: added delay, rate limiting, and random loss.
+//! Under loss, sustained TCP throughput follows the Mathis model,
+//! `BW ≈ (MSS / RTT) · (C / √p)` with `C ≈ 1.22` — the reason a few
+//! tenths of a percent of loss can hurt a WAN migration more than the
+//! advertised bandwidth suggests.
+
+use serde::{Deserialize, Serialize};
+
+use vecycle_types::{Bytes, BytesPerSec, SimDuration};
+
+use crate::LinkSpec;
+
+/// TCP maximum segment size assumed by the loss model.
+const MSS: f64 = 1448.0;
+
+/// The Mathis constant for Reno-style congestion control.
+const MATHIS_C: f64 = 1.22;
+
+/// A netem-style impairment specification applied to a base link.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_net::{LinkSpec, Netem};
+/// use vecycle_types::{Bytes, SimDuration};
+///
+/// // The paper's WAN: 465 Mbit/s with 27 ms delay...
+/// let clean = LinkSpec::wan_cloudnet();
+/// // ...now with 0.1% loss on top.
+/// let lossy = Netem::new()
+///     .loss(0.001)
+///     .apply(clean);
+/// let gib = Bytes::from_gib(1);
+/// assert!(lossy.transfer_time(gib) > clean.transfer_time(gib));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Netem {
+    extra_delay: SimDuration,
+    loss: f64,
+    rate_limit: Option<BytesPerSec>,
+}
+
+impl Netem {
+    /// No impairment.
+    pub fn new() -> Self {
+        Netem::default()
+    }
+
+    /// Adds one-way delay (netem `delay`).
+    #[must_use]
+    pub fn delay(mut self, delay: SimDuration) -> Self {
+        self.extra_delay = delay;
+        self
+    }
+
+    /// Sets the random loss probability (netem `loss`), `0 ≤ p < 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability {p} out of [0,1)");
+        self.loss = p;
+        self
+    }
+
+    /// Caps the link rate (netem `rate`).
+    #[must_use]
+    pub fn rate(mut self, rate: BytesPerSec) -> Self {
+        self.rate_limit = Some(rate);
+        self
+    }
+
+    /// The sustained TCP throughput under this impairment for a flow
+    /// with round-trip time `rtt` (Mathis et al., CCR 1997).
+    pub fn tcp_throughput(&self, rtt: SimDuration) -> Option<BytesPerSec> {
+        if self.loss <= 0.0 {
+            return None; // loss-free: the window/bandwidth cap governs
+        }
+        let rtt_s = rtt.as_secs_f64().max(1e-6);
+        Some(BytesPerSec::new(MSS / rtt_s * MATHIS_C / self.loss.sqrt()))
+    }
+
+    /// Applies the impairment to a base link, producing the effective
+    /// [`LinkSpec`] a migration experiences.
+    pub fn apply(&self, base: LinkSpec) -> LinkSpec {
+        let latency = base.latency().saturating_add(self.extra_delay);
+        let mut bandwidth = base.bandwidth();
+        if let Some(cap) = self.rate_limit {
+            bandwidth = bandwidth.min(cap);
+        }
+        let mut link = base
+            .with_bandwidth(bandwidth)
+            .with_latency(latency);
+        if let Some(tcp) = self.tcp_throughput(latency * 2) {
+            // Encode the Mathis ceiling as an equivalent TCP window so the
+            // LinkSpec arithmetic stays uniform.
+            let window = Bytes::new((tcp.as_f64() * latency.as_secs_f64() * 2.0) as u64);
+            let capped = match link.tcp_window() {
+                Some(existing) => existing.min(window),
+                None => window,
+            };
+            link = link.with_tcp_window(Some(capped));
+        }
+        link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_impairment_is_identity() {
+        let base = LinkSpec::lan_gigabit();
+        assert_eq!(Netem::new().apply(base), base);
+    }
+
+    #[test]
+    fn delay_adds_to_latency() {
+        let base = LinkSpec::lan_gigabit();
+        let slowed = Netem::new().delay(SimDuration::from_millis(27)).apply(base);
+        assert_eq!(
+            slowed.latency(),
+            base.latency() + SimDuration::from_millis(27)
+        );
+    }
+
+    #[test]
+    fn mathis_throughput_matches_formula() {
+        // 54 ms RTT, 0.1% loss: 1448/0.054 * 1.22/sqrt(0.001) ≈ 1.03 MB/s.
+        let tcp = Netem::new()
+            .loss(0.001)
+            .tcp_throughput(SimDuration::from_millis(54))
+            .unwrap();
+        let expected = 1448.0 / 0.054 * 1.22 / 0.001f64.sqrt();
+        assert!((tcp.as_f64() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn loss_dominates_a_fat_wan() {
+        let clean = LinkSpec::wan_cloudnet();
+        let lossy = Netem::new().loss(0.005).apply(clean);
+        // 0.5% loss at 54 ms RTT caps TCP near 460 KB/s — far below the
+        // clean link's ~6 MiB/s.
+        let ratio = lossy.effective_bandwidth().as_f64() / clean.effective_bandwidth().as_f64();
+        assert!(ratio < 0.15, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn tiny_loss_leaves_fast_lan_window_bound() {
+        // On a 0.2 ms RTT LAN, even 0.01% loss allows ~10 GB/s Mathis
+        // throughput: the base bandwidth still governs.
+        let base = LinkSpec::lan_gigabit();
+        let lossy = Netem::new().loss(0.0001).apply(base);
+        assert!(
+            (lossy.effective_bandwidth().as_f64() - base.effective_bandwidth().as_f64()).abs()
+                / base.effective_bandwidth().as_f64()
+                < 0.05
+        );
+    }
+
+    #[test]
+    fn rate_limit_caps_bandwidth() {
+        let base = LinkSpec::lan_gigabit();
+        let limited = Netem::new()
+            .rate(BytesPerSec::from_mib_per_sec(10))
+            .apply(base);
+        assert!(limited.effective_bandwidth().as_mib_per_sec() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_panics() {
+        let _ = Netem::new().loss(1.0);
+    }
+}

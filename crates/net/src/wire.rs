@@ -1,0 +1,90 @@
+//! Wire-format sizing for migration messages (§3.2/§3.3).
+//!
+//! "Each message is a page number plus either a checksum or the full
+//! page." These constants define the exact byte cost of every message so
+//! traffic accounting is reproducible rather than hand-waved.
+
+use vecycle_types::{Bytes, PAGE_SIZE};
+
+/// Bytes of framing per message: an 8-byte page number plus a 4-byte
+/// type/length word.
+pub const MSG_HEADER: u64 = 12;
+
+/// Bytes per checksum on the wire (MD5-sized).
+pub const CHECKSUM_SIZE: u64 = 16;
+
+/// Size of a message carrying a full page.
+///
+/// The sender attaches the checksum alongside the page, which "saves the
+/// receiver from re-computing the checksum for the received page".
+pub fn full_page_msg() -> Bytes {
+    Bytes::new(MSG_HEADER + CHECKSUM_SIZE + PAGE_SIZE)
+}
+
+/// Size of a message carrying only a checksum (page exists remotely).
+pub fn checksum_msg() -> Bytes {
+    Bytes::new(MSG_HEADER + CHECKSUM_SIZE)
+}
+
+/// Size of the bulk checksum pre-exchange for `distinct` digests.
+///
+/// "The destination sends the hashes of locally available pages to the
+/// source" before the first copy round; 16 bytes per distinct hash plus
+/// one message header.
+pub fn bulk_exchange(distinct: u64) -> Bytes {
+    Bytes::new(MSG_HEADER + distinct * CHECKSUM_SIZE)
+}
+
+/// Size of a per-page query (the §3.2 alternative protocol): one
+/// checksum out, one boolean-sized reply back.
+pub fn page_query() -> Bytes {
+    Bytes::new(MSG_HEADER + CHECKSUM_SIZE)
+}
+
+/// Size of the reply to a per-page query.
+pub fn page_query_reply() -> Bytes {
+    Bytes::new(MSG_HEADER + 1)
+}
+
+/// Size of a deduplication back-reference: instead of a page, an index
+/// into already-sent content (CloudNet-style sender-side dedup).
+pub fn dedup_ref_msg() -> Bytes {
+    Bytes::new(MSG_HEADER + 8)
+}
+
+/// Size of a zero-page marker. QEMU detects all-zero pages during the
+/// copy and sends a flagged header instead of 4 KiB of zeros; the
+/// VeCycle prototype inherits this behaviour from QEMU 2.0.
+pub fn zero_page_msg() -> Bytes {
+    Bytes::new(MSG_HEADER + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes_are_sane() {
+        assert_eq!(full_page_msg().as_u64(), 12 + 16 + 4096);
+        assert_eq!(checksum_msg().as_u64(), 28);
+        assert!(dedup_ref_msg() < checksum_msg());
+        assert!(checksum_msg() < full_page_msg());
+        assert!(zero_page_msg() < dedup_ref_msg());
+    }
+
+    #[test]
+    fn bulk_exchange_matches_paper_estimate() {
+        // 4 GiB VM, all pages unique: 2^20 checksums ≈ 16 MiB.
+        let b = bulk_exchange(1 << 20);
+        let mib = b.as_mib_f64();
+        assert!((mib - 16.0).abs() < 0.01, "got {mib} MiB");
+    }
+
+    #[test]
+    fn checksum_saving_ratio() {
+        // A checksum-only message replaces a full-page message: the
+        // saving factor is ~147x per reusable page.
+        let ratio = full_page_msg().as_f64() / checksum_msg().as_f64();
+        assert!(ratio > 100.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: the simulator is a stable priority queue.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vecycle_sim::Simulator;
+use vecycle_types::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events pop in timestamp order; ties pop in insertion order.
+    #[test]
+    fn pop_order_is_stable_sort(times in vec(0u64..500, 1..200)) {
+        let mut sim = Simulator::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::EPOCH + SimDuration::from_secs(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().zip(0..).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let mut popped = Vec::new();
+        while let Some(ev) = sim.pop() {
+            popped.push((ev.time.since_epoch().as_nanos() / 1_000_000_000, ev.payload));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// The clock is monotone under any interleaving of schedule/pop.
+    #[test]
+    fn clock_is_monotone(ops in vec((any::<bool>(), 0u64..100), 1..100)) {
+        let mut sim = Simulator::new();
+        let mut last = SimTime::EPOCH;
+        for (do_pop, delay) in ops {
+            if do_pop {
+                if let Some(ev) = sim.pop() {
+                    prop_assert!(ev.time >= last);
+                    last = ev.time;
+                }
+            } else {
+                sim.schedule_after(SimDuration::from_secs(delay), ());
+            }
+            prop_assert!(sim.now() >= last);
+            last = sim.now();
+        }
+    }
+
+    /// run_until processes exactly the events at or before the deadline.
+    #[test]
+    fn run_until_partitions_events(times in vec(0u64..200, 0..100), deadline in 0u64..200) {
+        let mut sim = Simulator::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::EPOCH + SimDuration::from_secs(t), t);
+        }
+        let cutoff = SimTime::EPOCH + SimDuration::from_secs(deadline);
+        let mut seen = Vec::new();
+        sim.run_until(cutoff, |_, ev| seen.push(ev.payload));
+        let expected = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(seen.len(), expected);
+        prop_assert_eq!(sim.pending(), times.len() - expected);
+    }
+}

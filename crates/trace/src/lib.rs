@@ -1,0 +1,57 @@
+//! Memory fingerprints, similarity analysis and synthetic traces.
+//!
+//! The first half of the paper is *trace analysis*: how similar is a
+//! machine's memory to what it was Δt ago (Figures 1, 2), how many pages
+//! are duplicates or zeros (Figure 4), and how many pages would each
+//! traffic-reduction technique transfer between two observations
+//! (Figure 5). The analyses all operate on **fingerprints** — one content
+//! digest per page, recorded every 30 minutes, exactly like the Memory
+//! Buddies traces the paper uses.
+//!
+//! The original traces are not redistributable here, so this crate also
+//! contains a **synthetic trace generator**: per-machine profiles (server,
+//! laptop, web crawler, desktop) whose page-update mixture, duplicate
+//! pools, activity schedules and relocation behaviour are calibrated to
+//! reproduce the statistical shapes the paper reports. The substitution is
+//! sound because every paper analysis is a pure function of the
+//! fingerprint sequence.
+//!
+//! # Examples
+//!
+//! ```
+//! use vecycle_trace::{catalog, TraceGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let machine = &catalog()[0]; // Server A
+//! // Tiny scale for the example; benches use larger scales.
+//! let trace = TraceGenerator::new(machine.profile.clone(), 0x5eed)
+//!     .scale_pages(1024)
+//!     .generate()?;
+//! assert!(trace.fingerprints().len() > 300);
+//! let first = &trace.fingerprints()[0];
+//! let later = &trace.fingerprints()[48]; // 24 h later
+//! let sim = first.similarity(later);
+//! assert!(sim.as_f64() > 0.0 && sim.as_f64() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod fingerprint;
+mod generator;
+mod io;
+mod pairs;
+mod profile;
+mod schedule;
+mod stats;
+
+pub use catalog::{catalog, MachineKind, TracedMachine};
+pub use fingerprint::Fingerprint;
+pub use generator::{Trace, TraceGenerator};
+pub use pairs::{BinnedSimilarity, PairStats, SimilarityBin};
+pub use profile::{MachineProfile, PageClass, UpdateMix};
+pub use schedule::ActivitySchedule;
+pub use stats::TraceStats;

@@ -1,0 +1,297 @@
+//! Fingerprint-pair enumeration and similarity binning (Figures 1 & 2).
+
+use vecycle_types::{Ratio, SimDuration};
+
+use crate::Fingerprint;
+
+/// Aggregate statistics for one time-delta bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityBin {
+    /// Center of the bin (e.g. 30 min, 60 min, ...).
+    pub delta: SimDuration,
+    /// Number of fingerprint pairs in the bin.
+    pub pairs: u64,
+    /// Minimum similarity observed.
+    pub min: Ratio,
+    /// Mean similarity.
+    pub avg: Ratio,
+    /// Maximum similarity observed.
+    pub max: Ratio,
+}
+
+/// The binned min/avg/max similarity series of one machine's trace.
+///
+/// Reproduces the paper's methodology (§2.3): enumerate all fingerprint
+/// pairs, compute their similarity, and sort the pairs into bins by time
+/// delta — the first bin covering [15 min, 45 min), the second
+/// [45 min, 75 min), and so on.
+#[derive(Debug, Clone)]
+pub struct BinnedSimilarity {
+    bins: Vec<SimilarityBin>,
+}
+
+impl BinnedSimilarity {
+    /// Computes the series over all pairs with `delta ≤ max_delta`.
+    ///
+    /// `bin_width` is the fingerprint interval (30 min in the paper);
+    /// pair `(a, b)` falls into the bin whose center is the nearest
+    /// multiple of `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is zero.
+    pub fn compute(
+        fingerprints: &[Fingerprint],
+        bin_width: SimDuration,
+        max_delta: SimDuration,
+    ) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        let nbins = (max_delta.as_nanos() / bin_width.as_nanos() + 1) as usize;
+        let mut acc: Vec<(u64, f64, f64, f64)> =
+            vec![(0, f64::INFINITY, 0.0, f64::NEG_INFINITY); nbins];
+
+        for (i, fa) in fingerprints.iter().enumerate() {
+            for fb in &fingerprints[i + 1..] {
+                let delta = fb.taken_at().duration_since(fa.taken_at());
+                if delta > max_delta || delta.is_zero() {
+                    continue;
+                }
+                // Nearest-multiple binning: [15, 45) min -> bin 1, etc.
+                let bin = ((delta.as_nanos() + bin_width.as_nanos() / 2)
+                    / bin_width.as_nanos()) as usize;
+                if bin == 0 || bin >= nbins {
+                    continue;
+                }
+                let s = fa.similarity(fb).as_f64();
+                let (count, min, sum, max) = &mut acc[bin];
+                *count += 1;
+                *min = min.min(s);
+                *sum += s;
+                *max = max.max(s);
+            }
+        }
+
+        let bins = acc
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (count, ..))| *count > 0)
+            .map(|(i, (count, min, sum, max))| SimilarityBin {
+                delta: SimDuration::from_nanos(bin_width.as_nanos() * i as u64),
+                pairs: count,
+                min: Ratio::new(min),
+                avg: Ratio::new(sum / count as f64),
+                max: Ratio::new(max),
+            })
+            .collect();
+        BinnedSimilarity { bins }
+    }
+
+    /// The populated bins, in increasing time-delta order.
+    pub fn bins(&self) -> &[SimilarityBin] {
+        &self.bins
+    }
+
+    /// The bin nearest to `delta`, if populated.
+    pub fn at(&self, delta: SimDuration) -> Option<&SimilarityBin> {
+        self.bins.iter().min_by_key(|b| {
+            b.delta
+                .saturating_sub(delta)
+                .max(delta.saturating_sub(b.delta))
+        })
+    }
+}
+
+/// Per-pair transfer statistics of the Figure 5 methods.
+///
+/// Counts are *pages transferred in full* by each technique when
+/// migrating the machine state observed in fingerprint `b`, given that
+/// the destination holds a checkpoint of fingerprint `a`. See
+/// `vecycle_core::strategy` for the within-migration engine versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairStats {
+    /// Total pages (the baseline full transfer).
+    pub total: u64,
+    /// Sender-side deduplication: each distinct content once.
+    pub dedup: u64,
+    /// Dirty-page tracking: pages changed in place (Miyakodori).
+    pub dirty: u64,
+    /// Dirty tracking combined with deduplication.
+    pub dirty_dedup: u64,
+    /// Content-based redundancy elimination (VeCycle): pages whose
+    /// content is absent from the checkpoint.
+    pub hashes: u64,
+    /// VeCycle combined with deduplication.
+    pub hashes_dedup: u64,
+}
+
+impl PairStats {
+    /// Computes all six methods for the pair `(a, b)`, `a` earlier.
+    pub fn compute(a: &Fingerprint, b: &Fingerprint) -> Self {
+        let total = b.page_count().as_u64();
+        let dedup = b.unique_count().as_u64();
+        let dirty = a.dirty_pages_to(b).as_u64();
+
+        // Dirty + dedup: each distinct content among the dirty pages once.
+        let common = a.pages().len().min(b.pages().len());
+        let mut dirty_contents: Vec<_> = a.pages()[..common]
+            .iter()
+            .zip(&b.pages()[..common])
+            .filter(|(x, y)| x != y)
+            .map(|(_, y)| *y)
+            .chain(b.pages()[common..].iter().copied())
+            .collect();
+        dirty_contents.sort_unstable();
+        dirty_contents.dedup();
+        let dirty_dedup = dirty_contents.len() as u64;
+
+        let hashes = a.novel_pages_in(b).as_u64();
+        let hashes_dedup = a.novel_unique_in(b).as_u64();
+
+        PairStats {
+            total,
+            dedup,
+            dirty,
+            dirty_dedup,
+            hashes,
+            hashes_dedup,
+        }
+    }
+
+    /// Fraction of baseline traffic for each method, in the order
+    /// `(dedup, dirty, dirty+dedup, hashes, hashes+dedup)`.
+    pub fn fractions(&self) -> [Ratio; 5] {
+        let f = |x: u64| {
+            if self.total == 0 {
+                Ratio::ZERO
+            } else {
+                Ratio::new(x as f64 / self.total as f64)
+            }
+        };
+        [
+            f(self.dedup),
+            f(self.dirty),
+            f(self.dirty_dedup),
+            f(self.hashes),
+            f(self.hashes_dedup),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_types::{PageDigest, SimTime};
+
+    fn fp(mins: u64, ids: &[u64]) -> Fingerprint {
+        Fingerprint::new(
+            SimTime::EPOCH + SimDuration::from_mins(mins),
+            ids.iter().map(|&i| PageDigest::from_content_id(i)).collect(),
+        )
+    }
+
+    #[test]
+    fn binning_groups_by_delta() {
+        let fps = vec![
+            fp(0, &[1, 2]),
+            fp(30, &[1, 2]),
+            fp(60, &[1, 3]),
+        ];
+        let b = BinnedSimilarity::compute(
+            &fps,
+            SimDuration::from_mins(30),
+            SimDuration::from_hours(24),
+        );
+        // Deltas: 30 (x2) and 60 (x1).
+        assert_eq!(b.bins().len(), 2);
+        assert_eq!(b.bins()[0].delta, SimDuration::from_mins(30));
+        assert_eq!(b.bins()[0].pairs, 2);
+        assert_eq!(b.bins()[1].pairs, 1);
+    }
+
+    #[test]
+    fn bin_stats_track_min_avg_max() {
+        // Two 30-min pairs: identical (sim 1.0) and half-overlap (0.5).
+        let fps = vec![
+            fp(0, &[1, 2]),
+            fp(30, &[1, 2]),
+            fp(60, &[1, 9]),
+        ];
+        let b = BinnedSimilarity::compute(
+            &fps,
+            SimDuration::from_mins(30),
+            SimDuration::from_hours(1),
+        );
+        let bin = &b.bins()[0];
+        assert_eq!(bin.pairs, 2);
+        assert!((bin.min.as_f64() - 0.5).abs() < 1e-12);
+        assert!((bin.max.as_f64() - 1.0).abs() < 1e-12);
+        assert!((bin.avg.as_f64() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_delta_is_respected() {
+        let fps = vec![fp(0, &[1]), fp(30, &[1]), fp(24 * 60 + 30, &[1])];
+        let b = BinnedSimilarity::compute(
+            &fps,
+            SimDuration::from_mins(30),
+            SimDuration::from_hours(24),
+        );
+        let total_pairs: u64 = b.bins().iter().map(|x| x.pairs).sum();
+        // The 24.5 h pairs fall outside; only (0,30) and (30, 24h30)... the
+        // latter is exactly 24 h -> included. (0, 24h30) excluded.
+        assert_eq!(total_pairs, 2);
+    }
+
+    #[test]
+    fn pair_stats_hand_example() {
+        // a: [1,2,3,4]; b: [1,9,3,2] — page1 rewritten to 9, content 2
+        // relocated from index 1 to index 3 (4 evicted).
+        let a = fp(0, &[1, 2, 3, 4]);
+        let b = fp(30, &[1, 9, 3, 2]);
+        let s = PairStats::compute(&a, &b);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.dedup, 4); // all contents distinct in b
+        assert_eq!(s.dirty, 2); // indexes 1 and 3 changed
+        assert_eq!(s.dirty_dedup, 2); // contents {9, 2}
+        assert_eq!(s.hashes, 1); // only content 9 is novel
+        assert_eq!(s.hashes_dedup, 1);
+    }
+
+    #[test]
+    fn pair_stats_duplicates_in_b() {
+        let a = fp(0, &[1, 2]);
+        let b = fp(30, &[7, 7]);
+        let s = PairStats::compute(&a, &b);
+        assert_eq!(s.dedup, 1);
+        assert_eq!(s.dirty, 2);
+        assert_eq!(s.dirty_dedup, 1);
+        assert_eq!(s.hashes, 2); // both pages sent without dedup
+        assert_eq!(s.hashes_dedup, 1);
+    }
+
+    #[test]
+    fn method_ordering_invariants() {
+        // On any pair: hashes+dedup <= hashes <= total, dirty_dedup <=
+        // dirty <= total, dedup <= total.
+        let a = fp(0, &[1, 2, 3, 4, 5, 6, 2, 0]);
+        let b = fp(30, &[1, 9, 3, 2, 5, 5, 8, 0]);
+        let s = PairStats::compute(&a, &b);
+        assert!(s.hashes_dedup <= s.hashes);
+        assert!(s.hashes <= s.total);
+        assert!(s.dirty_dedup <= s.dirty);
+        assert!(s.dirty <= s.total);
+        assert!(s.dedup <= s.total);
+        // Content-based elimination never transfers more than dirty
+        // tracking: a page unchanged in place is by definition in Ua.
+        assert!(s.hashes <= s.dirty);
+    }
+
+    #[test]
+    fn fractions_are_fractions() {
+        let a = fp(0, &[1, 2, 3]);
+        let b = fp(30, &[4, 5, 6]);
+        for f in PairStats::compute(&a, &b).fractions() {
+            assert!(f.is_fraction());
+        }
+    }
+}

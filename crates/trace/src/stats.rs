@@ -1,0 +1,135 @@
+//! [`TraceStats`]: one-look summaries of a trace.
+
+use vecycle_types::{Ratio, SimDuration};
+
+use crate::{BinnedSimilarity, Trace};
+
+/// Headline statistics of one machine's trace — the numbers the paper
+/// quotes in prose ("the average similarity after 24 hours is between
+/// 40% and 20%", "duplicate pages vary between 5% and 20%").
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of recorded fingerprints.
+    pub fingerprints: usize,
+    /// Pages per fingerprint (scaled).
+    pub pages: u64,
+    /// Mean duplicate-page fraction across fingerprints.
+    pub mean_duplicates: Ratio,
+    /// Mean zero-page fraction across fingerprints.
+    pub mean_zeros: Ratio,
+    /// Average similarity at Δt = 1 h (None if the trace is too short
+    /// or too sparse to populate the bin).
+    pub avg_similarity_1h: Option<Ratio>,
+    /// Average similarity at Δt = 24 h.
+    pub avg_similarity_24h: Option<Ratio>,
+}
+
+impl TraceStats {
+    /// Computes the summary for `trace`.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let fps = trace.fingerprints();
+        let n = fps.len();
+        let pages = fps.first().map(|f| f.pages().len() as u64).unwrap_or(0);
+        let mean = |f: &dyn Fn(&crate::Fingerprint) -> f64| {
+            if n == 0 {
+                0.0
+            } else {
+                fps.iter().map(f).sum::<f64>() / n as f64
+            }
+        };
+        let mean_duplicates = Ratio::new(mean(&|fp| fp.duplicate_fraction().as_f64()));
+        let mean_zeros = Ratio::new(mean(&|fp| fp.zero_fraction().as_f64()));
+
+        let series = BinnedSimilarity::compute(
+            fps,
+            SimDuration::from_mins(30),
+            SimDuration::from_hours(25),
+        );
+        let exact_at = |hours: u64| {
+            let want = SimDuration::from_hours(hours);
+            series
+                .bins()
+                .iter()
+                .find(|b| b.delta == want)
+                .map(|b| b.avg)
+        };
+        TraceStats {
+            fingerprints: n,
+            pages,
+            mean_duplicates,
+            mean_zeros,
+            avg_similarity_1h: exact_at(1),
+            avg_similarity_24h: exact_at(24),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} fingerprints × {} pages; dup {}, zero {}; sim@1h {}, sim@24h {}",
+            self.fingerprints,
+            self.pages,
+            self.mean_duplicates,
+            self.mean_zeros,
+            self.avg_similarity_1h
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "–".into()),
+            self.avg_similarity_24h
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "–".into()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{catalog, TraceGenerator};
+
+    #[test]
+    fn stats_of_a_server_trace_hit_calibration_bands() {
+        let m = &catalog()[1]; // Server B
+        let trace = TraceGenerator::new(m.profile.clone(), 1)
+            .scale_pages(2048)
+            .generate()
+            .unwrap();
+        let s = TraceStats::compute(&trace);
+        // Servers reboot during the week, dropping a handful of
+        // fingerprints (§2.3).
+        assert!(s.fingerprints > 320 && s.fingerprints <= 337);
+        assert_eq!(s.pages, 2048);
+        let dup = s.mean_duplicates.as_f64();
+        assert!(dup > 0.05 && dup < 0.25, "dup = {dup}");
+        assert!(s.mean_zeros.as_f64() < 0.06);
+        let s24 = s.avg_similarity_24h.unwrap().as_f64();
+        assert!(s24 > 0.25 && s24 < 0.55, "sim@24h = {s24}");
+        let s1 = s.avg_similarity_1h.unwrap().as_f64();
+        assert!(s1 > s24, "similarity must decay");
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let trace = Trace::from_parts(vecycle_types::Bytes::from_gib(1), Vec::new());
+        let s = TraceStats::compute(&trace);
+        assert_eq!(s.fingerprints, 0);
+        assert!(s.avg_similarity_24h.is_none());
+        assert!(s.to_string().contains("–"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = &catalog()[0];
+        let mut p = m.profile.clone();
+        p.trace_duration = SimDuration::from_hours(3);
+        let trace = TraceGenerator::new(p, 2)
+            .scale_pages(256)
+            .generate()
+            .unwrap();
+        let s = TraceStats::compute(&trace);
+        let text = s.to_string();
+        assert!(text.contains("7 fingerprints"));
+        assert!(text.contains("256 pages"));
+    }
+}

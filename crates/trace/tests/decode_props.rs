@@ -1,0 +1,16 @@
+//! Property tests: the trace-file decoder is total.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vecycle_trace::Trace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the trace loader.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in vec(any::<u8>(), 0..8192)) {
+        let _ = Trace::read_from(&bytes[..]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: similarity metrics and binning invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vecycle_trace::{BinnedSimilarity, Fingerprint};
+use vecycle_types::{PageDigest, SimDuration, SimTime};
+
+fn fp(mins: u64, ids: &[u64]) -> Fingerprint {
+    Fingerprint::new(
+        SimTime::EPOCH + SimDuration::from_mins(mins),
+        ids.iter().map(|&i| PageDigest::from_content_id(i)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Binned statistics satisfy min ≤ avg ≤ max and count all pairs
+    /// within range exactly once.
+    #[test]
+    fn bins_are_consistent(series in vec(vec(0u64..16, 1..12), 2..20)) {
+        let fps: Vec<Fingerprint> = series
+            .iter()
+            .enumerate()
+            .map(|(i, ids)| fp(i as u64 * 30, ids))
+            .collect();
+        let binned = BinnedSimilarity::compute(
+            &fps,
+            SimDuration::from_mins(30),
+            SimDuration::from_hours(24),
+        );
+        let mut pair_total = 0u64;
+        for bin in binned.bins() {
+            prop_assert!(bin.min <= bin.avg, "min > avg in {bin:?}");
+            prop_assert!(bin.avg <= bin.max, "avg > max in {bin:?}");
+            prop_assert!(bin.min.is_fraction() && bin.max.is_fraction());
+            prop_assert!(bin.pairs > 0);
+            pair_total += bin.pairs;
+        }
+        // All pairs within 24 h must be counted once.
+        let n = fps.len() as u64;
+        let within: u64 = (0..n)
+            .map(|i| ((i + 1)..n).filter(|j| (j - i) * 30 <= 24 * 60).count() as u64)
+            .sum();
+        prop_assert_eq!(pair_total, within);
+    }
+
+    /// Similarity denominators: sim(a,b)·|Ua| is the intersection size,
+    /// which is symmetric.
+    #[test]
+    fn similarity_intersection_is_symmetric(a in vec(0u64..32, 1..64), b in vec(0u64..32, 1..64)) {
+        let fa = fp(0, &a);
+        let fb = fp(30, &b);
+        let ia = fa.similarity(&fb).as_f64() * fa.unique_count().as_u64() as f64;
+        let ib = fb.similarity(&fa).as_f64() * fb.unique_count().as_u64() as f64;
+        prop_assert!((ia - ib).abs() < 1e-6, "intersections differ: {ia} vs {ib}");
+    }
+
+    /// Duplicate fraction and zero fraction are consistent with unique
+    /// counts.
+    #[test]
+    fn fraction_identities(ids in vec(0u64..8, 1..128)) {
+        let f = fp(0, &ids);
+        let dup = f.duplicate_fraction().as_f64();
+        let expected = 1.0 - f.unique_count().as_u64() as f64 / ids.len() as f64;
+        prop_assert!((dup - expected).abs() < 1e-12);
+        prop_assert!(f.zero_fraction().is_fraction());
+    }
+}

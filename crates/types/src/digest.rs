@@ -1,0 +1,211 @@
+//! The [`PageDigest`] content fingerprint type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit content digest of one 4 KiB page.
+///
+/// The paper's prototype uses MD5 (16 bytes) per page; every strategy that
+/// performs content-based redundancy elimination keys on this value. The
+/// digest type itself is algorithm-agnostic — `vecycle-hash` produces these
+/// from MD5 or from truncated SHA variants.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_types::PageDigest;
+///
+/// let d = PageDigest::new([0xab; 16]);
+/// assert_eq!(d.to_hex(), "ab".repeat(16));
+/// assert!(!d.is_zero_page());
+/// assert!(PageDigest::ZERO_PAGE.is_zero_page());
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PageDigest([u8; 16]);
+
+impl PageDigest {
+    /// Number of bytes in a digest (MD5-sized).
+    pub const LEN: usize = 16;
+
+    /// The well-known digest of an all-zero page.
+    ///
+    /// This is a *sentinel*, not a real MD5 value: the trace layer assigns
+    /// it to zero pages so zero-page statistics can be computed without
+    /// hashing. The hash layer maps real all-zero pages to it as well.
+    pub const ZERO_PAGE: PageDigest = PageDigest([0u8; 16]);
+
+    /// Creates a digest from raw bytes.
+    pub const fn new(bytes: [u8; 16]) -> Self {
+        PageDigest(bytes)
+    }
+
+    /// Derives a digest from a 64-bit content identifier.
+    ///
+    /// The synthetic trace generator represents page *content* as a 64-bit
+    /// ID; this expansion is injective, so distinct IDs never collide —
+    /// mirroring the paper's assumption that true MD5 collisions are rare
+    /// enough to ignore.
+    pub fn from_content_id(id: u64) -> Self {
+        if id == 0 {
+            return PageDigest::ZERO_PAGE;
+        }
+        // SplitMix64-style diffusion for the high half; the low half keeps
+        // the raw ID so the mapping stays injective by construction.
+        let mut z = id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&z.to_le_bytes());
+        out[8..].copy_from_slice(&id.to_le_bytes());
+        PageDigest(out)
+    }
+
+    /// The raw digest bytes.
+    pub const fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning the raw bytes.
+    pub const fn into_bytes(self) -> [u8; 16] {
+        self.0
+    }
+
+    /// True if this is the zero-page sentinel digest.
+    pub fn is_zero_page(self) -> bool {
+        self == PageDigest::ZERO_PAGE
+    }
+
+    /// Lowercase hexadecimal rendering.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use fmt::Write;
+            write!(s, "{b:02x}").expect("writing to String cannot fail");
+        }
+        s
+    }
+
+    /// Parses a 32-character hexadecimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidDigest`] if the string is not exactly
+    /// 32 hex characters.
+    pub fn from_hex(s: &str) -> crate::Result<Self> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 32 {
+            return Err(crate::Error::InvalidDigest {
+                reason: format!("expected 32 hex chars, got {}", bytes.len()),
+            });
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+            let hi = hex_val(chunk[0]).ok_or_else(|| bad_char(chunk[0]))?;
+            let lo = hex_val(chunk[1]).ok_or_else(|| bad_char(chunk[1]))?;
+            out[i] = (hi << 4) | lo;
+        }
+        Ok(PageDigest(out))
+    }
+
+    /// A stable 64-bit key derived from the digest, for hash-map indexes.
+    pub fn short_key(self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn bad_char(c: u8) -> crate::Error {
+    crate::Error::InvalidDigest {
+        reason: format!("invalid hex character {:?}", c as char),
+    }
+}
+
+impl fmt::Display for PageDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<[u8; 16]> for PageDigest {
+    fn from(bytes: [u8; 16]) -> Self {
+        PageDigest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for PageDigest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let d = PageDigest::new([
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ]);
+        let hex = d.to_hex();
+        assert_eq!(hex, "00112233445566778899aabbccddeeff");
+        assert_eq!(PageDigest::from_hex(&hex).unwrap(), d);
+        assert_eq!(PageDigest::from_hex(&hex.to_uppercase()).unwrap(), d);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(PageDigest::from_hex("abc").is_err());
+        assert!(PageDigest::from_hex(&"g".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn zero_page_sentinel() {
+        assert!(PageDigest::ZERO_PAGE.is_zero_page());
+        assert_eq!(PageDigest::from_content_id(0), PageDigest::ZERO_PAGE);
+        assert!(!PageDigest::from_content_id(1).is_zero_page());
+    }
+
+    #[test]
+    fn content_id_mapping_is_injective_on_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..10_000u64 {
+            assert!(seen.insert(PageDigest::from_content_id(id)));
+        }
+    }
+
+    #[test]
+    fn content_id_low_half_preserves_id() {
+        let d = PageDigest::from_content_id(0xdead_beef);
+        let tail = u64::from_le_bytes(d.as_bytes()[8..].try_into().unwrap());
+        assert_eq!(tail, 0xdead_beef);
+    }
+
+    #[test]
+    fn display_matches_to_hex() {
+        let d = PageDigest::from_content_id(1234);
+        assert_eq!(format!("{d}"), d.to_hex());
+    }
+
+    #[test]
+    fn short_key_is_stable() {
+        let d = PageDigest::from_content_id(99);
+        assert_eq!(d.short_key(), d.short_key());
+    }
+}

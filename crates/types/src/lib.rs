@@ -1,0 +1,35 @@
+//! Shared value types for the VeCycle workspace.
+//!
+//! This crate holds the vocabulary every other crate speaks: byte and page
+//! quantities, simulated time, rates, identifiers for hosts/VMs/machines,
+//! and the [`PageDigest`] content fingerprint type.
+//!
+//! Everything here is a small, cheap value type. The newtypes exist so the
+//! compiler keeps bytes, pages, seconds and rates from being mixed up — a
+//! classic source of silent errors in simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use vecycle_types::{Bytes, BytesPerSec, SimDuration};
+//!
+//! let ram = Bytes::from_mib(4096);
+//! let gbe = BytesPerSec::from_mib_per_sec(120);
+//! let t: SimDuration = gbe.time_to_transfer(ram);
+//! assert!((t.as_secs_f64() - 34.13).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digest;
+mod error;
+mod ids;
+mod time;
+mod units;
+
+pub use digest::PageDigest;
+pub use error::{Error, Result};
+pub use ids::{HostId, MachineId, PageIndex, VmId};
+pub use time::{SimDuration, SimTime};
+pub use units::{Bytes, BytesPerSec, PageCount, Ratio, PAGE_SIZE};

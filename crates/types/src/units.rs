@@ -1,0 +1,593 @@
+//! Quantity newtypes: bytes, pages, rates and ratios.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// The page size used throughout the simulation, in bytes.
+///
+/// The paper (and x86) uses 4 KiB pages; all checksums, transfer units and
+/// checkpoint records are per 4 KiB page.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A quantity of bytes.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_types::Bytes;
+///
+/// let a = Bytes::from_mib(1);
+/// assert_eq!(a.as_u64(), 1024 * 1024);
+/// assert_eq!(a + a, Bytes::from_mib(2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte quantity from a raw count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a byte quantity from kibibytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+
+    /// Creates a byte quantity from mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        Bytes(mib * 1024 * 1024)
+    }
+
+    /// Creates a byte quantity from gibibytes.
+    pub const fn from_gib(gib: u64) -> Self {
+        Bytes(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Creates a byte quantity covering `pages` whole pages.
+    pub const fn from_pages(pages: u64) -> Self {
+        Bytes(pages * PAGE_SIZE)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The byte count as a float, for rate arithmetic.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// This quantity expressed in mebibytes.
+    pub fn as_mib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// This quantity expressed in gibibytes.
+    pub fn as_gib_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Number of whole pages needed to hold this many bytes (rounds up).
+    pub fn pages_ceil(self) -> PageCount {
+        PageCount::new(self.0.div_ceil(PAGE_SIZE))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two quantities.
+    pub fn min(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.min(rhs.0))
+    }
+
+    /// The larger of two quantities.
+    pub fn max(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.max(rhs.0))
+    }
+
+    /// True if this is zero bytes.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Fraction `self / denom` as a ratio; zero when `denom` is zero.
+    pub fn fraction_of(self, denom: Bytes) -> Ratio {
+        if denom.0 == 0 {
+            Ratio::ZERO
+        } else {
+            Ratio::new(self.0 as f64 / denom.0 as f64)
+        }
+    }
+
+    /// Parses a human-readable size: `4GiB`, `512MiB`, `64KiB`, `100B`
+    /// or a raw byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidConfig`] on unknown suffixes or
+    /// non-numeric values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vecycle_types::Bytes;
+    ///
+    /// assert_eq!(Bytes::parse("4GiB")?, Bytes::from_gib(4));
+    /// assert_eq!(Bytes::parse("4096")?, Bytes::new(4096));
+    /// assert!(Bytes::parse("4GB").is_err());
+    /// # Ok::<(), vecycle_types::Error>(())
+    /// ```
+    pub fn parse(s: &str) -> crate::Result<Bytes> {
+        let (digits, mult): (&str, u64) = if let Some(d) = s.strip_suffix("GiB") {
+            (d, 1 << 30)
+        } else if let Some(d) = s.strip_suffix("MiB") {
+            (d, 1 << 20)
+        } else if let Some(d) = s.strip_suffix("KiB") {
+            (d, 1 << 10)
+        } else if let Some(d) = s.strip_suffix('B') {
+            (d, 1)
+        } else {
+            (s, 1)
+        };
+        let n: u64 = digits.trim().parse().map_err(|_| crate::Error::InvalidConfig {
+            reason: format!("cannot parse size {s:?} (try 4GiB, 512MiB, 4096)"),
+        })?;
+        n.checked_mul(mult)
+            .map(Bytes::new)
+            .ok_or_else(|| crate::Error::InvalidConfig {
+                reason: format!("size {s:?} overflows"),
+            })
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if self.0 >= 1024 * 1024 * 1024 {
+            write!(f, "{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+        } else if self.0 >= 1024 * 1024 {
+            write!(f, "{:.2} MiB", b / (1024.0 * 1024.0))
+        } else if self.0 >= 1024 {
+            write!(f, "{:.2} KiB", b / 1024.0)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+/// A count of whole 4 KiB pages.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_types::{Bytes, PageCount};
+///
+/// let n = PageCount::new(256);
+/// assert_eq!(n.bytes(), Bytes::from_mib(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PageCount(u64);
+
+impl PageCount {
+    /// Zero pages.
+    pub const ZERO: PageCount = PageCount(0);
+
+    /// Creates a page count.
+    pub const fn new(pages: u64) -> Self {
+        PageCount(pages)
+    }
+
+    /// The raw page count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The page count as `usize` (for indexing).
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Total bytes occupied by this many pages.
+    pub const fn bytes(self) -> Bytes {
+        Bytes::from_pages(self.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: PageCount) -> PageCount {
+        PageCount(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Fraction `self / denom`; zero when `denom` is zero.
+    pub fn fraction_of(self, denom: PageCount) -> Ratio {
+        if denom.0 == 0 {
+            Ratio::ZERO
+        } else {
+            Ratio::new(self.0 as f64 / denom.0 as f64)
+        }
+    }
+}
+
+impl fmt::Display for PageCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pages", self.0)
+    }
+}
+
+impl Add for PageCount {
+    type Output = PageCount;
+    fn add(self, rhs: PageCount) -> PageCount {
+        PageCount(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for PageCount {
+    fn add_assign(&mut self, rhs: PageCount) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for PageCount {
+    type Output = PageCount;
+    fn sub(self, rhs: PageCount) -> PageCount {
+        PageCount(self.0 - rhs.0)
+    }
+}
+
+impl Sum for PageCount {
+    fn sum<I: Iterator<Item = PageCount>>(iter: I) -> PageCount {
+        iter.fold(PageCount::ZERO, Add::add)
+    }
+}
+
+/// A data rate in bytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_types::{Bytes, BytesPerSec};
+///
+/// // Gigabit Ethernet moves roughly 120 MiB/s of payload.
+/// let link = BytesPerSec::from_mib_per_sec(120);
+/// let t = link.time_to_transfer(Bytes::from_gib(1));
+/// assert!((t.as_secs_f64() - 8.53).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct BytesPerSec(f64);
+
+impl BytesPerSec {
+    /// Creates a rate from raw bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative, NaN or infinite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "invalid rate: {rate}");
+        BytesPerSec(rate)
+    }
+
+    /// Creates a rate from MiB/s.
+    pub fn from_mib_per_sec(mib: u64) -> Self {
+        BytesPerSec((mib * 1024 * 1024) as f64)
+    }
+
+    /// Creates a rate from a nominal megabit-per-second link speed.
+    ///
+    /// Uses decimal megabits (10^6 bits) as network gear does.
+    pub fn from_mbit_per_sec(mbit: f64) -> Self {
+        BytesPerSec::new(mbit * 1e6 / 8.0)
+    }
+
+    /// The raw rate in bytes per second.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in MiB/s.
+    pub fn as_mib_per_sec(self) -> f64 {
+        self.0 / (1024.0 * 1024.0)
+    }
+
+    /// Time needed to move `bytes` at this rate.
+    ///
+    /// A zero rate yields [`SimDuration::MAX`], which keeps arithmetic on
+    /// stalled links well-defined.
+    pub fn time_to_transfer(self, bytes: Bytes) -> SimDuration {
+        if self.0 <= 0.0 {
+            return SimDuration::MAX;
+        }
+        SimDuration::from_secs_f64(bytes.as_f64() / self.0)
+    }
+
+    /// Bytes moved in `dur` at this rate.
+    pub fn bytes_in(self, dur: SimDuration) -> Bytes {
+        Bytes::new((self.0 * dur.as_secs_f64()) as u64)
+    }
+
+    /// The smaller of two rates.
+    pub fn min(self, rhs: BytesPerSec) -> BytesPerSec {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl fmt::Display for BytesPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MiB/s", self.as_mib_per_sec())
+    }
+}
+
+impl Mul<f64> for BytesPerSec {
+    type Output = BytesPerSec;
+    fn mul(self, rhs: f64) -> BytesPerSec {
+        BytesPerSec::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for BytesPerSec {
+    type Output = BytesPerSec;
+    fn div(self, rhs: f64) -> BytesPerSec {
+        BytesPerSec::new(self.0 / rhs)
+    }
+}
+
+/// A dimensionless ratio, usually in `[0, 1]`.
+///
+/// Used for similarities, traffic fractions and reductions. Construction
+/// clamps NaN to zero but deliberately does *not* clamp the range: ratios
+/// above 1 are meaningful (e.g. overhead) and asserting on them belongs to
+/// the caller.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_types::Ratio;
+///
+/// let sim = Ratio::new(0.42);
+/// assert_eq!(format!("{sim}"), "42.0%");
+/// assert!((sim.complement().as_f64() - 0.58).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Ratio = Ratio(0.0);
+
+    /// The unit ratio.
+    pub const ONE: Ratio = Ratio(1.0);
+
+    /// Creates a ratio. NaN becomes zero.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            Ratio(0.0)
+        } else {
+            Ratio(v)
+        }
+    }
+
+    /// The raw value.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// `1 - self`, clamped at zero.
+    pub fn complement(self) -> Ratio {
+        Ratio((1.0 - self.0).max(0.0))
+    }
+
+    /// The value as a percentage.
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// True if the value lies in `[0, 1]` (inclusive, with tiny slack).
+    pub fn is_fraction(self) -> bool {
+        (-1e-9..=1.0 + 1e-9).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: f64) -> Ratio {
+        Ratio::new(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_constructors_agree() {
+        assert_eq!(Bytes::from_kib(1), Bytes::new(1024));
+        assert_eq!(Bytes::from_mib(1), Bytes::from_kib(1024));
+        assert_eq!(Bytes::from_gib(1), Bytes::from_mib(1024));
+        assert_eq!(Bytes::from_pages(1), Bytes::new(PAGE_SIZE));
+    }
+
+    #[test]
+    fn bytes_page_round_trip() {
+        assert_eq!(PageCount::new(7).bytes().pages_ceil(), PageCount::new(7));
+        // Partial pages round up.
+        assert_eq!(Bytes::new(PAGE_SIZE + 1).pages_ceil(), PageCount::new(2));
+        assert_eq!(Bytes::ZERO.pages_ceil(), PageCount::ZERO);
+    }
+
+    #[test]
+    fn bytes_arithmetic() {
+        let a = Bytes::from_mib(3);
+        let b = Bytes::from_mib(1);
+        assert_eq!(a - b, Bytes::from_mib(2));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b * 3, a);
+        let total: Bytes = [a, b, b].into_iter().sum();
+        assert_eq!(total, Bytes::from_mib(5));
+    }
+
+    #[test]
+    fn bytes_display_scales() {
+        assert_eq!(format!("{}", Bytes::new(17)), "17 B");
+        assert_eq!(format!("{}", Bytes::from_kib(2)), "2.00 KiB");
+        assert_eq!(format!("{}", Bytes::from_mib(2)), "2.00 MiB");
+        assert_eq!(format!("{}", Bytes::from_gib(2)), "2.00 GiB");
+    }
+
+    #[test]
+    fn rate_transfer_time_matches_paper_rule_of_thumb() {
+        // "Copying one gigabyte takes about 10 seconds over a gigabit link."
+        let gbe = BytesPerSec::from_mib_per_sec(120);
+        let t = gbe.time_to_transfer(Bytes::from_gib(1));
+        assert!(t.as_secs_f64() > 8.0 && t.as_secs_f64() < 10.0);
+    }
+
+    #[test]
+    fn rate_zero_transfers_never() {
+        let stalled = BytesPerSec::new(0.0);
+        assert_eq!(stalled.time_to_transfer(Bytes::new(1)), SimDuration::MAX);
+    }
+
+    #[test]
+    fn rate_round_trip_bytes_in() {
+        let r = BytesPerSec::from_mib_per_sec(100);
+        let d = SimDuration::from_secs_f64(2.5);
+        let b = r.bytes_in(d);
+        assert_eq!(b, Bytes::new(250 * 1024 * 1024));
+    }
+
+    #[test]
+    fn mbit_uses_decimal_bits() {
+        let wan = BytesPerSec::from_mbit_per_sec(465.0);
+        assert!((wan.as_f64() - 465e6 / 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn rate_rejects_negative() {
+        let _ = BytesPerSec::new(-1.0);
+    }
+
+    #[test]
+    fn ratio_basics() {
+        assert_eq!(Ratio::new(f64::NAN), Ratio::ZERO);
+        assert_eq!(Ratio::new(0.25).complement(), Ratio::new(0.75));
+        assert!(Ratio::new(0.5).is_fraction());
+        assert!(!Ratio::new(1.5).is_fraction());
+        assert_eq!(Ratio::new(0.125).as_percent(), 12.5);
+    }
+
+    #[test]
+    fn parse_sizes() {
+        assert_eq!(Bytes::parse("4GiB").unwrap(), Bytes::from_gib(4));
+        assert_eq!(Bytes::parse("512MiB").unwrap(), Bytes::from_mib(512));
+        assert_eq!(Bytes::parse("64KiB").unwrap(), Bytes::from_kib(64));
+        assert_eq!(Bytes::parse("17B").unwrap(), Bytes::new(17));
+        assert_eq!(Bytes::parse("4096").unwrap(), Bytes::new(4096));
+        assert!(Bytes::parse("4GB").is_err());
+        assert!(Bytes::parse("x").is_err());
+        assert!(Bytes::parse("99999999999999999999GiB").is_err());
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let b = Bytes::from_mib(3);
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<Bytes>(&json).unwrap(), b);
+        let r = BytesPerSec::from_mib_per_sec(120);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<BytesPerSec>(&json).unwrap(), r);
+        let p = PageCount::new(42);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<PageCount>(&json).unwrap(), p);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_denominator() {
+        assert_eq!(Bytes::from_mib(1).fraction_of(Bytes::ZERO), Ratio::ZERO);
+        assert_eq!(
+            PageCount::new(5).fraction_of(PageCount::ZERO),
+            Ratio::ZERO
+        );
+        let half = PageCount::new(5).fraction_of(PageCount::new(10));
+        assert!((half.as_f64() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: one VM, two migrations — with and without a recycled
+//! checkpoint.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vecycle::core::{MigrationEngine, Strategy};
+use vecycle::mem::workload::{GuestWorkload, IdleWorkload};
+use vecycle::mem::{DigestMemory, Guest};
+use vecycle::net::LinkSpec;
+use vecycle::types::{Bytes, SimDuration};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1 GiB guest that filled its memory once and then sat idle for two
+    // hours — the situation after a VM returns to a host it left earlier.
+    let ram = Bytes::from_gib(1);
+    let mut guest = Guest::new(DigestMemory::with_uniform_content(ram, 42)?);
+    let checkpoint = guest.memory().snapshot(); // what the host kept on disk
+    let mut daemons = IdleWorkload::new(7, 2.0);
+    daemons.advance(&mut guest, SimDuration::from_hours(2));
+
+    let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+
+    let full = engine.migrate(guest.memory(), Strategy::full())?;
+    let recycled = engine.migrate(guest.memory(), Strategy::vecycle(&checkpoint))?;
+
+    println!("QEMU-style full migration:   {full}");
+    println!("VeCycle (checkpoint reuse):  {recycled}");
+    println!();
+    println!(
+        "reused {} of {} pages from the checkpoint",
+        recycled.pages_reused().as_u64(),
+        guest.page_count().as_u64(),
+    );
+    println!(
+        "traffic: {} -> {} ({:.0}% less), time: {:.1}s -> {:.1}s",
+        full.source_traffic(),
+        recycled.source_traffic(),
+        (1.0 - recycled.source_traffic().as_f64() / full.source_traffic().as_f64()) * 100.0,
+        full.total_time().as_secs_f64(),
+        recycled.total_time().as_secs_f64(),
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # VeCycle — recycling VM checkpoints for faster migrations
+//!
+//! A trace-driven Rust reproduction of *"VeCycle: Recycling VM Checkpoints
+//! for Faster Migrations"* (Knauth & Fetzer, Middleware 2015).
+//!
+//! This umbrella crate re-exports every subsystem so examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for the real APIs:
+//!
+//! * [`types`] — unit newtypes, identifiers, digests, simulated time.
+//! * [`hash`] — from-scratch MD5 / SHA-1 / SHA-256 / FNV-1a.
+//! * [`mem`] — guest memory images, dirty tracking, generation tables.
+//! * [`trace`] — memory fingerprints, similarity, synthetic trace generator.
+//! * [`checkpoint`] — checkpoint files, checksum indexes, per-host stores.
+//! * [`net`] — link models (LAN/WAN), wire sizing, traffic accounting.
+//! * [`sim`] — a minimal discrete-event simulator.
+//! * [`host`] — disks, hosts, clusters and migration schedules.
+//! * [`core`] — the migration engine and traffic-reduction strategies.
+//! * [`analysis`] — binning, CDFs and report rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vecycle::core::{MigrationEngine, Strategy};
+//! use vecycle::mem::DigestMemory;
+//! use vecycle::net::LinkSpec;
+//! use vecycle::types::Bytes;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An idle 256 MiB VM, migrated over gigabit Ethernet with a warm
+//! // checkpoint at the destination (best case, Figure 6).
+//! let vm = DigestMemory::with_uniform_content(Bytes::from_mib(256), 7)?;
+//! let checkpoint = vm.snapshot();
+//! let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+//! let report = engine.migrate(&vm, Strategy::vecycle(&checkpoint))?;
+//! let baseline = engine.migrate(&vm, Strategy::full())?;
+//! assert!(report.source_traffic() < baseline.source_traffic());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use vecycle_analysis as analysis;
+pub use vecycle_checkpoint as checkpoint;
+pub use vecycle_core as core;
+pub use vecycle_hash as hash;
+pub use vecycle_host as host;
+pub use vecycle_mem as mem;
+pub use vecycle_net as net;
+pub use vecycle_sim as sim;
+pub use vecycle_trace as trace;
+pub use vecycle_types as types;

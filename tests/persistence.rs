@@ -1,0 +1,134 @@
+//! Failure-injection around persisted checkpoints: a deployment keeps
+//! checkpoints as files; corruption must degrade to a full/dedup
+//! migration, never to a wrong restore.
+
+use vecycle::checkpoint::{Checkpoint, DiskStore};
+use vecycle::core::{apply_transcript, MigrationEngine, Strategy};
+use vecycle::mem::{ByteMemory, MutableMemory, PageContent};
+use vecycle::net::LinkSpec;
+use vecycle::types::{PageCount, PageIndex, SimTime, VmId};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vecycle-persist-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deployment loop a host daemon would run: try the stored
+/// checkpoint; on corruption fall back to dedup and clear the file.
+fn choose_strategy(store: &DiskStore, vm: VmId) -> (Strategy, Option<Checkpoint>) {
+    match store.load(vm) {
+        Ok(Some(cp)) => (Strategy::vecycle_from_checkpoint(&cp), Some(cp)),
+        Ok(None) => (Strategy::dedup(), None),
+        Err(_) => {
+            store.remove(vm).expect("clear corrupt checkpoint");
+            (Strategy::dedup(), None)
+        }
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_to_dedup() {
+    let dir = tmpdir("fallback");
+    let store = DiskStore::open(&dir).unwrap();
+    let vm_id = VmId::new(0);
+    let mem = ByteMemory::with_distinct_content(PageCount::new(128), 4);
+    store
+        .save(&Checkpoint::capture_bytes(vm_id, SimTime::EPOCH, &mem))
+        .unwrap();
+
+    // Bit rot strikes the stored file.
+    let path = dir.join("vm-0.ckpt");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, bytes).unwrap();
+
+    let (strategy, cp) = choose_strategy(&store, vm_id);
+    assert!(cp.is_none(), "corrupt checkpoint must not be used");
+    assert_eq!(strategy.name().to_string(), "dedup");
+    // The corrupt file was cleared; the next save starts fresh.
+    assert!(store.load(vm_id).unwrap().is_none());
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn intact_checkpoint_round_trips_through_the_store_and_migration() {
+    let dir = tmpdir("intact");
+    let store = DiskStore::open(&dir).unwrap();
+    let vm_id = VmId::new(1);
+    let mut mem = ByteMemory::with_distinct_content(PageCount::new(128), 5);
+    store
+        .save(&Checkpoint::capture_bytes(vm_id, SimTime::EPOCH, &mem))
+        .unwrap();
+
+    // The VM diverges, then migrates back.
+    for i in 0..16u64 {
+        mem.write_page(PageIndex::new(i), PageContent::Bytes(&i.to_le_bytes()));
+    }
+    let (strategy, cp) = choose_strategy(&store, vm_id);
+    let cp = cp.expect("checkpoint is intact");
+    assert_eq!(strategy.name().to_string(), "vecycle");
+
+    let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+    let (report, transcript) = engine.migrate_with_transcript(&mem, strategy).unwrap();
+    assert_eq!(report.pages_reused(), PageCount::new(112));
+    let rebuilt = apply_transcript(&cp, &transcript).unwrap();
+    assert!(rebuilt.content_equals(&mem));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn interrupted_save_preserves_previous_checkpoint() {
+    // A crash mid-save leaves the temp file; the named checkpoint must
+    // still be the previous (valid) one.
+    let dir = tmpdir("interrupted");
+    let store = DiskStore::open(&dir).unwrap();
+    let vm_id = VmId::new(2);
+    let old = ByteMemory::with_distinct_content(PageCount::new(32), 6);
+    store
+        .save(&Checkpoint::capture_bytes(vm_id, SimTime::EPOCH, &old))
+        .unwrap();
+    // Simulate the crash: a half-written temp file appears.
+    std::fs::write(dir.join(".vm-2.tmp"), b"partial garbage").unwrap();
+    let loaded = store.load(vm_id).unwrap().unwrap();
+    assert_eq!(loaded.page_count(), PageCount::new(32));
+    assert!(loaded
+        .restore_byte_memory()
+        .unwrap()
+        .content_equals(&old));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn store_handles_many_vms() {
+    let dir = tmpdir("many");
+    let store = DiskStore::open(&dir).unwrap();
+    for i in 0..20u32 {
+        let mem = ByteMemory::with_distinct_content(PageCount::new(8), 100 + u64::from(i));
+        store
+            .save(&Checkpoint::capture_bytes(
+                VmId::new(i),
+                SimTime::EPOCH,
+                &mem,
+            ))
+            .unwrap();
+    }
+    assert_eq!(store.list().unwrap().len(), 20);
+    for i in (0..20u32).step_by(2) {
+        store.remove(VmId::new(i)).unwrap();
+    }
+    let left = store.list().unwrap();
+    assert_eq!(left.len(), 10);
+    assert!(left.iter().all(|v| v.as_u32() % 2 == 1));
+    // Remaining checkpoints are still valid and distinct.
+    for v in left {
+        let cp = store.load(v).unwrap().unwrap();
+        assert_eq!(cp.vm(), v);
+        assert!(!cp.digests().is_empty());
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
