@@ -66,7 +66,9 @@ impl ExperimentLog {
         &'a self,
         experiment: &'a str,
     ) -> impl Iterator<Item = &'a ExperimentRecord> + 'a {
-        self.records.iter().filter(move |r| r.experiment == experiment)
+        self.records
+            .iter()
+            .filter(move |r| r.experiment == experiment)
     }
 
     /// Serializes to pretty JSON.
@@ -117,9 +119,11 @@ impl ExperimentLog {
     ///
     /// Propagates I/O and serialization failures.
     pub fn write_json_file(&self, path: &std::path::Path) -> vecycle_types::Result<()> {
-        let json = self.to_json().map_err(|e| vecycle_types::Error::InvalidConfig {
-            reason: format!("serialization failed: {e}"),
-        })?;
+        let json = self
+            .to_json()
+            .map_err(|e| vecycle_types::Error::InvalidConfig {
+                reason: format!("serialization failed: {e}"),
+            })?;
         std::fs::write(path, json)?;
         Ok(())
     }

@@ -31,7 +31,10 @@ impl Histogram {
     ///
     /// Panics if `lo ≥ hi`, either bound is not finite, or `bins` is 0.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         assert!(bins > 0, "need at least one bin");
         Histogram {
             lo,

@@ -25,11 +25,9 @@ fn checkpoint_io(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("decode", pages), &encoded, |b, bytes| {
             b.iter(|| Checkpoint::read_from(std::hint::black_box(&bytes[..])).unwrap());
         });
-        group.bench_with_input(
-            BenchmarkId::new("build_index", pages),
-            &cp,
-            |b, cp| b.iter(|| cp.build_index()),
-        );
+        group.bench_with_input(BenchmarkId::new("build_index", pages), &cp, |b, cp| {
+            b.iter(|| cp.build_index())
+        });
         group.finish();
     }
 }

@@ -34,7 +34,11 @@ fn migration_engine(c: &mut Criterion) {
         ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, s| {
-            b.iter(|| engine.migrate(std::hint::black_box(&vm), s.clone()).unwrap());
+            b.iter(|| {
+                engine
+                    .migrate(std::hint::black_box(&vm), s.clone())
+                    .unwrap()
+            });
         });
     }
     group.finish();

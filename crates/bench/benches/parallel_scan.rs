@@ -1,0 +1,77 @@
+//! First-round page-scan scaling: wall clock at 1, 2, 4, 8 worker
+//! threads over a 1 GiB image (ISSUE acceptance: ≥2× at 4 threads).
+//!
+//! Two groups: the full engine scan (binary-search-heavy VeCycle
+//! classification against a 262144-entry checksum index) and the
+//! parallel [`ChecksumIndex::build_parallel`] sort/merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use vecycle_checkpoint::ChecksumIndex;
+use vecycle_core::{MigrationEngine, Strategy};
+use vecycle_mem::{DigestMemory, MemoryImage, MutableMemory, PageContent};
+use vecycle_net::LinkSpec;
+use vecycle_types::{Bytes, PageIndex};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A 1 GiB image diverged from its checkpoint so the scan mixes all
+/// message classes: reusable pages, checksum hits, zeros, dedup runs.
+fn scan_workload() -> (DigestMemory, Arc<ChecksumIndex>) {
+    let ram = Bytes::from_gib(1);
+    let cp = DigestMemory::with_uniform_content(ram, 0x5ca1e).expect("page-aligned");
+    let mut vm = cp.snapshot();
+    let n = vm.page_count().as_u64();
+    // 25% fresh content (full sends), 6% zeroed, 6% duplicated runs.
+    for i in 0..n / 4 {
+        vm.write_page(PageIndex::new(i * 4), PageContent::ContentId((1 << 50) | i));
+    }
+    for i in 0..n / 16 {
+        vm.write_page(PageIndex::new(i * 16 + 1), PageContent::Zero);
+    }
+    for i in 0..n / 16 {
+        vm.write_page(
+            PageIndex::new(i * 16 + 2),
+            PageContent::ContentId((1 << 51) | (i % 64)),
+        );
+    }
+    let index = Arc::new(ChecksumIndex::build(cp.digests()));
+    (vm, index)
+}
+
+fn first_round_scan(c: &mut Criterion) {
+    let (vm, index) = scan_workload();
+    let ram = Bytes::from_pages(vm.page_count().as_u64());
+    let strategy = Strategy::vecycle_with_index(Arc::clone(&index)).with_dedup();
+
+    let mut group = c.benchmark_group("first_round_scan_1GiB");
+    group.throughput(Throughput::Bytes(ram.as_u64()));
+    for threads in THREADS {
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit()).with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &engine, |b, e| {
+            b.iter(|| {
+                e.migrate(std::hint::black_box(&vm), strategy.clone())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn index_build(c: &mut Criterion) {
+    let (vm, _) = scan_workload();
+    let digests = vm.digests();
+    let ram = Bytes::from_pages(digests.len() as u64);
+
+    let mut group = c.benchmark_group("index_build_1GiB");
+    group.throughput(Throughput::Bytes(ram.as_u64()));
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| ChecksumIndex::build_parallel(std::hint::black_box(digests.clone()), t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, first_round_scan, index_build);
+criterion_main!(benches);

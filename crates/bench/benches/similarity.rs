@@ -8,7 +8,11 @@ use vecycle_types::{PageDigest, SimDuration, SimTime};
 fn fingerprint(n: u64, overlap: u64, salt: u64) -> Fingerprint {
     let pages = (0..n)
         .map(|i| {
-            let id = if i < overlap { i + 1 } else { (salt << 32) | (i + 1) };
+            let id = if i < overlap {
+                i + 1
+            } else {
+                (salt << 32) | (i + 1)
+            };
             PageDigest::from_content_id(id)
         })
         .collect();

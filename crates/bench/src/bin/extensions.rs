@@ -27,8 +27,8 @@ fn diverged(base: &DigestMemory, frac: f64, salt: u64) -> DigestMemory {
 fn main() {
     let opts = Options::from_args();
     let mut log = ExperimentLog::new();
-    let base = DigestMemory::with_uniform_content(Bytes::from_gib(1), opts.seed)
-        .expect("page-aligned");
+    let base =
+        DigestMemory::with_uniform_content(Bytes::from_gib(1), opts.seed).expect("page-aligned");
 
     // --- 1. Post-copy × VeCycle over the WAN -----------------------------
     println!("Extension 1 — post-copy with and without a recycled checkpoint (WAN, 1 GiB)\n");
@@ -49,7 +49,9 @@ fn main() {
         ("post-copy (cold)", Strategy::full()),
         ("post-copy + vecycle", Strategy::vecycle(&base)),
     ] {
-        let r = engine.migrate_postcopy(&vm, strategy, &working_set).unwrap();
+        let r = engine
+            .migrate_postcopy(&vm, strategy, &working_set)
+            .unwrap();
         t.row(vec![
             name.into(),
             format!("{}", r.downtime),
@@ -78,9 +80,7 @@ fn main() {
     // --- 2. Gang migration ------------------------------------------------
     println!("Extension 2 — gang migration of 4 sibling VMs (LAN, 1 GiB each)\n");
     let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-    let siblings: Vec<DigestMemory> = (0..4)
-        .map(|i| diverged(&base, 0.10, 10 + i))
-        .collect();
+    let siblings: Vec<DigestMemory> = (0..4).map(|i| diverged(&base, 0.10, 10 + i)).collect();
     let refs: Vec<&DigestMemory> = siblings.iter().collect();
     let strategies = vec![Strategy::dedup(); 4];
     let gang = engine.migrate_gang(&refs, &strategies).unwrap();
@@ -107,7 +107,9 @@ fn main() {
     log.record("ext2", "gang_vs_solo", "fraction", gang_total / solo_total);
 
     // --- 3. Compression stacking ------------------------------------------
-    println!("Extension 3 — delta compression stacked on each strategy (WAN, 1 GiB, 25% diverged)\n");
+    println!(
+        "Extension 3 — delta compression stacked on each strategy (WAN, 1 GiB, 25% diverged)\n"
+    );
     let compression = DeltaCompression::new(0.55, BytesPerSec::from_mib_per_sec(400));
     let plain = MigrationEngine::new(LinkSpec::wan_cloudnet());
     let squeezed = MigrationEngine::new(LinkSpec::wan_cloudnet()).with_compression(compression);
@@ -148,7 +150,11 @@ fn main() {
     for frac in [0.05, 0.3, 0.6, 0.95] {
         let vm = diverged(&base, frac, 20 + (frac * 100.0) as u64);
         let est = MigrationEngine::estimate_similarity(&vm, &index, 256);
-        let decision = if est.as_f64() >= 0.5 { "vecycle" } else { "dedup" };
+        let decision = if est.as_f64() >= 0.5 {
+            "vecycle"
+        } else {
+            "dedup"
+        };
         t.row(vec![
             format!("{:.0}%", frac * 100.0),
             format!("{est}"),
@@ -183,7 +189,13 @@ fn main() {
     };
     let plain = run(None);
     let xb = run(Some(Xbzrle::new(0.85, 0.12)));
-    let mut t = Table::new(vec!["variant", "rounds", "traffic", "time [s]", "downtime [ms]"]);
+    let mut t = Table::new(vec![
+        "variant",
+        "rounds",
+        "traffic",
+        "time [s]",
+        "downtime [ms]",
+    ]);
     for (name, r) in [("plain", &plain), ("xbzrle", &xb)] {
         t.row(vec![
             name.into(),

@@ -13,7 +13,12 @@ fn main() {
     let opts = Options::from_args();
     let mut log = ExperimentLog::new();
     let names = [
-        "Server A", "Server B", "Laptop A", "Laptop B", "Crawler A", "Crawler B",
+        "Server A",
+        "Server B",
+        "Laptop A",
+        "Laptop B",
+        "Crawler A",
+        "Crawler B",
     ];
 
     for name in names {

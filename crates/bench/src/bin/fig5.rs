@@ -69,9 +69,7 @@ fn main() {
         })
         .expect("no analysis thread panicked");
         let cdf = Cdf::from_values(all);
-        println!(
-            "Figure 5 ({group} CDF) — reduction of hashes+dedup over dirty+dedup [%]"
-        );
+        println!("Figure 5 ({group} CDF) — reduction of hashes+dedup over dirty+dedup [%]");
         let mut t = Table::new(vec!["percentile", "reduction [%]"]);
         for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
             let v = cdf.percentile(p);

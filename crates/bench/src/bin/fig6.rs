@@ -16,10 +16,13 @@ fn main() {
     let opts = Options::from_args();
     let mut log = ExperimentLog::new();
     let sizes_mib = [1024u64, 2048, 4096, 6144];
-    let links = [("lan", LinkSpec::lan_gigabit()), ("wan", LinkSpec::wan_cloudnet())];
+    let links = [
+        ("lan", LinkSpec::lan_gigabit()),
+        ("wan", LinkSpec::wan_cloudnet()),
+    ];
 
     for (link_name, link) in links {
-        let engine = MigrationEngine::new(link);
+        let engine = MigrationEngine::new(link).with_threads(opts.threads);
         println!("\nFigure 6 ({link_name}) — idle VM, QEMU 2.0 vs VeCycle");
         let mut t = Table::new(vec![
             "RAM [MiB]",

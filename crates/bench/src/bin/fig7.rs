@@ -16,10 +16,13 @@ fn main() {
     let mut log = ExperimentLog::new();
     let ram = Bytes::from_gib(4);
     let updates = [0u32, 25, 50, 75, 100];
-    let links = [("lan", LinkSpec::lan_gigabit()), ("wan", LinkSpec::wan_cloudnet())];
+    let links = [
+        ("lan", LinkSpec::lan_gigabit()),
+        ("wan", LinkSpec::wan_cloudnet()),
+    ];
 
     for (link_name, link) in links {
-        let engine = MigrationEngine::new(link);
+        let engine = MigrationEngine::new(link).with_threads(opts.threads);
         println!("\nFigure 7 ({link_name}) — 4 GiB VM, ramdisk update sweep");
         let mut t = Table::new(vec![
             "updates [%]",

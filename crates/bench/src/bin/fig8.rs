@@ -74,7 +74,11 @@ fn main() {
         total_vecycle_pages += vecycle_pages;
 
         let hours = leg.at.since_epoch().as_hours_f64();
-        let dir = if leg.to == workstation { "→ desk" } else { "→ server" };
+        let dir = if leg.to == workstation {
+            "→ desk"
+        } else {
+            "→ server"
+        };
         t.row(vec![
             format!("{}", i + 1),
             format!("day {} {:02}:00", hours as u64 / 24 + 1, hours as u64 % 24),

@@ -18,10 +18,10 @@ fn main() {
     }
     let mut merged = ExperimentLog::new();
     for path in &paths {
-        let json = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let log = ExperimentLog::from_json(&json)
-            .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let json =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let log =
+            ExperimentLog::from_json(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
         for r in log.records() {
             merged.record(
                 r.experiment.clone(),

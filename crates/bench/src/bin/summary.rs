@@ -7,7 +7,10 @@ use vecycle_trace::{catalog, TraceStats};
 
 fn main() {
     let opts = Options::from_args();
-    println!("Trace catalog summary (scale {} pages/GiB)\n", opts.pages_per_gib);
+    println!(
+        "Trace catalog summary (scale {} pages/GiB)\n",
+        opts.pages_per_gib
+    );
     let mut t = Table::new(vec![
         "machine", "kind", "fps", "pages", "dup", "zero", "sim@1h", "sim@24h",
     ]);

@@ -8,7 +8,14 @@ use vecycle_trace::catalog;
 
 fn main() {
     println!("Table 1: summary of the traced systems\n");
-    let mut t = Table::new(vec!["Name", "OS", "Trace ID", "RAM size", "Kind", "Trace span"]);
+    let mut t = Table::new(vec![
+        "Name",
+        "OS",
+        "Trace ID",
+        "RAM size",
+        "Kind",
+        "Trace span",
+    ]);
     for m in catalog() {
         t.row(vec![
             m.name.to_string(),

@@ -27,8 +27,8 @@ fn main() {
             .expect("write trace");
 
         // Verify the artifact round-trips before reporting success.
-        let back = Trace::read_from(std::fs::File::open(&path).expect("reopen"))
-            .expect("reload trace");
+        let back =
+            Trace::read_from(std::fs::File::open(&path).expect("reopen")).expect("reload trace");
         assert_eq!(back.fingerprints().len(), trace.fingerprints().len());
         println!(
             "{:<12} -> {} ({} fingerprints, {:.1} MiB)",

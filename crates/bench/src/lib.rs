@@ -7,7 +7,11 @@
 //!   1/512 of real page density; all reported metrics are fractions, so
 //!   scale changes noise, not shape);
 //! * `--seed <u64>` — generator seed (default 0x7ec);
-//! * `--json <path>` — also write an [`ExperimentLog`] JSON file.
+//! * `--json <path>` — also write an [`ExperimentLog`] JSON file;
+//! * `--threads <n>` — worker threads for the migration engine's page
+//!   scan (default: `VECYCLE_THREADS` env var, else 1). Thread count is
+//!   a pure wall-clock knob: every reported figure is bit-identical at
+//!   any setting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,8 @@ pub struct Options {
     pub seed: u64,
     /// Optional JSON output path.
     pub json: Option<std::path::PathBuf>,
+    /// Page-scan worker threads for the migration engine.
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -35,12 +41,24 @@ impl Default for Options {
             pages_per_gib: 1024,
             seed: 0x7ec,
             json: None,
+            threads: threads_from_env(),
         }
     }
 }
 
+/// The `VECYCLE_THREADS` default, falling back to 1 (sequential) when
+/// unset or unparsable.
+fn threads_from_env() -> usize {
+    std::env::var("VECYCLE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 impl Options {
-    /// Parses `--scale`, `--seed` and `--json` from `std::env::args`.
+    /// Parses `--scale`, `--seed`, `--json` and `--threads` from
+    /// `std::env::args`.
     ///
     /// # Panics
     ///
@@ -60,16 +78,24 @@ impl Options {
                 }
                 "--seed" => opts.seed = grab("--seed").parse().expect("--seed: integer"),
                 "--json" => opts.json = Some(grab("--json").into()),
-                other => panic!("unknown argument {other}; known: --scale --seed --json"),
+                "--threads" => {
+                    opts.threads = grab("--threads").parse().expect("--threads: integer")
+                }
+                other => {
+                    panic!("unknown argument {other}; known: --scale --seed --json --threads")
+                }
             }
         }
         assert!(opts.pages_per_gib > 0, "--scale must be positive");
+        assert!(opts.threads > 0, "--threads must be positive");
         opts
     }
 
     /// The scaled page count for a machine with `ram` of nominal RAM.
     pub fn scaled_pages(&self, ram: Bytes) -> u64 {
-        (ram.as_gib_f64() * self.pages_per_gib as f64).round().max(64.0) as u64
+        (ram.as_gib_f64() * self.pages_per_gib as f64)
+            .round()
+            .max(64.0) as u64
     }
 
     /// Generates the trace for one cataloged machine at this scale.
@@ -78,10 +104,13 @@ impl Options {
     ///
     /// Panics if the calibrated profile fails validation (a bug).
     pub fn trace_for(&self, machine: &TracedMachine) -> Trace {
-        TraceGenerator::new(machine.profile.clone(), self.seed ^ u64::from(machine.id.as_u32()))
-            .scale_pages(self.scaled_pages(machine.ram()))
-            .generate()
-            .expect("catalog profiles validate")
+        TraceGenerator::new(
+            machine.profile.clone(),
+            self.seed ^ u64::from(machine.id.as_u32()),
+        )
+        .scale_pages(self.scaled_pages(machine.ram()))
+        .generate()
+        .expect("catalog profiles validate")
     }
 
     /// Writes the log if `--json` was given, reporting the path.
@@ -120,6 +149,13 @@ mod tests {
             ..Options::default()
         };
         assert_eq!(small.scaled_pages(Bytes::from_gib(1)), 64);
+    }
+
+    #[test]
+    fn default_threads_is_sequential_without_env() {
+        if std::env::var_os("VECYCLE_THREADS").is_none() {
+            assert_eq!(Options::default().threads, 1);
+        }
     }
 
     #[test]

@@ -128,9 +128,9 @@ impl Checkpoint {
     pub fn digest(&self, idx: PageIndex) -> PageDigest {
         match &self.data {
             CheckpointData::Digests(d) => d[idx.as_usize()],
-            CheckpointData::Pages(_) => vecycle_hash::page_digest(
-                self.read_page(idx).expect("Pages variant has bytes"),
-            ),
+            CheckpointData::Pages(_) => {
+                vecycle_hash::page_digest(self.read_page(idx).expect("Pages variant has bytes"))
+            }
         }
     }
 

@@ -1,0 +1,207 @@
+//! Sender-side dedup state: digest → first page that carried the content.
+//!
+//! During a migration the source remembers, for every digest it has
+//! placed on the wire (or announced as a checksum), the first guest page
+//! that carried that content. Later pages with the same digest become
+//! [`DedupRef`] back-references instead of full pages (§3.4's
+//! deduplication extension).
+//!
+//! The map is sharded by a digest-prefix so the parallel page scan can
+//! hand disjoint shard groups to worker threads without locking; the
+//! *semantics* stay those of a single `HashMap::entry(..).or_insert(..)`:
+//! the first inserter of a digest wins, and every later query sees that
+//! winner.
+//!
+//! [`DedupRef`]: https://example.invalid/vecycle
+
+use std::collections::HashMap;
+
+use vecycle_types::{PageDigest, PageIndex};
+
+/// Number of shards; a power of two so the prefix maps by mask.
+const SHARD_COUNT: usize = 16;
+
+/// Digest → first-sender map, sharded by digest prefix.
+///
+/// Equivalent to `HashMap<PageDigest, PageIndex>` with first-insert-wins
+/// semantics, but split into [`SHARD_COUNT`] independent sub-maps keyed
+/// by the digest's leading byte. Shards are what make a deterministic
+/// parallel merge possible: workers produce per-shard candidate sets and
+/// the merge resolves each digest exactly once, in scan order.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_checkpoint::DedupIndex;
+/// use vecycle_types::{PageDigest, PageIndex};
+///
+/// let mut sent = DedupIndex::new();
+/// let d = PageDigest::from_content_id(7);
+/// assert_eq!(sent.insert_first(d, PageIndex::new(3)), PageIndex::new(3));
+/// // A later page with the same content resolves to the first sender.
+/// assert_eq!(sent.insert_first(d, PageIndex::new(9)), PageIndex::new(3));
+/// assert_eq!(sent.get(d), Some(PageIndex::new(3)));
+/// assert_eq!(sent.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DedupIndex {
+    shards: Vec<HashMap<PageDigest, PageIndex>>,
+}
+
+impl DedupIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        DedupIndex {
+            shards: (0..SHARD_COUNT).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// The shard a digest belongs to (stable across runs and threads).
+    pub fn shard_of(digest: PageDigest) -> usize {
+        digest.as_bytes()[0] as usize & (SHARD_COUNT - 1)
+    }
+
+    /// Number of shards an index is split into.
+    pub const fn shard_count() -> usize {
+        SHARD_COUNT
+    }
+
+    /// The page that first carried this content, if any was recorded.
+    pub fn get(&self, digest: PageDigest) -> Option<PageIndex> {
+        self.shards[Self::shard_of(digest)].get(&digest).copied()
+    }
+
+    /// True if the digest has been recorded.
+    pub fn contains(&self, digest: PageDigest) -> bool {
+        self.get(digest).is_some()
+    }
+
+    /// Records `idx` as the sender of `digest` unless one is already
+    /// recorded; returns the winning (earliest-recorded) page.
+    ///
+    /// This mirrors `HashMap::entry(digest).or_insert(idx)` — the exact
+    /// operation the sequential scan performs per page.
+    pub fn insert_first(&mut self, digest: PageDigest, idx: PageIndex) -> PageIndex {
+        *self.shards[Self::shard_of(digest)]
+            .entry(digest)
+            .or_insert(idx)
+    }
+
+    /// Records `idx` for `digest`, keeping the smaller page number if the
+    /// digest is already present.
+    ///
+    /// Used when merging per-shard candidate sets produced out of scan
+    /// order: the minimum page index is exactly the page the sequential
+    /// scan would have inserted first.
+    pub fn insert_min(&mut self, digest: PageDigest, idx: PageIndex) {
+        self.shards[Self::shard_of(digest)]
+            .entry(digest)
+            .and_modify(|cur| {
+                if idx < *cur {
+                    *cur = idx;
+                }
+            })
+            .or_insert(idx);
+    }
+
+    /// Number of distinct digests recorded.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// All recorded (digest, first sender) pairs, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageDigest, PageIndex)> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(d, i)| (*d, *i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(id: u64) -> PageDigest {
+        PageDigest::from_content_id(id)
+    }
+
+    fn p(i: u64) -> PageIndex {
+        PageIndex::new(i)
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let mut idx = DedupIndex::new();
+        assert_eq!(idx.insert_first(d(1), p(5)), p(5));
+        assert_eq!(idx.insert_first(d(1), p(2)), p(5));
+        assert_eq!(idx.get(d(1)), Some(p(5)));
+    }
+
+    #[test]
+    fn insert_min_keeps_smallest() {
+        let mut idx = DedupIndex::new();
+        idx.insert_min(d(1), p(9));
+        idx.insert_min(d(1), p(4));
+        idx.insert_min(d(1), p(7));
+        assert_eq!(idx.get(d(1)), Some(p(4)));
+    }
+
+    #[test]
+    fn len_spans_shards() {
+        let mut idx = DedupIndex::new();
+        assert!(idx.is_empty());
+        // Content IDs diffuse into digest prefixes, so these land in
+        // several shards; len must sum across all of them.
+        for i in 1..=100 {
+            idx.insert_first(d(i), p(i));
+        }
+        assert_eq!(idx.len(), 100);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for i in 0..1000 {
+            let s = DedupIndex::shard_of(d(i));
+            assert!(s < DedupIndex::shard_count());
+            assert_eq!(s, DedupIndex::shard_of(d(i)));
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let mut idx = DedupIndex::new();
+        for i in 1..=10 {
+            idx.insert_first(d(i), p(i * 10));
+        }
+        let mut pairs: Vec<_> = idx.iter().collect();
+        pairs.sort();
+        assert_eq!(pairs.len(), 10);
+        for (k, (digest, page)) in pairs.iter().enumerate() {
+            let _ = k;
+            assert_eq!(idx.get(*digest), Some(*page));
+        }
+    }
+
+    #[test]
+    fn matches_plain_hashmap_semantics() {
+        use std::collections::HashMap;
+        let inserts: Vec<(u64, u64)> = vec![(3, 0), (1, 1), (3, 2), (2, 3), (1, 4), (3, 5), (4, 6)];
+        let mut sharded = DedupIndex::new();
+        let mut plain: HashMap<PageDigest, PageIndex> = HashMap::new();
+        for &(content, page) in &inserts {
+            let winner = sharded.insert_first(d(content), p(page));
+            let expect = *plain.entry(d(content)).or_insert(p(page));
+            assert_eq!(winner, expect);
+        }
+        assert_eq!(sharded.len(), plain.len());
+        for (&digest, &page) in &plain {
+            assert_eq!(sharded.get(digest), Some(page));
+        }
+    }
+}

@@ -70,7 +70,9 @@ impl DiskStore {
     /// Propagates filesystem errors; a failed save leaves any previous
     /// checkpoint intact.
     pub fn save(&self, checkpoint: &Checkpoint) -> vecycle_types::Result<()> {
-        let tmp = self.root.join(format!(".vm-{}.tmp", checkpoint.vm().as_u32()));
+        let tmp = self
+            .root
+            .join(format!(".vm-{}.tmp", checkpoint.vm().as_u32()));
         {
             let file = std::fs::File::create(&tmp)?;
             let mut writer = std::io::BufWriter::new(file);
@@ -149,7 +151,8 @@ mod tests {
     use vecycle_types::{PageCount, SimTime};
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("vecycle-diskstore-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("vecycle-diskstore-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

@@ -73,6 +73,53 @@ impl ChecksumIndex {
         }
     }
 
+    /// Builds the index on `threads` scoped worker threads.
+    ///
+    /// Bit-identical to [`ChecksumIndex::build`] for any thread count:
+    /// each worker sorts one contiguous chunk of `(digest, offset)` pairs,
+    /// the sorted runs are k-way merged by full tuple order, and the
+    /// dedup pass then sees digests grouped with ascending offsets — so
+    /// it keeps the first (smallest) offset, exactly as the sequential
+    /// sort-then-dedup does.
+    pub fn build_parallel(digests: Vec<PageDigest>, threads: usize) -> Self {
+        let total_pages = digests.len() as u64;
+        // Below this size the merge overhead beats the parallel sort.
+        const MIN_PARALLEL: usize = 1 << 14;
+        if threads <= 1 || digests.len() < MIN_PARALLEL {
+            return ChecksumIndex::build(digests);
+        }
+        let chunk = digests.len().div_ceil(threads);
+        let runs: Vec<Vec<(PageDigest, PageIndex)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = digests
+                .chunks(chunk)
+                .enumerate()
+                .map(|(k, part)| {
+                    let base = (k * chunk) as u64;
+                    scope.spawn(move |_| {
+                        let mut run: Vec<(PageDigest, PageIndex)> = part
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &d)| (d, PageIndex::new(base + i as u64)))
+                            .collect();
+                        run.sort_unstable();
+                        run
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sort worker panicked"))
+                .collect()
+        })
+        .expect("scoped sort threads");
+        let mut entries = merge_sorted_runs(runs);
+        entries.dedup_by_key(|(d, _)| *d);
+        ChecksumIndex {
+            entries,
+            total_pages,
+        }
+    }
+
     /// Number of pages the underlying checkpoint holds (with duplicates).
     pub fn total_pages(&self) -> u64 {
         self.total_pages
@@ -109,6 +156,36 @@ impl PageLookup for ChecksumIndex {
     fn distinct(&self) -> usize {
         self.entries.len()
     }
+}
+
+/// K-way merges per-chunk sorted runs into one globally sorted vector.
+///
+/// Runs are compared by full `(digest, offset)` tuples, so equal digests
+/// emerge in ascending offset order regardless of which run they came
+/// from. The linear scan over run heads is O(total × runs); with runs
+/// bounded by the thread count this is cheaper than a heap for the
+/// handful of threads a page scan uses.
+fn merge_sorted_runs(runs: Vec<Vec<(PageDigest, PageIndex)>>) -> Vec<(PageDigest, PageIndex)> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; runs.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if cursors[r] < run.len() && best.is_none_or(|b| run[cursors[r]] < runs[b][cursors[b]])
+            {
+                best = Some(r);
+            }
+        }
+        match best {
+            Some(r) => {
+                out.push(runs[r][cursors[r]]);
+                cursors[r] += 1;
+            }
+            None => break,
+        }
+    }
+    out
 }
 
 /// A hash-map index — the ablation alternative to the sorted array.
@@ -185,10 +262,7 @@ mod tests {
         let n = 1u64 << 20;
         let digests: Vec<_> = (0..n).map(|i| d(i + 1)).collect();
         let index = ChecksumIndex::build(digests);
-        assert_eq!(
-            index.wire_size(),
-            vecycle_types::Bytes::from_mib(16)
-        );
+        assert_eq!(index.wire_size(), vecycle_types::Bytes::from_mib(16));
     }
 
     #[test]
@@ -208,5 +282,53 @@ mod tests {
         let index = ChecksumIndex::build(Vec::new());
         assert_eq!(index.distinct(), 0);
         assert!(!index.contains(d(1)));
+    }
+
+    /// A digest mix with heavy duplication and zero pages, large enough
+    /// to clear `build_parallel`'s sequential-fallback threshold.
+    fn parallel_workload() -> Vec<PageDigest> {
+        (0..40_000u64)
+            .map(|i| {
+                // ~25% zero pages, heavy duplication among the rest, and
+                // an order that scatters duplicates across chunks.
+                let content = (i.wrapping_mul(2_654_435_761)) % 4_096;
+                d(if content < 1_024 { 0 } else { content })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let digests = parallel_workload();
+        let seq = ChecksumIndex::build(digests.clone());
+        for threads in [1, 2, 3, 4, 8] {
+            let par = ChecksumIndex::build_parallel(digests.clone(), threads);
+            assert_eq!(par.total_pages(), seq.total_pages());
+            assert_eq!(par.entries, seq.entries, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_small_input_falls_back() {
+        let digests = vec![d(5), d(3), d(5), d(1)];
+        let par = ChecksumIndex::build_parallel(digests.clone(), 8);
+        let seq = ChecksumIndex::build(digests);
+        assert_eq!(par.entries, seq.entries);
+    }
+
+    #[test]
+    fn merge_sorted_runs_orders_duplicates_by_offset() {
+        let runs = vec![
+            vec![(d(1), PageIndex::new(4)), (d(2), PageIndex::new(5))],
+            vec![(d(1), PageIndex::new(0)), (d(3), PageIndex::new(1))],
+            vec![],
+        ];
+        let merged = merge_sorted_runs(runs);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        let mut deduped = merged;
+        deduped.dedup_by_key(|(dg, _)| *dg);
+        // d(1) appears at offsets 0 and 4; dedup must keep 0.
+        let kept = deduped.iter().find(|(dg, _)| *dg == d(1)).unwrap();
+        assert_eq!(kept.1, PageIndex::new(0));
     }
 }

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+mod dedup;
 mod disk_store;
 mod index;
 mod store;
 mod wire;
 
 pub use checkpoint::{Checkpoint, CheckpointData};
+pub use dedup::DedupIndex;
 pub use disk_store::DiskStore;
 pub use index::{ChecksumIndex, HashChecksumIndex, PageLookup};
 pub use store::CheckpointStore;

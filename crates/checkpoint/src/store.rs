@@ -183,9 +183,7 @@ mod tests {
             .latest_before(VmId::new(1), SimTime::EPOCH + SimDuration::from_hours(5))
             .unwrap();
         assert_eq!(at5.taken_at(), SimTime::EPOCH);
-        assert!(store
-            .latest_before(VmId::new(2), SimTime::EPOCH)
-            .is_none());
+        assert!(store.latest_before(VmId::new(2), SimTime::EPOCH).is_none());
     }
 
     #[test]

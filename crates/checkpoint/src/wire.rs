@@ -92,9 +92,7 @@ impl Checkpoint {
         let kind = buf.get_u8();
         let _reserved = buf.get_u8();
         let vm = VmId::new(buf.get_u32());
-        let taken_at = SimTime::from_epoch(vecycle_types::SimDuration::from_nanos(
-            buf.get_u64(),
-        ));
+        let taken_at = SimTime::from_epoch(vecycle_types::SimDuration::from_nanos(buf.get_u64()));
         let pages = buf.get_u64();
 
         let data = match kind {
@@ -180,10 +178,7 @@ mod tests {
         cp.write_to(&mut file).unwrap();
         for cut in [file.len() - 1, file.len() / 2, 10] {
             let err = Checkpoint::read_from(&file[..cut]).unwrap_err();
-            assert!(
-                matches!(err, Error::Corrupt { .. }),
-                "cut at {cut}: {err}"
-            );
+            assert!(matches!(err, Error::Corrupt { .. }), "cut at {cut}: {err}");
         }
     }
 

@@ -26,11 +26,7 @@ impl Args {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("--{key} requires a value"))?;
-                if out
-                    .named
-                    .insert(key.to_string(), value.clone())
-                    .is_some()
-                {
+                if out.named.insert(key.to_string(), value.clone()).is_some() {
                     return Err(format!("--{key} given twice"));
                 }
             } else {
@@ -64,11 +60,7 @@ impl Args {
     /// # Errors
     ///
     /// Fails when the value does not parse.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, String> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -106,7 +98,9 @@ pub fn parse_link(s: &str) -> Result<LinkSpec, String> {
                 if !(0.0..100.0).contains(&pct) {
                     return Err(format!("loss {pct}% out of range"));
                 }
-                Ok(Netem::new().loss(pct / 100.0).apply(LinkSpec::wan_cloudnet()))
+                Ok(Netem::new()
+                    .loss(pct / 100.0)
+                    .apply(LinkSpec::wan_cloudnet()))
             } else {
                 Err(format!("unknown link {other:?} (try lan, wan, wan:0.1%)"))
             }

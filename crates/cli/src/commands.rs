@@ -82,8 +82,7 @@ fn trace_cmd(argv: &[String]) -> Result<(), String> {
                 .into_iter()
                 .find(|m| m.name.eq_ignore_ascii_case(name))
                 .ok_or_else(|| format!("no machine named {name:?} (see `vecycle trace list`)"))?;
-            let pages =
-                ((machine.ram().as_gib_f64() * scale as f64).round() as u64).max(64);
+            let pages = ((machine.ram().as_gib_f64() * scale as f64).round() as u64).max(64);
             let trace = TraceGenerator::new(machine.profile.clone(), seed)
                 .scale_pages(pages)
                 .generate()
@@ -126,8 +125,8 @@ fn checkpoint_cmd(argv: &[String]) -> Result<(), String> {
                 .first()
                 .ok_or("checkpoint inspect needs a file argument")?;
             let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-            let cp = Checkpoint::read_from(std::io::BufReader::new(file))
-                .map_err(|e| e.to_string())?;
+            let cp =
+                Checkpoint::read_from(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
             let index = cp.build_index();
             use vecycle_checkpoint::PageLookup;
             println!("{path}:");
@@ -174,8 +173,7 @@ fn estimate_cmd(argv: &[String]) -> Result<(), String> {
         format!("{}", vecycle.time),
     ]);
     print!("{}", t.render());
-    match estimate::break_even_similarity(ram, link, &cpu, vecycle_hash::ChecksumAlgorithm::Md5)
-    {
+    match estimate::break_even_similarity(ram, link, &cpu, vecycle_hash::ChecksumAlgorithm::Md5) {
         Some(s) => println!("break-even similarity on this link: {s}"),
         None => println!("vecycle cannot beat a full migration on this link"),
     }
@@ -200,12 +198,9 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
                 return Err("--ram must be a positive multiple of 4KiB".into());
             }
 
-            let base = DigestMemory::with_uniform_content(ram, seed)
-                .map_err(|e| e.to_string())?;
+            let base = DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
             let mut vm = base.snapshot();
-            let novel = ((1.0 - similarity)
-                * vm.page_count().as_u64() as f64)
-                .round() as u64;
+            let novel = ((1.0 - similarity) * vm.page_count().as_u64() as f64).round() as u64;
             for i in 0..novel {
                 vm.write_page(PageIndex::new(i), PageContent::ContentId((1 << 54) | i));
             }
@@ -243,11 +238,9 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
 
             let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
             let session = VeCycleSession::new(cluster).with_policy(policy);
-            let mem =
-                DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
+            let mem = DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
             let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(1));
-            let schedule =
-                MigrationSchedule::vdi(VmId::new(0), HostId::new(0), HostId::new(1), 19);
+            let schedule = MigrationSchedule::vdi(VmId::new(0), HostId::new(0), HostId::new(1), 19);
             // ~20% of pages touched per 8h working stretch.
             let rate = ram.pages_ceil().as_u64() as f64 * 0.2 / (8.0 * 3600.0);
             let mut workload = IdleWorkload::new(seed ^ 1, rate);
@@ -283,8 +276,7 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
 
             let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
             let session = VeCycleSession::new(cluster);
-            let mem =
-                DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
+            let mem = DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
             let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(0));
             let schedule = MigrationSchedule::ping_pong(
                 VmId::new(0),
@@ -362,7 +354,12 @@ mod tests {
     #[test]
     fn trace_gen_unknown_machine_errors() {
         let err = run(&argv(&[
-            "trace", "gen", "--machine", "Server Z", "--out", "/tmp/x",
+            "trace",
+            "gen",
+            "--machine",
+            "Server Z",
+            "--out",
+            "/tmp/x",
         ]))
         .unwrap_err();
         assert!(err.contains("no machine"));
@@ -370,12 +367,15 @@ mod tests {
 
     #[test]
     fn estimate_validates_similarity() {
-        assert!(run(&argv(&[
-            "estimate", "--ram", "1GiB", "--similarity", "1.5"
-        ]))
-        .is_err());
+        assert!(run(&argv(&["estimate", "--ram", "1GiB", "--similarity", "1.5"])).is_err());
         run(&argv(&[
-            "estimate", "--ram", "1GiB", "--similarity", "0.8", "--link", "wan",
+            "estimate",
+            "--ram",
+            "1GiB",
+            "--similarity",
+            "0.8",
+            "--link",
+            "wan",
         ]))
         .unwrap();
     }
@@ -396,7 +396,12 @@ mod tests {
     #[test]
     fn simulate_migrate_rejects_bad_ram() {
         assert!(run(&argv(&[
-            "simulate", "migrate", "--ram", "1000", "--similarity", "0.5",
+            "simulate",
+            "migrate",
+            "--ram",
+            "1000",
+            "--similarity",
+            "0.5",
         ]))
         .is_err());
     }

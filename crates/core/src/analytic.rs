@@ -103,7 +103,9 @@ mod tests {
     fn fp(mins: u64, ids: &[u64]) -> Fingerprint {
         Fingerprint::new(
             SimTime::EPOCH + SimDuration::from_mins(mins),
-            ids.iter().map(|&i| PageDigest::from_content_id(i)).collect(),
+            ids.iter()
+                .map(|&i| PageDigest::from_content_id(i))
+                .collect(),
         )
     }
 

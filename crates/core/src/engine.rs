@@ -2,11 +2,11 @@
 
 use std::collections::HashMap;
 
-use vecycle_checkpoint::PageLookup;
+use vecycle_checkpoint::{DedupIndex, PageLookup};
 use vecycle_host::{CpuSpec, DiskSpec};
 use vecycle_mem::{workload::GuestWorkload, Guest, MemoryImage, MutableMemory};
 use vecycle_net::{wire, LinkSpec, TrafficCategory, TrafficLedger};
-use vecycle_types::{Bytes, PageCount, PageIndex, SimDuration};
+use vecycle_types::{Bytes, PageCount, PageDigest, PageIndex, SimDuration};
 
 use crate::strategy::PageAction;
 use crate::{MigrationReport, PageMsg, RoundReport, SetupReport, Strategy, Transcript};
@@ -122,6 +122,7 @@ pub struct MigrationEngine {
     zero_suppression: bool,
     compression: Option<DeltaCompression>,
     xbzrle: Option<Xbzrle>,
+    threads: usize,
 }
 
 impl MigrationEngine {
@@ -142,6 +143,7 @@ impl MigrationEngine {
             zero_suppression: true,
             compression: None,
             xbzrle: None,
+            threads: 1,
         }
     }
 
@@ -211,6 +213,28 @@ impl MigrationEngine {
     pub fn with_xbzrle(mut self, xbzrle: Xbzrle) -> Self {
         self.xbzrle = Some(xbzrle);
         self
+    }
+
+    /// Sets the number of worker threads for the first-round page scan
+    /// (default 1: fully sequential).
+    ///
+    /// Results are bit-identical for every thread count — the parallel
+    /// scan splits the image into contiguous shards and merges them
+    /// deterministically; only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one scan thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured scan-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Estimates the similarity between `vm` and a checkpoint index by
@@ -294,7 +318,7 @@ impl MigrationEngine {
         let mut forward = TrafficLedger::new();
         let mut reverse = TrafficLedger::new();
         let setup = self.setup_phase(&strategy, vm.ram_size(), &mut reverse);
-        let mut sent = HashMap::new();
+        let mut sent = DedupIndex::new();
         let round1 = self.first_round(
             vm,
             &strategy,
@@ -303,7 +327,7 @@ impl MigrationEngine {
             &mut reverse,
             transcript,
         );
-        let downtime = self.stop_and_copy(0, &mut forward);
+        let downtime = self.stop_and_copy(0, 0, &mut forward);
         Ok(MigrationReport::new(
             strategy.name(),
             vm.ram_size(),
@@ -341,7 +365,7 @@ impl MigrationEngine {
                 ),
             });
         }
-        let mut sent = HashMap::new();
+        let mut sent = DedupIndex::new();
         let mut reports = Vec::with_capacity(vms.len());
         for (vm, strategy) in vms.iter().zip(strategies) {
             if vm.page_count() == PageCount::ZERO {
@@ -352,15 +376,9 @@ impl MigrationEngine {
             let mut forward = TrafficLedger::new();
             let mut reverse = TrafficLedger::new();
             let setup = self.setup_phase(strategy, vm.ram_size(), &mut reverse);
-            let round1 = self.first_round(
-                *vm,
-                strategy,
-                &mut sent,
-                &mut forward,
-                &mut reverse,
-                None,
-            );
-            let downtime = self.stop_and_copy(0, &mut forward);
+            let round1 =
+                self.first_round(*vm, strategy, &mut sent, &mut forward, &mut reverse, None);
+            let downtime = self.stop_and_copy(0, 0, &mut forward);
             reports.push(MigrationReport::new(
                 strategy.name(),
                 vm.ram_size(),
@@ -407,7 +425,7 @@ impl MigrationEngine {
         let setup = self.setup_phase(&strategy, guest.ram_size(), &mut reverse);
 
         guest.dirty_mut().clear();
-        let mut sent = HashMap::new();
+        let mut sent = DedupIndex::new();
         let round1 = self.first_round(
             guest,
             &strategy,
@@ -421,36 +439,72 @@ impl MigrationEngine {
         let mut dirty = guest.dirty_mut().drain();
 
         // Iterative pre-copy: re-send dirty pages until the residual set
-        // fits the downtime budget or the round limit is hit.
+        // fits the downtime budget or the round limit is hit. Every
+        // resend goes back through the strategy: a guest that rewrites a
+        // page with content the destination's checkpoint already holds
+        // costs a 28-byte checksum message, not a full page (§3.1 — the
+        // re-dirtied page is classified exactly like a first-round page,
+        // minus the stale reusable-set check).
         while rounds.len() < self.max_rounds as usize
             && dirty.len() as u64 > self.downtime_budget_pages()
         {
             let round_no = rounds.len() as u32 + 1;
-            let page_msg = match self.xbzrle {
-                Some(x) => {
-                    // Re-sent pages are delta-encoded against the cached
-                    // previous version.
-                    Bytes::new(wire::MSG_HEADER + wire::CHECKSUM_SIZE)
-                        + x.resend_bytes(Bytes::new(vecycle_types::PAGE_SIZE))
+            let page_msg = self.resend_page_wire_size();
+            let mut full = 0u64;
+            let mut checksums = 0u64;
+            let mut refs = 0u64;
+            let mut zeros = 0u64;
+            // `drain` yields ascending page order, so dedup cache updates
+            // stay deterministic across runs.
+            for &idx in &dirty {
+                let digest = guest.page_digest(idx);
+                if self.zero_suppression && digest.is_zero_page() {
+                    zeros += 1;
+                    continue;
                 }
-                None => self.full_page_wire_size(),
-            };
-            let (full, zeros) = self.split_zero_pages(guest, &dirty);
-            let bytes =
-                page_msg * full + wire::zero_page_msg() * zeros;
+                match strategy.classify_resend(digest, &sent) {
+                    PageAction::SendFull => {
+                        full += 1;
+                        sent.insert_first(digest, idx);
+                    }
+                    PageAction::SendChecksum => {
+                        checksums += 1;
+                        sent.insert_first(digest, idx);
+                    }
+                    PageAction::SendDedupRef(_) => refs += 1,
+                    PageAction::Skip => unreachable!("classify_resend never skips"),
+                }
+            }
+            let bytes = page_msg * full
+                + wire::checksum_msg() * checksums
+                + wire::dedup_ref_msg() * refs
+                + wire::zero_page_msg() * zeros;
             forward.record_many(TrafficCategory::FullPages, full, page_msg);
+            forward.record_many(TrafficCategory::Checksums, checksums, wire::checksum_msg());
+            forward.record_many(TrafficCategory::DedupRefs, refs, wire::dedup_ref_msg());
             forward.record_many(TrafficCategory::ZeroMarkers, zeros, wire::zero_page_msg());
             forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
+            // Re-dirtied pages must be re-hashed before the index lookup.
+            let checksum_cost = if strategy.computes_checksums() {
+                self.cpu
+                    .checksum_time(self.algorithm, Bytes::from_pages(dirty.len() as u64))
+            } else {
+                SimDuration::ZERO
+            };
             let compress_cost = match self.compression {
                 Some(c) => c.time(Bytes::from_pages(full)),
                 None => SimDuration::ZERO,
             };
-            let duration = self.link.transfer_time(bytes).max(compress_cost);
+            let duration = self
+                .link
+                .transfer_time(bytes)
+                .max(checksum_cost)
+                .max(compress_cost);
             rounds.push(RoundReport {
                 round: round_no,
                 full_pages: PageCount::new(full),
-                checksum_pages: PageCount::ZERO,
-                dedup_refs: PageCount::ZERO,
+                checksum_pages: PageCount::new(checksums),
+                dedup_refs: PageCount::new(refs),
                 skipped_pages: PageCount::ZERO,
                 zero_pages: PageCount::new(zeros),
                 bytes_sent: bytes,
@@ -460,7 +514,8 @@ impl MigrationEngine {
             dirty = guest.dirty_mut().drain();
         }
 
-        let downtime = self.stop_and_copy(dirty.len() as u64, &mut forward);
+        let (residue_full, residue_zeros) = self.split_zero_pages(guest, &dirty);
+        let downtime = self.stop_and_copy(residue_full, residue_zeros, &mut forward);
         Ok(MigrationReport::new(
             strategy.name(),
             guest.ram_size(),
@@ -486,12 +541,15 @@ impl MigrationEngine {
     }
 
     /// Pages the final round may still carry within the downtime target.
+    ///
+    /// Divides the downtime byte budget by the wire size a resent page
+    /// *actually* occupies: XBZRLE deltas and compressed payloads shrink
+    /// resends, so more residual pages fit the same pause — using the
+    /// uncompressed size here would stop iterating too early and then
+    /// overshoot the downtime target it was meant to respect.
     fn downtime_budget_pages(&self) -> u64 {
-        let budget = self
-            .link
-            .effective_bandwidth()
-            .bytes_in(self.max_downtime);
-        budget.as_u64() / wire::full_page_msg().as_u64()
+        let budget = self.link.effective_bandwidth().bytes_in(self.max_downtime);
+        budget.as_u64() / self.resend_page_wire_size().as_u64()
     }
 
     fn setup_phase(
@@ -512,8 +570,9 @@ impl MigrationEngine {
         // Sorting ~n log n digest comparisons; ~20 ns per element-move is
         // generous for 16-byte keys.
         let entries = index.distinct() as u64;
-        let index_build =
-            SimDuration::from_nanos(entries.max(1) * (64 - entries.max(2).leading_zeros() as u64) * 20);
+        let index_build = SimDuration::from_nanos(
+            entries.max(1) * (64 - entries.max(2).leading_zeros() as u64) * 20,
+        );
         let mut setup = SetupReport {
             checkpoint_read: read,
             checkpoint_write: SimDuration::ZERO,
@@ -534,62 +593,28 @@ impl MigrationEngine {
         &self,
         vm: &M,
         strategy: &Strategy,
-        sent: &mut HashMap<vecycle_types::PageDigest, PageIndex>,
+        sent: &mut DedupIndex,
         forward: &mut TrafficLedger,
         reverse: &mut TrafficLedger,
-        mut transcript: Option<&mut Transcript>,
+        transcript: Option<&mut Transcript>,
     ) -> RoundReport {
         let n = vm.page_count().as_u64();
-        let mut full = 0u64;
-        let mut checksums = 0u64;
-        let mut refs = 0u64;
-        let mut skipped = 0u64;
-        let mut zeros = 0u64;
-
-        for i in 0..n {
-            let idx = PageIndex::new(i);
-            let digest = vm.page_digest(idx);
-            let action = strategy.classify(idx, digest, sent);
-            // Zero suppression applies whenever a payload would be sent:
-            // a 13-byte marker beats both the full page and the 28-byte
-            // checksum message. Dirty-tracking skips stay skips.
-            if self.zero_suppression
-                && digest.is_zero_page()
-                && action != PageAction::Skip
-            {
-                zeros += 1;
-                if let Some(t) = transcript.as_deref_mut() {
-                    t.push(PageMsg::Zero { idx });
-                }
-                continue;
-            }
-            match action {
-                PageAction::SendFull => {
-                    full += 1;
-                    sent.entry(digest).or_insert(idx);
-                    if let Some(t) = transcript.as_deref_mut() {
-                        t.push(PageMsg::Full {
-                            idx,
-                            digest,
-                            bytes: vm.page_bytes(idx).map(|b| b.to_vec().into_boxed_slice()),
-                        });
-                    }
-                }
-                PageAction::SendChecksum => {
-                    checksums += 1;
-                    sent.entry(digest).or_insert(idx);
-                    if let Some(t) = transcript.as_deref_mut() {
-                        t.push(PageMsg::Checksum { idx, digest });
-                    }
-                }
-                PageAction::SendDedupRef(source) => {
-                    refs += 1;
-                    if let Some(t) = transcript.as_deref_mut() {
-                        t.push(PageMsg::DedupRef { idx, source });
-                    }
-                }
-                PageAction::Skip => skipped += 1,
-            }
+        let want_msgs = transcript.is_some();
+        let scan = if self.threads <= 1 {
+            self.scan_sequential(vm, strategy, sent, want_msgs)
+        } else {
+            self.scan_parallel(vm, strategy, sent, want_msgs)
+        };
+        let ScanOutcome {
+            full,
+            checksums,
+            refs,
+            skipped,
+            zeros,
+            msgs,
+        } = scan;
+        if let (Some(t), Some(msgs)) = (transcript, msgs) {
+            t.extend(msgs);
         }
 
         let page_msg = self.full_page_wire_size();
@@ -615,9 +640,8 @@ impl MigrationEngine {
                 forward.record_many(TrafficCategory::Checksums, n, wire::page_query());
                 reverse.record_many(TrafficCategory::Control, n, wire::page_query_reply());
                 let rtts = n.div_ceil(u64::from(pipeline_depth.max(1)));
-                query_time = SimDuration::from_secs_f64(
-                    self.link.round_trip().as_secs_f64() * rtts as f64,
-                );
+                query_time =
+                    SimDuration::from_secs_f64(self.link.round_trip().as_secs_f64() * rtts as f64);
             }
         }
 
@@ -626,8 +650,7 @@ impl MigrationEngine {
         // §3.4: with reuse, the checksum rate bounds the round from
         // below; checksums for all n pages are computed during round 1.
         let checksum_cost = if strategy.computes_checksums() {
-            self.cpu
-                .checksum_time(self.algorithm, Bytes::from_pages(n))
+            self.cpu.checksum_time(self.algorithm, Bytes::from_pages(n))
         } else {
             SimDuration::ZERO
         };
@@ -652,6 +675,238 @@ impl MigrationEngine {
         }
     }
 
+    /// The reference first-round scan: one pass in page order, dedup
+    /// cache consulted and updated inline. The parallel scan is defined
+    /// as "whatever this produces".
+    fn scan_sequential<M: MemoryImage>(
+        &self,
+        vm: &M,
+        strategy: &Strategy,
+        sent: &mut DedupIndex,
+        want_msgs: bool,
+    ) -> ScanOutcome {
+        let n = vm.page_count().as_u64();
+        let mut out = ScanOutcome::new(want_msgs);
+        for i in 0..n {
+            let idx = PageIndex::new(i);
+            let digest = vm.page_digest(idx);
+            let action = strategy.classify(idx, digest, sent);
+            // Zero suppression applies whenever a payload would be sent:
+            // a 13-byte marker beats both the full page and the 28-byte
+            // checksum message. Dirty-tracking skips stay skips.
+            if self.zero_suppression && digest.is_zero_page() && action != PageAction::Skip {
+                out.zeros += 1;
+                if let Some(t) = out.msgs.as_mut() {
+                    t.push(PageMsg::Zero { idx });
+                }
+                continue;
+            }
+            match action {
+                PageAction::SendFull => {
+                    out.full += 1;
+                    sent.insert_first(digest, idx);
+                    if let Some(t) = out.msgs.as_mut() {
+                        t.push(PageMsg::Full {
+                            idx,
+                            digest,
+                            bytes: vm.page_bytes(idx).map(|b| b.to_vec().into_boxed_slice()),
+                        });
+                    }
+                }
+                PageAction::SendChecksum => {
+                    out.checksums += 1;
+                    sent.insert_first(digest, idx);
+                    if let Some(t) = out.msgs.as_mut() {
+                        t.push(PageMsg::Checksum { idx, digest });
+                    }
+                }
+                PageAction::SendDedupRef(source) => {
+                    out.refs += 1;
+                    if let Some(t) = out.msgs.as_mut() {
+                        t.push(PageMsg::DedupRef { idx, source });
+                    }
+                }
+                PageAction::Skip => out.skipped += 1,
+            }
+        }
+        out
+    }
+
+    /// The parallel first-round scan — bit-identical to
+    /// [`MigrationEngine::scan_sequential`] for any thread count.
+    ///
+    /// The image splits into `threads` contiguous page ranges. Phase A
+    /// classifies each range concurrently with [`Strategy::preclassify`],
+    /// which depends only on `(idx, digest)` — never on what was sent
+    /// earlier — recording per-shard outcomes in page order plus a
+    /// per-shard first-occurrence map over the digests that would enter
+    /// the dedup cache. Phase B merges those maps in range order, so each
+    /// digest resolves to the *lowest* page index that inserts it — the
+    /// page the sequential scan would have inserted first. Phase C then
+    /// resolves `SendFull` candidates concurrently against the
+    /// pre-existing cache and the merged map, which is exactly the state
+    /// the sequential scan would have consulted: classification outcomes
+    /// partition digests into disjoint classes (index hits always send
+    /// checksums, dirty-tracking skips never insert, suppressed zeros
+    /// never insert), so no candidate can race a checksum insert.
+    fn scan_parallel<M: MemoryImage>(
+        &self,
+        vm: &M,
+        strategy: &Strategy,
+        sent: &mut DedupIndex,
+        want_msgs: bool,
+    ) -> ScanOutcome {
+        let n = vm.page_count().as_u64();
+        let shard_len = n.div_ceil(self.threads as u64).max(1);
+        let ranges: Vec<(u64, u64)> = (0..n)
+            .step_by(shard_len as usize)
+            .map(|lo| (lo, (lo + shard_len).min(n)))
+            .collect();
+
+        // Phase A: dedup-independent classification, one shard per thread.
+        let shards: Vec<ShardScan> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    scope.spawn(move |_| {
+                        let mut shard = ShardScan {
+                            skipped: 0,
+                            records: Vec::with_capacity((hi - lo) as usize),
+                            inserts: HashMap::new(),
+                        };
+                        for i in lo..hi {
+                            let idx = PageIndex::new(i);
+                            let digest = vm.page_digest(idx);
+                            let action = strategy.preclassify(idx, digest);
+                            if self.zero_suppression
+                                && digest.is_zero_page()
+                                && action != PageAction::Skip
+                            {
+                                shard.records.push(PreRecord::Zero(idx));
+                                continue;
+                            }
+                            match action {
+                                PageAction::SendFull => {
+                                    shard.inserts.entry(digest).or_insert(idx);
+                                    shard.records.push(PreRecord::Candidate(idx, digest));
+                                }
+                                PageAction::SendChecksum => {
+                                    shard.inserts.entry(digest).or_insert(idx);
+                                    shard.records.push(PreRecord::Checksum(idx, digest));
+                                }
+                                PageAction::Skip => shard.skipped += 1,
+                                PageAction::SendDedupRef(_) => {
+                                    unreachable!("preclassify never emits dedup refs")
+                                }
+                            }
+                        }
+                        shard
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        })
+        .expect("scoped scan threads");
+
+        // Phase B: merge shard maps in page order — the earliest range
+        // holding a digest wins, which is the global minimum index.
+        let mut round_min: HashMap<PageDigest, PageIndex> = HashMap::new();
+        for shard in &shards {
+            for (&digest, &idx) in &shard.inserts {
+                round_min.entry(digest).or_insert(idx);
+            }
+        }
+
+        // Phase C: resolve candidates against the dedup state, again one
+        // shard per thread (both maps are now read-only).
+        let dedup = strategy.dedup_enabled();
+        let sent_view: &DedupIndex = sent;
+        let round_min_view = &round_min;
+        let resolved: Vec<ScanOutcome> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut out = ScanOutcome::new(want_msgs);
+                        out.skipped = shard.skipped;
+                        for rec in &shard.records {
+                            match *rec {
+                                PreRecord::Zero(idx) => {
+                                    out.zeros += 1;
+                                    if let Some(t) = out.msgs.as_mut() {
+                                        t.push(PageMsg::Zero { idx });
+                                    }
+                                }
+                                PreRecord::Checksum(idx, digest) => {
+                                    out.checksums += 1;
+                                    if let Some(t) = out.msgs.as_mut() {
+                                        t.push(PageMsg::Checksum { idx, digest });
+                                    }
+                                }
+                                PreRecord::Candidate(idx, digest) => {
+                                    // A prior sender of this content (an
+                                    // earlier gang VM, or a lower page of
+                                    // this image) turns the candidate
+                                    // into a back-reference.
+                                    let source = if dedup {
+                                        sent_view.get(digest).or_else(|| {
+                                            let first = round_min_view[&digest];
+                                            (first < idx).then_some(first)
+                                        })
+                                    } else {
+                                        None
+                                    };
+                                    match source {
+                                        Some(source) => {
+                                            out.refs += 1;
+                                            if let Some(t) = out.msgs.as_mut() {
+                                                t.push(PageMsg::DedupRef { idx, source });
+                                            }
+                                        }
+                                        None => {
+                                            out.full += 1;
+                                            if let Some(t) = out.msgs.as_mut() {
+                                                t.push(PageMsg::Full {
+                                                    idx,
+                                                    digest,
+                                                    bytes: vm
+                                                        .page_bytes(idx)
+                                                        .map(|b| b.to_vec().into_boxed_slice()),
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("resolve worker panicked"))
+                .collect()
+        })
+        .expect("scoped resolve threads");
+
+        // Phase D: concatenate shard outcomes in page order and commit
+        // this round's first-senders to the shared dedup cache (existing
+        // entries — earlier gang VMs — keep priority, as they did when
+        // the sequential scan inserted per page).
+        let mut out = ScanOutcome::new(want_msgs);
+        for part in resolved {
+            out.merge(part);
+        }
+        for (&digest, &idx) in &round_min {
+            sent.insert_first(digest, idx);
+        }
+        out
+    }
+
     /// Wire size of one full-page message after optional compression.
     fn full_page_wire_size(&self) -> Bytes {
         match self.compression {
@@ -663,25 +918,102 @@ impl MigrationEngine {
         }
     }
 
-    fn stop_and_copy(&self, dirty_full: u64, forward: &mut TrafficLedger) -> SimDuration {
-        // The final flush re-sends pages already transferred once, so
-        // XBZRLE applies here as well.
-        let page_msg = match self.xbzrle {
+    /// Wire size of one *re-sent* full page (rounds ≥ 2 and the final
+    /// flush): XBZRLE delta-encodes against the cached previous version
+    /// when enabled, otherwise the (possibly compressed) full-page size.
+    fn resend_page_wire_size(&self) -> Bytes {
+        match self.xbzrle {
             Some(x) => {
                 Bytes::new(wire::MSG_HEADER + wire::CHECKSUM_SIZE)
                     + x.resend_bytes(Bytes::new(vecycle_types::PAGE_SIZE))
             }
             None => self.full_page_wire_size(),
-        };
+        }
+    }
+
+    fn stop_and_copy(
+        &self,
+        dirty_full: u64,
+        dirty_zeros: u64,
+        forward: &mut TrafficLedger,
+    ) -> SimDuration {
+        // The final flush re-sends pages already transferred once, so
+        // XBZRLE applies here as well; zero-page suppression does too —
+        // a guest that zeroes pages during the last round pays 13-byte
+        // markers, not full pages, exactly as in the copy rounds.
+        let page_msg = self.resend_page_wire_size();
         forward.record_many(TrafficCategory::FullPages, dirty_full, page_msg);
+        forward.record_many(
+            TrafficCategory::ZeroMarkers,
+            dirty_zeros,
+            wire::zero_page_msg(),
+        );
         forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
-        let bytes = page_msg * dirty_full;
+        let bytes = page_msg * dirty_full + wire::zero_page_msg() * dirty_zeros;
         // Pause, flush the residue, hand over execution: one transfer
         // plus the resume handshake.
         self.link
             .transfer_time(bytes)
             .saturating_add(self.link.round_trip())
     }
+}
+
+/// What one first-round scan produced: per-action page counts and, when
+/// a transcript was requested, the ordered message stream.
+struct ScanOutcome {
+    full: u64,
+    checksums: u64,
+    refs: u64,
+    skipped: u64,
+    zeros: u64,
+    msgs: Option<Vec<PageMsg>>,
+}
+
+impl ScanOutcome {
+    fn new(want_msgs: bool) -> Self {
+        ScanOutcome {
+            full: 0,
+            checksums: 0,
+            refs: 0,
+            skipped: 0,
+            zeros: 0,
+            msgs: want_msgs.then(Vec::new),
+        }
+    }
+
+    /// Appends a later shard's outcome (shards arrive in page order).
+    fn merge(&mut self, part: ScanOutcome) {
+        self.full += part.full;
+        self.checksums += part.checksums;
+        self.refs += part.refs;
+        self.skipped += part.skipped;
+        self.zeros += part.zeros;
+        if let (Some(acc), Some(msgs)) = (self.msgs.as_mut(), part.msgs) {
+            acc.extend(msgs);
+        }
+    }
+}
+
+/// Phase-A result for one contiguous page range of the parallel scan.
+struct ShardScan {
+    /// Dirty-tracking skips (count only; they emit nothing).
+    skipped: u64,
+    /// Non-skipped pages in range order, awaiting dedup resolution.
+    records: Vec<PreRecord>,
+    /// Digest → lowest in-range page that would insert it into the dedup
+    /// cache (both full-page candidates and checksum announcements).
+    inserts: HashMap<PageDigest, PageIndex>,
+}
+
+/// A page's dedup-independent classification, before `SendFull`
+/// candidates are resolved into full pages or back-references.
+enum PreRecord {
+    /// Suppressed all-zero page.
+    Zero(PageIndex),
+    /// Checkpoint-index hit: sends a checksum message unconditionally.
+    Checksum(PageIndex, PageDigest),
+    /// Would send in full; may become a dedup ref in phase C.
+    Candidate(PageIndex, PageDigest),
 }
 
 #[cfg(test)]
@@ -813,8 +1145,7 @@ mod tests {
     #[test]
     fn round_limit_bounds_busy_guests() {
         let mut guest = Guest::new(mem(4, 9));
-        let engine =
-            MigrationEngine::new(LinkSpec::lan_gigabit()).with_max_rounds(3);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit()).with_max_rounds(3);
         // Very hot workload that would never converge.
         let mut wl = IdleWorkload::new(10, 200_000.0);
         let r = engine
@@ -858,10 +1189,7 @@ mod tests {
         // Round 1 is identical; later rounds carry deltas instead of
         // full pages.
         assert!(xb.source_traffic() < plain.source_traffic());
-        assert_eq!(
-            xb.rounds()[0].bytes_sent,
-            plain.rounds()[0].bytes_sent
-        );
+        assert_eq!(xb.rounds()[0].bytes_sent, plain.rounds()[0].bytes_sent);
         if xb.rounds().len() > 1 && plain.rounds().len() > 1 {
             let per_page_xb = xb.rounds()[1].bytes_sent.as_f64()
                 / xb.rounds()[1].full_pages.as_u64().max(1) as f64;
@@ -989,8 +1317,8 @@ mod tests {
     #[test]
     fn zero_suppression_can_be_disabled() {
         let vm = DigestMemory::zeroed(PageCount::new(256));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_zero_page_suppression(false);
+        let engine =
+            MigrationEngine::new(LinkSpec::lan_gigabit()).with_zero_page_suppression(false);
         let r = engine.migrate(&vm, Strategy::full()).unwrap();
         assert_eq!(r.pages_sent_full(), PageCount::new(256));
         assert_eq!(r.zero_pages(), PageCount::ZERO);
@@ -1036,10 +1364,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "compression ratio")]
     fn invalid_compression_ratio_panics() {
-        let _ = DeltaCompression::new(
-            0.0,
-            vecycle_types::BytesPerSec::from_mib_per_sec(100),
-        );
+        let _ = DeltaCompression::new(0.0, vecycle_types::BytesPerSec::from_mib_per_sec(100));
     }
 
     #[test]
@@ -1052,12 +1377,243 @@ mod tests {
         assert!(r.setup().total() > SimDuration::ZERO);
         assert!(r.setup().checkpoint_read > SimDuration::ZERO);
         // total_time must not include the setup term.
-        let rounds_plus_down: SimDuration = r
-            .rounds()
-            .iter()
-            .map(|x| x.duration)
-            .sum::<SimDuration>()
-            + r.downtime();
+        let rounds_plus_down: SimDuration =
+            r.rounds().iter().map(|x| x.duration).sum::<SimDuration>() + r.downtime();
         assert_eq!(r.total_time(), rounds_plus_down);
+    }
+
+    /// Rewrites pages `0..k` with *fixed* content ids every advance: the
+    /// pages are dirtied, but their digests never change.
+    struct RewriteSameContent {
+        k: u64,
+    }
+
+    impl<M: MutableMemory> GuestWorkload<M> for RewriteSameContent {
+        fn advance(&mut self, guest: &mut Guest<M>, _dur: SimDuration) {
+            for i in 0..self.k {
+                let idx = PageIndex::new(i);
+                guest.write_page(idx, PageContent::ContentId(1_000 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn live_vecycle_resends_known_content_as_checksums() {
+        // Pin pages 0..100 to known content, checkpoint, then keep
+        // rewriting those pages with the *same* content during the
+        // migration. The destination's checkpoint holds every re-dirtied
+        // page, so rounds ≥ 2 must collapse to 28-byte checksum
+        // messages — not full pages.
+        let mut image = mem(8, 60);
+        for i in 0..100 {
+            image.write_page(PageIndex::new(i), PageContent::ContentId(1_000 + i));
+        }
+        let cp = image.snapshot();
+        let mut guest = Guest::new(image);
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_max_rounds(3)
+            .with_max_downtime(SimDuration::from_millis(1));
+        let mut wl = RewriteSameContent { k: 100 };
+        let r = engine
+            .migrate_live(&mut guest, &mut wl, Strategy::vecycle(&cp))
+            .unwrap();
+        assert!(r.rounds().len() >= 2, "workload must force resend rounds");
+        for round in &r.rounds()[1..] {
+            assert_eq!(round.full_pages, PageCount::ZERO, "round {}", round.round);
+            assert_eq!(
+                round.checksum_pages,
+                PageCount::new(100),
+                "round {}",
+                round.round
+            );
+            // 100 × 28-byte checksum messages, nothing else.
+            assert_eq!(round.bytes_sent, wire::checksum_msg() * 100);
+        }
+    }
+
+    /// Zeroes pages `0..k` on every advance.
+    struct ZeroingWorkload {
+        k: u64,
+    }
+
+    impl<M: MutableMemory> GuestWorkload<M> for ZeroingWorkload {
+        fn advance(&mut self, guest: &mut Guest<M>, _dur: SimDuration) {
+            for i in 0..self.k {
+                guest.write_page(PageIndex::new(i), PageContent::ContentId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn stop_and_copy_suppresses_zero_residue() {
+        // The guest zeroes 512 pages during round 1; with a single round
+        // allowed, that residue goes through stop-and-copy. Suppressed,
+        // it is 512 × 13-byte markers; unsuppressed it would be
+        // 512 × 4 KiB pages — more than two milliseconds on gigabit.
+        let run = |suppress: bool| {
+            let mut guest = Guest::new(mem(8, 61));
+            let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
+                .with_max_rounds(1)
+                .with_zero_page_suppression(suppress);
+            engine
+                .migrate_live(
+                    &mut guest,
+                    &mut ZeroingWorkload { k: 512 },
+                    Strategy::full(),
+                )
+                .unwrap()
+        };
+        let suppressed = run(true);
+        let unsuppressed = run(false);
+        assert!(suppressed.downtime() < unsuppressed.downtime());
+        // Residue bytes: 512 markers ≪ one full page.
+        let marker_bytes = wire::zero_page_msg() * 512;
+        let budget = LinkSpec::lan_gigabit()
+            .transfer_time(marker_bytes + wire::full_page_msg())
+            .saturating_add(LinkSpec::lan_gigabit().round_trip());
+        assert!(
+            suppressed.downtime() <= budget,
+            "downtime {:?} exceeds zero-marker budget {:?}",
+            suppressed.downtime(),
+            budget
+        );
+    }
+
+    /// Dirties exactly `k` fresh-content pages per advance, independent
+    /// of round duration.
+    struct FixedDirtier {
+        k: u64,
+        next: u64,
+    }
+
+    impl<M: MutableMemory> GuestWorkload<M> for FixedDirtier {
+        fn advance(&mut self, guest: &mut Guest<M>, _dur: SimDuration) {
+            for i in 0..self.k {
+                let idx = PageIndex::new(i);
+                guest.write_page(idx, PageContent::ContentId((1 << 62) | self.next));
+                self.next += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn downtime_budget_uses_actual_resend_size() {
+        // 1 ms on gigabit fits ~30 uncompressed full-page messages but
+        // hundreds of XBZRLE deltas. A constant 100-page dirty set
+        // therefore never converges with plain resends, yet fits the
+        // final round immediately once deltas shrink the residue — the
+        // budget division must use the active per-page wire size, not
+        // the uncompressed one.
+        let run = |engine: MigrationEngine| {
+            let mut guest = Guest::new(mem(8, 62));
+            let mut wl = FixedDirtier { k: 100, next: 0 };
+            engine
+                .migrate_live(&mut guest, &mut wl, Strategy::full())
+                .unwrap()
+        };
+        let base = MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_max_rounds(6)
+            .with_max_downtime(SimDuration::from_millis(1));
+        let plain = run(base.clone());
+        let xb = run(base.with_xbzrle(Xbzrle::new(0.95, 0.02)));
+        assert_eq!(plain.rounds().len(), 6, "plain resends can never fit 1 ms");
+        assert_eq!(
+            xb.rounds().len(),
+            1,
+            "100 deltas fit the downtime budget without extra rounds"
+        );
+        assert!(xb.downtime() <= SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical_to_sequential() {
+        // A workload mixing every message class: checkpoint hits
+        // (checksums), fresh content (full pages), duplicated fresh
+        // content (dedup refs), and zero pages.
+        let base = mem(8, 63);
+        let mut vm = base.snapshot();
+        let n = vm.page_count().as_u64();
+        for i in 0..n / 4 {
+            vm.write_page(
+                PageIndex::new(i * 2),
+                PageContent::ContentId((1 << 48) | (i % 64)),
+            );
+        }
+        for i in 0..n / 16 {
+            vm.write_page(PageIndex::new(i * 16 + 1), PageContent::ContentId(0));
+        }
+        let strategies: Vec<Strategy> = vec![
+            Strategy::full(),
+            Strategy::dedup(),
+            Strategy::vecycle(&base),
+            Strategy::vecycle(&base).with_dedup(),
+        ];
+        for strategy in &strategies {
+            let seq_engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+            let (seq_report, seq_transcript) = seq_engine
+                .migrate_with_transcript(&vm, strategy.clone())
+                .unwrap();
+            for threads in [2, 3, 4, 8] {
+                let par_engine =
+                    MigrationEngine::new(LinkSpec::lan_gigabit()).with_threads(threads);
+                let (par_report, par_transcript) = par_engine
+                    .migrate_with_transcript(&vm, strategy.clone())
+                    .unwrap();
+                assert_eq!(
+                    par_report,
+                    seq_report,
+                    "strategy {} threads {threads}",
+                    strategy.name()
+                );
+                assert_eq!(
+                    par_transcript,
+                    seq_transcript,
+                    "strategy {} threads {threads}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gang_migration_matches_sequential() {
+        // Gang migrations share the dedup cache across VMs; the parallel
+        // scan must hand identical cross-VM back-references out.
+        let a = mem(4, 64);
+        let mut b = a.snapshot();
+        let n = b.page_count().as_u64();
+        for i in 0..n / 8 {
+            b.write_page(PageIndex::new(i), PageContent::ContentId((1 << 52) | i));
+        }
+        let strategies = [Strategy::dedup(), Strategy::dedup()];
+        let seq = MigrationEngine::new(LinkSpec::lan_gigabit())
+            .migrate_gang(&[&a, &b], &strategies)
+            .unwrap();
+        for threads in [2, 4] {
+            let par = MigrationEngine::new(LinkSpec::lan_gigabit())
+                .with_threads(threads)
+                .migrate_gang(&[&a, &b], &strategies)
+                .unwrap();
+            assert_eq!(par, seq, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_handles_images_smaller_than_thread_count() {
+        let vm = DigestMemory::with_distinct_content(PageCount::new(3), 9);
+        let seq = MigrationEngine::new(LinkSpec::lan_gigabit())
+            .migrate(&vm, Strategy::full())
+            .unwrap();
+        let par = MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_threads(16)
+            .migrate(&vm, Strategy::full())
+            .unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scan thread")]
+    fn zero_threads_panics() {
+        let _ = MigrationEngine::new(LinkSpec::lan_gigabit()).with_threads(0);
     }
 }

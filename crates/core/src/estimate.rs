@@ -157,14 +157,12 @@ mod tests {
                     &cpu,
                     ChecksumAlgorithm::Md5,
                 );
-                let traffic_err = (predicted.traffic.as_f64()
-                    - actual.source_traffic().as_f64())
-                .abs()
+                let traffic_err = (predicted.traffic.as_f64() - actual.source_traffic().as_f64())
+                    .abs()
                     / actual.source_traffic().as_f64();
                 assert!(traffic_err < 0.02, "traffic err {traffic_err} at {novel}");
-                let time_err = (predicted.time.as_secs_f64()
-                    - actual.total_time().as_secs_f64())
-                .abs()
+                let time_err = (predicted.time.as_secs_f64() - actual.total_time().as_secs_f64())
+                    .abs()
                     / actual.total_time().as_secs_f64();
                 assert!(time_err < 0.02, "time err {time_err} at {novel}");
             }
@@ -172,8 +170,7 @@ mod tests {
             let vm = diverged(&base, 0.3);
             let actual = engine.migrate(&vm, Strategy::full()).unwrap();
             let predicted = estimate_full(ram, Ratio::ZERO, link);
-            let err = (predicted.time.as_secs_f64() - actual.total_time().as_secs_f64())
-                .abs()
+            let err = (predicted.time.as_secs_f64() - actual.total_time().as_secs_f64()).abs()
                 / actual.total_time().as_secs_f64();
             assert!(err < 0.02, "full time err {err}");
         }
@@ -209,13 +206,10 @@ mod tests {
         // sending: no similarity makes VeCycle faster.
         let cpu = CpuSpec::phenom_ii();
         let fat = LinkSpec::lan_gigabit().with_bandwidth(BytesPerSec::from_mib_per_sec(4800));
-        assert!(break_even_similarity(
-            Bytes::from_gib(1),
-            fat,
-            &cpu,
-            ChecksumAlgorithm::Sha256,
-        )
-        .is_none());
+        assert!(
+            break_even_similarity(Bytes::from_gib(1), fat, &cpu, ChecksumAlgorithm::Sha256,)
+                .is_none()
+        );
     }
 
     #[test]

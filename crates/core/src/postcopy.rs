@@ -112,16 +112,16 @@ impl MigrationEngine {
             from_network,
             wire::full_page_msg(),
         );
-        let completion_time = self
-            .link()
-            .transfer_time(forward.total())
-            .max(if strategy.computes_checksums() {
-                // Source hashes the whole image to produce the stream.
-                vecycle_host::CpuSpec::phenom_ii()
-                    .checksum_time(vecycle_hash::ChecksumAlgorithm::Md5, vm.ram_size())
-            } else {
-                SimDuration::ZERO
-            });
+        let completion_time =
+            self.link()
+                .transfer_time(forward.total())
+                .max(if strategy.computes_checksums() {
+                    // Source hashes the whole image to produce the stream.
+                    vecycle_host::CpuSpec::phenom_ii()
+                        .checksum_time(vecycle_hash::ChecksumAlgorithm::Md5, vm.ram_size())
+                } else {
+                    SimDuration::ZERO
+                });
 
         // Demand faults: working-set pages that must come from the
         // network fault before prepaging delivers them (worst case: all
@@ -134,9 +134,7 @@ impl MigrationEngine {
             .link()
             .round_trip()
             .saturating_add(self.link().transfer_time(wire::full_page_msg()));
-        let stall_time = SimDuration::from_secs_f64(
-            per_fault.as_secs_f64() * demand_faults as f64,
-        );
+        let stall_time = SimDuration::from_secs_f64(per_fault.as_secs_f64() * demand_faults as f64);
 
         Ok(PostCopyReport {
             downtime,
@@ -186,9 +184,7 @@ mod tests {
         let with_cp = engine
             .migrate_postcopy(&vm, Strategy::vecycle(&cp), &ws)
             .unwrap();
-        let without = engine
-            .migrate_postcopy(&vm, Strategy::full(), &ws)
-            .unwrap();
+        let without = engine.migrate_postcopy(&vm, Strategy::full(), &ws).unwrap();
         assert!(with_cp.completion_time < without.completion_time);
         assert!(with_cp.demand_faults < without.demand_faults);
         assert!(with_cp.stall_time < without.stall_time);
@@ -208,7 +204,10 @@ mod tests {
             r.pages_from_checkpoint + r.pages_from_network,
             vm.page_count()
         );
-        assert_eq!(r.pages_from_network, PageCount::new((4096.0_f64 * 0.3) as u64));
+        assert_eq!(
+            r.pages_from_network,
+            PageCount::new((4096.0_f64 * 0.3) as u64)
+        );
     }
 
     #[test]
@@ -224,8 +223,6 @@ mod tests {
     fn empty_image_is_rejected() {
         let vm = DigestMemory::zeroed(PageCount::ZERO);
         let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        assert!(engine
-            .migrate_postcopy(&vm, Strategy::full(), &[])
-            .is_err());
+        assert!(engine.migrate_postcopy(&vm, Strategy::full(), &[]).is_err());
     }
 }

@@ -53,7 +53,7 @@ impl SetupReport {
 }
 
 /// The full record of one migration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationReport {
     strategy: StrategyName,
     ram: Bytes,
@@ -233,10 +233,7 @@ mod tests {
     #[test]
     fn total_time_sums_rounds_and_downtime() {
         let r = sample();
-        assert_eq!(
-            r.total_time(),
-            SimDuration::from_millis(2000 + 200 + 30)
-        );
+        assert_eq!(r.total_time(), SimDuration::from_millis(2000 + 200 + 30));
     }
 
     #[test]

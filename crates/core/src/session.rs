@@ -67,14 +67,11 @@ impl ScheduleSummary {
     pub fn of(reports: &[crate::MigrationReport]) -> ScheduleSummary {
         use crate::StrategyName;
         let total_traffic = reports.iter().map(|r| r.source_traffic()).sum();
-        let total_time: vecycle_types::SimDuration =
-            reports.iter().map(|r| r.total_time()).sum();
+        let total_time: vecycle_types::SimDuration = reports.iter().map(|r| r.total_time()).sum();
         let mean_time = if reports.is_empty() {
             vecycle_types::SimDuration::ZERO
         } else {
-            vecycle_types::SimDuration::from_nanos(
-                total_time.as_nanos() / reports.len() as u64,
-            )
+            vecycle_types::SimDuration::from_nanos(total_time.as_nanos() / reports.len() as u64)
         };
         let max_downtime = reports
             .iter()
@@ -104,11 +101,7 @@ impl std::fmt::Display for ScheduleSummary {
         write!(
             f,
             "{} migrations ({} recycled): {} total, mean time {}, worst downtime {}",
-            self.migrations,
-            self.recycled,
-            self.total_traffic,
-            self.mean_time,
-            self.max_downtime,
+            self.migrations, self.recycled, self.total_traffic, self.mean_time, self.max_downtime,
         )
     }
 }
@@ -239,24 +232,19 @@ impl VeCycleSession {
                 // First visit (or resized VM): no checkpoint to recycle.
                 _ => Strategy::dedup(),
             },
-            RecyclePolicy::Adaptive { min_similarity } => {
-                match dest.store().latest(vm.id) {
-                    Some(cp) if cp.page_count() == vm.guest.page_count() => {
-                        let index = std::sync::Arc::new(cp.build_index());
-                        let estimate = MigrationEngine::estimate_similarity(
-                            vm.guest.memory(),
-                            &index,
-                            256,
-                        );
-                        if estimate.as_f64() >= min_similarity {
-                            Strategy::vecycle_with_index(index).with_dedup()
-                        } else {
-                            Strategy::dedup()
-                        }
+            RecyclePolicy::Adaptive { min_similarity } => match dest.store().latest(vm.id) {
+                Some(cp) if cp.page_count() == vm.guest.page_count() => {
+                    let index = std::sync::Arc::new(cp.build_index());
+                    let estimate =
+                        MigrationEngine::estimate_similarity(vm.guest.memory(), &index, 256);
+                    if estimate.as_f64() >= min_similarity {
+                        Strategy::vecycle_with_index(index).with_dedup()
+                    } else {
+                        Strategy::dedup()
                     }
-                    _ => Strategy::dedup(),
                 }
-            }
+                _ => Strategy::dedup(),
+            },
         };
 
         let mut report = self
@@ -270,8 +258,7 @@ impl VeCycleSession {
         source
             .store()
             .save(Checkpoint::capture(vm.id, now, vm.guest.memory()));
-        report.setup_mut().checkpoint_write =
-            source.disk().sequential_time(vm.guest.ram_size());
+        report.setup_mut().checkpoint_write = source.disk().sequential_time(vm.guest.ram_size());
         vm.location = to;
         Ok(report)
     }
@@ -360,7 +347,12 @@ mod tests {
         let mut vm = instance();
         for hop in [1u32, 0, 1] {
             let r = s
-                .migrate(&mut vm, HostId::new(hop), SimTime::EPOCH, &mut SilentWorkload)
+                .migrate(
+                    &mut vm,
+                    HostId::new(hop),
+                    SimTime::EPOCH,
+                    &mut SilentWorkload,
+                )
                 .unwrap();
             assert_eq!(r.strategy().to_string(), "full");
         }
@@ -439,7 +431,12 @@ mod tests {
         let bigger = DigestMemory::with_uniform_content(Bytes::from_mib(8), 2).unwrap();
         let mut vm2 = VmInstance::new(VmId::new(0), Guest::new(bigger), HostId::new(1));
         let r = s
-            .migrate(&mut vm2, HostId::new(0), SimTime::EPOCH, &mut SilentWorkload)
+            .migrate(
+                &mut vm2,
+                HostId::new(0),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+            )
             .unwrap();
         assert_eq!(r.strategy().to_string(), "dedup");
     }
@@ -462,8 +459,7 @@ mod tests {
         let summary = ScheduleSummary::of(&reports);
         assert_eq!(summary.migrations, 5);
         assert_eq!(summary.recycled, 4); // first leg has no checkpoint
-        let by_hand: vecycle_types::Bytes =
-            reports.iter().map(|r| r.source_traffic()).sum();
+        let by_hand: vecycle_types::Bytes = reports.iter().map(|r| r.source_traffic()).sum();
         assert_eq!(summary.total_traffic, by_hand);
         assert!(summary.mean_time > SimDuration::ZERO);
         assert!(summary.to_string().contains("5 migrations (4 recycled)"));
@@ -494,8 +490,13 @@ mod tests {
         assert_eq!(r.strategy().to_string(), "vecycle+dedup");
 
         // Rewrite nearly everything: estimate collapses, falls back.
-        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH + SimDuration::from_hours(2), &mut SilentWorkload)
-            .unwrap();
+        s.migrate(
+            &mut vm,
+            HostId::new(1),
+            SimTime::EPOCH + SimDuration::from_hours(2),
+            &mut SilentWorkload,
+        )
+        .unwrap();
         let n = vm.guest().page_count().as_u64();
         for i in 0..n {
             vm.guest_mut()

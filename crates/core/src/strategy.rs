@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use vecycle_checkpoint::{Checkpoint, ChecksumIndex, PageLookup};
+use vecycle_checkpoint::{Checkpoint, ChecksumIndex, DedupIndex, PageLookup};
 use vecycle_mem::{GenerationSnapshot, GenerationTable, MemoryImage};
 use vecycle_types::{PageDigest, PageIndex};
 
@@ -162,17 +162,34 @@ impl Strategy {
         self.index.as_deref()
     }
 
+    /// True if sender-side deduplication is enabled.
+    pub fn dedup_enabled(&self) -> bool {
+        self.dedup
+    }
+
     /// Decides the first-round action for one page.
     ///
     /// `sent` is the per-migration dedup cache: digest → first page index
     /// that carried this content. The caller inserts into it when this
     /// returns [`PageAction::SendFull`] or [`PageAction::SendChecksum`].
-    pub fn classify(
-        &self,
-        idx: PageIndex,
-        digest: PageDigest,
-        sent: &std::collections::HashMap<PageDigest, PageIndex>,
-    ) -> PageAction {
+    pub fn classify(&self, idx: PageIndex, digest: PageDigest, sent: &DedupIndex) -> PageAction {
+        match self.preclassify(idx, digest) {
+            PageAction::SendFull if self.dedup => match sent.get(digest) {
+                Some(first) => PageAction::SendDedupRef(first),
+                None => PageAction::SendFull,
+            },
+            action => action,
+        }
+    }
+
+    /// The dedup-independent part of [`Strategy::classify`].
+    ///
+    /// Depends only on `(idx, digest)` — never on what was sent earlier —
+    /// so the parallel scan can run it on every page concurrently and
+    /// resolve [`PageAction::SendFull`] candidates against the dedup
+    /// cache afterwards. `classify(idx, d, sent)` ≡ `preclassify(idx, d)`
+    /// with the `SendFull` outcome refined through `sent`.
+    pub fn preclassify(&self, idx: PageIndex, digest: PageDigest) -> PageAction {
         if let Some(reusable) = &self.reusable {
             if reusable.contains(&idx) {
                 return PageAction::Skip;
@@ -183,8 +200,25 @@ impl Strategy {
                 return PageAction::SendChecksum;
             }
         }
+        PageAction::SendFull
+    }
+
+    /// Decides the action for a page re-dirtied after the first round.
+    ///
+    /// Same precedence as [`Strategy::classify`] minus the reusable-set
+    /// check: that set proves a page unchanged *since the checkpoint*,
+    /// which a dirty page in round ≥ 2 by definition no longer is. A
+    /// checkpoint-index hit still collapses the resend to a checksum
+    /// message — the guest may have rewritten the page with content the
+    /// destination's checkpoint already holds.
+    pub fn classify_resend(&self, digest: PageDigest, sent: &DedupIndex) -> PageAction {
+        if let Some(index) = &self.index {
+            if index.contains(digest) {
+                return PageAction::SendChecksum;
+            }
+        }
         if self.dedup {
-            if let Some(&first) = sent.get(&digest) {
+            if let Some(first) = sent.get(digest) {
                 return PageAction::SendDedupRef(first);
             }
         }
@@ -195,7 +229,6 @@ impl Strategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
     use vecycle_mem::DigestMemory;
     use vecycle_types::PageCount;
 
@@ -206,7 +239,7 @@ mod tests {
     #[test]
     fn full_sends_everything() {
         let s = Strategy::full();
-        let sent = HashMap::new();
+        let sent = DedupIndex::new();
         assert_eq!(
             s.classify(PageIndex::new(0), d(1), &sent),
             PageAction::SendFull
@@ -218,12 +251,12 @@ mod tests {
     #[test]
     fn dedup_references_repeats() {
         let s = Strategy::dedup();
-        let mut sent = HashMap::new();
+        let mut sent = DedupIndex::new();
         assert_eq!(
             s.classify(PageIndex::new(0), d(1), &sent),
             PageAction::SendFull
         );
-        sent.insert(d(1), PageIndex::new(0));
+        sent.insert_first(d(1), PageIndex::new(0));
         assert_eq!(
             s.classify(PageIndex::new(5), d(1), &sent),
             PageAction::SendDedupRef(PageIndex::new(0))
@@ -234,7 +267,7 @@ mod tests {
     fn vecycle_sends_checksums_for_known_content() {
         let cp = DigestMemory::with_distinct_content(PageCount::new(4), 1);
         let s = Strategy::vecycle(&cp);
-        let sent = HashMap::new();
+        let sent = DedupIndex::new();
         let known = cp.page_digest(PageIndex::new(2));
         assert_eq!(
             s.classify(PageIndex::new(9), known, &sent),
@@ -253,9 +286,9 @@ mod tests {
         let cp = DigestMemory::with_distinct_content(PageCount::new(4), 1);
         let s = Strategy::vecycle(&cp).with_dedup();
         assert_eq!(s.name(), StrategyName::VeCycleDedup);
-        let mut sent = HashMap::new();
+        let mut sent = DedupIndex::new();
         let known = cp.page_digest(PageIndex::new(0));
-        sent.insert(known, PageIndex::new(3));
+        sent.insert_first(known, PageIndex::new(3));
         // Checkpoint hit wins: a checksum message is the cheapest option
         // and the destination's copy is already in place.
         assert_eq!(
@@ -263,7 +296,7 @@ mod tests {
             PageAction::SendChecksum
         );
         // Novel-but-repeated content becomes a dedup ref.
-        sent.insert(d(42), PageIndex::new(1));
+        sent.insert_first(d(42), PageIndex::new(1));
         assert_eq!(
             s.classify(PageIndex::new(8), d(42), &sent),
             PageAction::SendDedupRef(PageIndex::new(1))
@@ -276,11 +309,8 @@ mod tests {
         let snap = table.snapshot();
         table.bump(PageIndex::new(1));
         let s = Strategy::miyakodori(&table, &snap);
-        let sent = HashMap::new();
-        assert_eq!(
-            s.classify(PageIndex::new(0), d(1), &sent),
-            PageAction::Skip
-        );
+        let sent = DedupIndex::new();
+        assert_eq!(s.classify(PageIndex::new(0), d(1), &sent), PageAction::Skip);
         assert_eq!(
             s.classify(PageIndex::new(1), d(2), &sent),
             PageAction::SendFull
@@ -289,12 +319,59 @@ mod tests {
     }
 
     #[test]
+    fn preclassify_refined_by_sent_matches_classify() {
+        let cp = DigestMemory::with_distinct_content(PageCount::new(4), 1);
+        let strategies = [
+            Strategy::full(),
+            Strategy::dedup(),
+            Strategy::vecycle(&cp),
+            Strategy::vecycle(&cp).with_dedup(),
+        ];
+        let mut sent = DedupIndex::new();
+        sent.insert_first(d(42), PageIndex::new(1));
+        for s in &strategies {
+            for (i, content) in [(0u64, 42u64), (1, 42), (2, 7), (3, 1)] {
+                let idx = PageIndex::new(i);
+                let digest = d(content);
+                let refined = match s.preclassify(idx, digest) {
+                    PageAction::SendFull if s.dedup_enabled() => match sent.get(digest) {
+                        Some(first) => PageAction::SendDedupRef(first),
+                        None => PageAction::SendFull,
+                    },
+                    action => action,
+                };
+                assert_eq!(refined, s.classify(idx, digest, &sent), "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn resend_skips_reusable_check_but_keeps_checksum_and_dedup() {
+        let mut table = GenerationTable::new(PageCount::new(4));
+        let snap = table.snapshot();
+        table.bump(PageIndex::new(1));
+        let s = Strategy::miyakodori(&table, &snap);
+        let mut sent = DedupIndex::new();
+        // Page 0 is in the reusable set, but a *resend* of it must not be
+        // skipped — it was dirtied after the first round.
+        assert_eq!(s.classify_resend(d(9), &sent), PageAction::SendFull);
+
+        let cp = DigestMemory::with_distinct_content(PageCount::new(4), 1);
+        let v = Strategy::vecycle(&cp).with_dedup();
+        let known = cp.page_digest(PageIndex::new(2));
+        assert_eq!(v.classify_resend(known, &sent), PageAction::SendChecksum);
+        sent.insert_first(d(5), PageIndex::new(0));
+        assert_eq!(
+            v.classify_resend(d(5), &sent),
+            PageAction::SendDedupRef(PageIndex::new(0))
+        );
+        assert_eq!(v.classify_resend(d(6), &sent), PageAction::SendFull);
+    }
+
+    #[test]
     fn strategy_names_render() {
         assert_eq!(Strategy::full().name().to_string(), "full");
-        assert_eq!(
-            Strategy::full().with_dedup().name().to_string(),
-            "dedup"
-        );
+        assert_eq!(Strategy::full().with_dedup().name().to_string(), "dedup");
         let cp = DigestMemory::zeroed(PageCount::new(1));
         assert_eq!(
             Strategy::vecycle(&cp).with_dedup().name().to_string(),

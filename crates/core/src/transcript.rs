@@ -60,9 +60,11 @@ pub fn apply_transcript(
     transcript: &Transcript,
 ) -> vecycle_types::Result<ByteMemory> {
     let index = checkpoint.build_index();
-    let mut mem = checkpoint.restore_byte_memory().ok_or(Error::InvalidConfig {
-        reason: "destination merge needs a full-byte checkpoint".into(),
-    })?;
+    let mut mem = checkpoint
+        .restore_byte_memory()
+        .ok_or(Error::InvalidConfig {
+            reason: "destination merge needs a full-byte checkpoint".into(),
+        })?;
 
     for msg in transcript {
         match msg {
@@ -87,9 +89,7 @@ pub fn apply_transcript(
                     continue;
                 }
                 let offset = index.lookup(*digest).ok_or(Error::Corrupt {
-                    detail: format!(
-                        "checksum for {idx} not found in checkpoint index"
-                    ),
+                    detail: format!("checksum for {idx} not found in checkpoint index"),
                 })?;
                 let page = checkpoint.read_page(offset).ok_or(Error::Corrupt {
                     detail: format!("checkpoint page {offset} unreadable"),
@@ -248,9 +248,7 @@ mod tests {
             idx: PageIndex::new(2),
         }];
         let rebuilt = apply_transcript(&cp, &transcript).unwrap();
-        assert!(rebuilt
-            .page_digest(PageIndex::new(2))
-            .is_zero_page());
+        assert!(rebuilt.page_digest(PageIndex::new(2)).is_zero_page());
         // Other pages keep the checkpoint content.
         assert_eq!(
             rebuilt.read_page(PageIndex::new(0)),

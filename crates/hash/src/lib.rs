@@ -194,11 +194,7 @@ pub fn page_digest(page: &[u8]) -> PageDigest {
 /// assert_eq!(vecycle_hash::to_hex(&[0xde, 0xad]), "dead");
 /// ```
 pub fn to_hex(bytes: &impl AsRef<[u8]>) -> String {
-    bytes
-        .as_ref()
-        .iter()
-        .map(|b| format!("{b:02x}"))
-        .collect()
+    bytes.as_ref().iter().map(|b| format!("{b:02x}")).collect()
 }
 
 #[cfg(test)]

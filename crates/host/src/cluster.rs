@@ -93,7 +93,9 @@ impl Cluster {
     pub fn homogeneous(n: u32, link: LinkSpec) -> Self {
         assert!(n > 0, "a cluster needs at least one host");
         Cluster {
-            hosts: (0..n).map(|i| Host::benchmark_default(HostId::new(i))).collect(),
+            hosts: (0..n)
+                .map(|i| Host::benchmark_default(HostId::new(i)))
+                .collect(),
             link,
         }
     }

@@ -102,9 +102,7 @@ mod tests {
     #[test]
     fn threads_multiply_throughput() {
         let cpu = CpuSpec::phenom_ii().with_threads(4);
-        assert!(
-            (cpu.checksum_rate(ChecksumAlgorithm::Md5).as_mib_per_sec() - 1400.0).abs() < 1.0
-        );
+        assert!((cpu.checksum_rate(ChecksumAlgorithm::Md5).as_mib_per_sec() - 1400.0).abs() < 1.0);
     }
 
     #[test]

@@ -30,12 +30,7 @@ impl MigrationSchedule {
     /// With `days = 19` (the paper's trace span, Wed 5 Nov – Sun 23 Nov
     /// 2014 mapped onto our Monday-based calendar) this yields 13
     /// weekdays and 26 migrations, matching §4.6.
-    pub fn vdi(
-        vm: VmId,
-        workstation: HostId,
-        consolidation_server: HostId,
-        days: u64,
-    ) -> Self {
+    pub fn vdi(vm: VmId, workstation: HostId, consolidation_server: HostId, days: u64) -> Self {
         let mut legs = Vec::new();
         let mut weekdays = 0u64;
         for day in 0..days {
@@ -218,10 +213,7 @@ mod tests {
         assert_eq!(s.legs()[0].from, HostId::new(0));
         assert_eq!(s.legs()[1].from, HostId::new(1));
         assert_eq!(s.legs()[2].from, HostId::new(0));
-        assert_eq!(
-            s.legs()[3].at.since_epoch(),
-            SimDuration::from_hours(6)
-        );
+        assert_eq!(s.legs()[3].at.since_epoch(), SimDuration::from_hours(6));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 
 use vecycle_types::{Bytes, PageCount, PageDigest, PageIndex};
 
-use crate::{
-    DirtyTracker, GenerationTable, MemoryImage, MutableMemory, PageContent,
-};
+use crate::{DirtyTracker, GenerationTable, MemoryImage, MutableMemory, PageContent};
 
 /// A running guest: memory plus the trackers a hypervisor maintains.
 ///

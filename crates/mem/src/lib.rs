@@ -42,7 +42,11 @@ use vecycle_types::{Bytes, PageCount, PageDigest, PageIndex};
 /// Read access to a guest memory image.
 ///
 /// Implementations must be *dense*: pages `0..page_count()` all exist.
-pub trait MemoryImage {
+///
+/// `Sync` is a supertrait: an image is an immutable snapshot while it is
+/// being read, and the migration engine's parallel page scan shares one
+/// image across scoped worker threads.
+pub trait MemoryImage: Sync {
     /// Number of pages in the image.
     fn page_count(&self) -> PageCount;
 
@@ -108,9 +112,7 @@ mod trait_tests {
     fn default_digests_collects_in_order() {
         let mem = DigestMemory::with_distinct_content(PageCount::new(4), 1);
         let via_trait: Vec<PageDigest> = MemoryImage::digests(&mem);
-        let direct: Vec<PageDigest> = (0..4)
-            .map(|i| mem.page_digest(PageIndex::new(i)))
-            .collect();
+        let direct: Vec<PageDigest> = (0..4).map(|i| mem.page_digest(PageIndex::new(i))).collect();
         assert_eq!(via_trait, direct);
     }
 

@@ -118,11 +118,7 @@ impl RamdiskWorkload {
     /// # Panics
     ///
     /// Panics if `fraction` is not in `[0, 1]`.
-    pub fn fill<M: MutableMemory>(
-        guest: &mut Guest<M>,
-        fraction: Ratio,
-        seed: u64,
-    ) -> Self {
+    pub fn fill<M: MutableMemory>(guest: &mut Guest<M>, fraction: Ratio, seed: u64) -> Self {
         assert!(fraction.is_fraction(), "fraction out of range: {fraction}");
         let pages = guest.page_count().as_u64();
         let span = (pages as f64 * fraction.as_f64()).floor() as u64;
@@ -154,11 +150,7 @@ impl RamdiskWorkload {
     /// # Panics
     ///
     /// Panics if `fraction` is not in `[0, 1]`.
-    pub fn update_fraction<M: MutableMemory>(
-        &mut self,
-        guest: &mut Guest<M>,
-        fraction: Ratio,
-    ) {
+    pub fn update_fraction<M: MutableMemory>(&mut self, guest: &mut Guest<M>, fraction: Ratio) {
         assert!(fraction.is_fraction(), "fraction out of range: {fraction}");
         let target = (self.page_span as f64 * fraction.as_f64()).round() as u64;
         const BLOCK: u64 = 64;
@@ -431,10 +423,7 @@ mod tests {
         let snap = g.memory().snapshot();
         let mut wl = ScanWorkload::new(2, 10.0);
         wl.advance(&mut g, SimDuration::from_secs(3)); // 3 full cycles
-        assert_eq!(
-            g.memory().pages_differing_from(&snap),
-            PageCount::new(10)
-        );
+        assert_eq!(g.memory().pages_differing_from(&snap), PageCount::new(10));
     }
 
     #[test]
@@ -463,8 +452,7 @@ mod tests {
     fn relocation_preserves_content_set() {
         use crate::MemoryImage;
         let mem = DigestMemory::with_distinct_content(PageCount::new(100), 3);
-        let before: std::collections::HashSet<_> =
-            mem.digests().into_iter().collect();
+        let before: std::collections::HashSet<_> = mem.digests().into_iter().collect();
         let mut g = Guest::new(mem);
         let mut wl = RelocationWorkload::new(4, 10.0);
         wl.advance(&mut g, SimDuration::from_secs(5));

@@ -6,8 +6,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use vecycle_mem::{
-    DigestMemory, DirtyTracker, GenerationTable, Guest, MemoryImage, MutableMemory,
-    PageContent,
+    DigestMemory, DirtyTracker, GenerationTable, Guest, MemoryImage, MutableMemory, PageContent,
 };
 use vecycle_types::{PageCount, PageIndex};
 

@@ -85,8 +85,7 @@ impl LinkSpec {
                 if rtt <= 0.0 {
                     self.bandwidth
                 } else {
-                    self.bandwidth
-                        .min(BytesPerSec::new(window.as_f64() / rtt))
+                    self.bandwidth.min(BytesPerSec::new(window.as_f64() / rtt))
                 }
             }
         }

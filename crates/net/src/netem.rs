@@ -94,9 +94,7 @@ impl Netem {
         if let Some(cap) = self.rate_limit {
             bandwidth = bandwidth.min(cap);
         }
-        let mut link = base
-            .with_bandwidth(bandwidth)
-            .with_latency(latency);
+        let mut link = base.with_bandwidth(bandwidth).with_latency(latency);
         if let Some(tcp) = self.tcp_throughput(latency * 2) {
             // Encode the Mathis ceiling as an equivalent TCP window so the
             // LinkSpec arithmetic stays uniform.

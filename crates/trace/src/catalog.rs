@@ -320,10 +320,7 @@ mod tests {
     fn catalog_matches_table_1_shape() {
         let c = catalog();
         assert_eq!(c.len(), 11);
-        let servers: Vec<_> = c
-            .iter()
-            .filter(|m| m.kind == MachineKind::Server)
-            .collect();
+        let servers: Vec<_> = c.iter().filter(|m| m.kind == MachineKind::Server).collect();
         assert_eq!(servers.len(), 3);
         assert_eq!(servers[0].ram(), Bytes::from_gib(1));
         assert_eq!(servers[1].ram(), Bytes::from_gib(4));
@@ -333,9 +330,7 @@ mod tests {
             4
         );
         assert_eq!(
-            c.iter()
-                .filter(|m| m.kind == MachineKind::Crawler)
-                .count(),
+            c.iter().filter(|m| m.kind == MachineKind::Crawler).count(),
             3
         );
         assert!(c

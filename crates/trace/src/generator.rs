@@ -196,8 +196,7 @@ impl TraceGenerator {
         for step in 0..=steps {
             let t = SimTime::EPOCH + p.fingerprint_interval * step;
             let activity = p.schedule.activity(t);
-            let powered_on =
-                (!p.fingerprints_require_activity || activity >= 0.5) && !rebooting;
+            let powered_on = (!p.fingerprints_require_activity || activity >= 0.5) && !rebooting;
             if powered_on {
                 fingerprints.push(record(t, &contents));
             }
@@ -339,10 +338,7 @@ mod tests {
             .scale_pages(512)
             .generate()
             .unwrap();
-        assert_ne!(
-            a.fingerprints()[10].pages(),
-            b.fingerprints()[10].pages()
-        );
+        assert_ne!(a.fingerprints()[10].pages(), b.fingerprints()[10].pages());
     }
 
     #[test]
@@ -380,7 +376,10 @@ mod tests {
             .scale_pages(4096)
             .generate()
             .unwrap();
-        for f in [&trace.fingerprints()[0], trace.fingerprints().last().unwrap()] {
+        for f in [
+            &trace.fingerprints()[0],
+            trace.fingerprints().last().unwrap(),
+        ] {
             let dup = f.duplicate_fraction().as_f64();
             let zero = f.zero_fraction().as_f64();
             assert!(dup > 0.02 && dup < 0.4, "dup = {dup}");

@@ -57,8 +57,8 @@ impl BinnedSimilarity {
                     continue;
                 }
                 // Nearest-multiple binning: [15, 45) min -> bin 1, etc.
-                let bin = ((delta.as_nanos() + bin_width.as_nanos() / 2)
-                    / bin_width.as_nanos()) as usize;
+                let bin =
+                    ((delta.as_nanos() + bin_width.as_nanos() / 2) / bin_width.as_nanos()) as usize;
                 if bin == 0 || bin >= nbins {
                     continue;
                 }
@@ -185,17 +185,15 @@ mod tests {
     fn fp(mins: u64, ids: &[u64]) -> Fingerprint {
         Fingerprint::new(
             SimTime::EPOCH + SimDuration::from_mins(mins),
-            ids.iter().map(|&i| PageDigest::from_content_id(i)).collect(),
+            ids.iter()
+                .map(|&i| PageDigest::from_content_id(i))
+                .collect(),
         )
     }
 
     #[test]
     fn binning_groups_by_delta() {
-        let fps = vec![
-            fp(0, &[1, 2]),
-            fp(30, &[1, 2]),
-            fp(60, &[1, 3]),
-        ];
+        let fps = vec![fp(0, &[1, 2]), fp(30, &[1, 2]), fp(60, &[1, 3])];
         let b = BinnedSimilarity::compute(
             &fps,
             SimDuration::from_mins(30),
@@ -211,16 +209,9 @@ mod tests {
     #[test]
     fn bin_stats_track_min_avg_max() {
         // Two 30-min pairs: identical (sim 1.0) and half-overlap (0.5).
-        let fps = vec![
-            fp(0, &[1, 2]),
-            fp(30, &[1, 2]),
-            fp(60, &[1, 9]),
-        ];
-        let b = BinnedSimilarity::compute(
-            &fps,
-            SimDuration::from_mins(30),
-            SimDuration::from_hours(1),
-        );
+        let fps = vec![fp(0, &[1, 2]), fp(30, &[1, 2]), fp(60, &[1, 9])];
+        let b =
+            BinnedSimilarity::compute(&fps, SimDuration::from_mins(30), SimDuration::from_hours(1));
         let bin = &b.bins()[0];
         assert_eq!(bin.pairs, 2);
         assert!((bin.min.as_f64() - 0.5).abs() < 1e-12);

@@ -40,11 +40,7 @@ pub struct UpdateMix {
 impl UpdateMix {
     fn validate(&self) -> Result<(), String> {
         let sum = self.pool + self.recycle + self.zero;
-        if !(0.0..=1.0).contains(&sum)
-            || self.pool < 0.0
-            || self.recycle < 0.0
-            || self.zero < 0.0
-        {
+        if !(0.0..=1.0).contains(&sum) || self.pool < 0.0 || self.recycle < 0.0 || self.zero < 0.0 {
             return Err(format!(
                 "update mix probabilities must be non-negative and sum to ≤ 1 (got {sum})"
             ));
@@ -103,9 +99,7 @@ impl MachineProfile {
     /// Returns [`vecycle_types::Error::InvalidConfig`] when fractions are
     /// out of range or class fractions do not sum to 1.
     pub fn validate(&self) -> vecycle_types::Result<()> {
-        let fail = |reason: String| {
-            Err(vecycle_types::Error::InvalidConfig { reason })
-        };
+        let fail = |reason: String| Err(vecycle_types::Error::InvalidConfig { reason });
         if self.ram.is_zero() {
             return fail("ram must be positive".into());
         }

@@ -40,11 +40,8 @@ impl TraceStats {
         let mean_duplicates = Ratio::new(mean(&|fp| fp.duplicate_fraction().as_f64()));
         let mean_zeros = Ratio::new(mean(&|fp| fp.zero_fraction().as_f64()));
 
-        let series = BinnedSimilarity::compute(
-            fps,
-            SimDuration::from_mins(30),
-            SimDuration::from_hours(25),
-        );
+        let series =
+            BinnedSimilarity::compute(fps, SimDuration::from_mins(30), SimDuration::from_hours(25));
         let exact_at = |hours: u64| {
             let want = SimDuration::from_hours(hours);
             series

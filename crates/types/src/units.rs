@@ -143,9 +143,12 @@ impl Bytes {
         } else {
             (s, 1)
         };
-        let n: u64 = digits.trim().parse().map_err(|_| crate::Error::InvalidConfig {
-            reason: format!("cannot parse size {s:?} (try 4GiB, 512MiB, 4096)"),
-        })?;
+        let n: u64 = digits
+            .trim()
+            .parse()
+            .map_err(|_| crate::Error::InvalidConfig {
+                reason: format!("cannot parse size {s:?} (try 4GiB, 512MiB, 4096)"),
+            })?;
         n.checked_mul(mult)
             .map(Bytes::new)
             .ok_or_else(|| crate::Error::InvalidConfig {
@@ -583,10 +586,7 @@ mod tests {
     #[test]
     fn fraction_of_handles_zero_denominator() {
         assert_eq!(Bytes::from_mib(1).fraction_of(Bytes::ZERO), Ratio::ZERO);
-        assert_eq!(
-            PageCount::new(5).fraction_of(PageCount::ZERO),
-            Ratio::ZERO
-        );
+        assert_eq!(PageCount::new(5).fraction_of(PageCount::ZERO), Ratio::ZERO);
         let half = PageCount::new(5).fraction_of(PageCount::new(10));
         assert!((half.as_f64() - 0.5).abs() < 1e-12);
     }

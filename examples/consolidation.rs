@@ -26,11 +26,8 @@ fn run(policy: RecyclePolicy) -> Result<f64, Box<dyn std::error::Error>> {
 
     let mut vms: Vec<VmInstance<DigestMemory>> = (0..VMS)
         .map(|i| {
-            let mem = DigestMemory::with_uniform_content(
-                Bytes::from_mib(128),
-                1000 + u64::from(i),
-            )
-            .expect("page-aligned");
+            let mem = DigestMemory::with_uniform_content(Bytes::from_mib(128), 1000 + u64::from(i))
+                .expect("page-aligned");
             VmInstance::new(VmId::new(i), Guest::new(mem), HostId::new(i + 1))
         })
         .collect();
@@ -68,8 +65,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{VMS} VMs × {DAYS} days × 2 moves = {migrations} migrations\n");
     let baseline = run(RecyclePolicy::Baseline)?;
     let vecycle = run(RecyclePolicy::VeCycle)?;
-    println!("baseline (full):  {:>8.2} GiB", baseline / (1u64 << 30) as f64);
-    println!("vecycle:          {:>8.2} GiB", vecycle / (1u64 << 30) as f64);
+    println!(
+        "baseline (full):  {:>8.2} GiB",
+        baseline / (1u64 << 30) as f64
+    );
+    println!(
+        "vecycle:          {:>8.2} GiB",
+        vecycle / (1u64 << 30) as f64
+    );
     println!(
         "\nvecycle moved {:.0}% of the baseline traffic; the consolidation\n\
          host ends the week holding {VMS} checkpoints, one per VM.",

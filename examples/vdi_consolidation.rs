@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut workload = IdleWorkload::new(99, 0.8);
         let reports = session.run_schedule(&mut vm, &schedule, &mut workload)?;
         let total: f64 = reports.iter().map(|r| r.source_traffic().as_f64()).sum();
-        println!("{label:>18}: total traffic {:.2} GiB", total / (1 << 30) as f64);
+        println!(
+            "{label:>18}: total traffic {:.2} GiB",
+            total / (1 << 30) as f64
+        );
         totals.push((label, total));
     }
 

@@ -17,7 +17,10 @@ use vecycle::types::{Bytes, Ratio};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = MigrationEngine::new(LinkSpec::wan_cloudnet());
     println!("WAN: {} effective", engine.link().effective_bandwidth());
-    println!("{:<12} {:>12} {:>12} {:>10}", "updates", "time", "traffic", "vs full");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "updates", "time", "traffic", "vs full"
+    );
 
     let ram = Bytes::from_gib(1);
     let mut baseline_time = None;
@@ -36,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{pct}%"),
             vecycle.total_time().as_secs_f64(),
             format!("{}", vecycle.source_traffic()),
-            (vecycle.total_time().as_secs_f64() / full.total_time().as_secs_f64() - 1.0)
-                * 100.0,
+            (vecycle.total_time().as_secs_f64() / full.total_time().as_secs_f64() - 1.0) * 100.0,
         );
     }
     println!(

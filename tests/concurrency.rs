@@ -22,9 +22,8 @@ fn parallel_migrations_share_one_store() {
             let engine = Arc::clone(&engine);
             scope.spawn(move |_| {
                 let vm_id = VmId::new(t);
-                let mem =
-                    DigestMemory::with_uniform_content(Bytes::from_mib(8), u64::from(t) + 1)
-                        .expect("page-aligned");
+                let mem = DigestMemory::with_uniform_content(Bytes::from_mib(8), u64::from(t) + 1)
+                    .expect("page-aligned");
                 // First hop: store a checkpoint, migrate cold.
                 store.save(Checkpoint::capture(vm_id, SimTime::EPOCH, &mem));
                 let cold = engine.migrate(&mem, Strategy::dedup()).expect("cold");
@@ -89,7 +88,10 @@ fn parallel_trace_analysis_with_crossbeam() {
         .map(|m| {
             let mut p = m.profile.clone();
             p.trace_duration = vecycle::types::SimDuration::from_hours(12);
-            let trace = TraceGenerator::new(p, 1).scale_pages(256).generate().unwrap();
+            let trace = TraceGenerator::new(p, 1)
+                .scale_pages(256)
+                .generate()
+                .unwrap();
             summarize_methods(trace.fingerprints(), 1).means.pairs
         })
         .collect();
@@ -102,8 +104,10 @@ fn parallel_trace_analysis_with_crossbeam() {
                 scope.spawn(move |_| {
                     let mut p = profile;
                     p.trace_duration = vecycle::types::SimDuration::from_hours(12);
-                    let trace =
-                        TraceGenerator::new(p, 1).scale_pages(256).generate().unwrap();
+                    let trace = TraceGenerator::new(p, 1)
+                        .scale_pages(256)
+                        .generate()
+                        .unwrap();
                     summarize_methods(trace.fingerprints(), 1).means.pairs
                 })
             })

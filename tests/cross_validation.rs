@@ -39,9 +39,7 @@ fn engine_matches_pair_stats_on_generated_traces() {
         let vm = DigestMemory::from_digests(b.pages().to_vec());
 
         // VeCycle without dedup: full pages == "hashes".
-        let r = engine
-            .migrate(&vm, Strategy::vecycle(&checkpoint))
-            .unwrap();
+        let r = engine.migrate(&vm, Strategy::vecycle(&checkpoint)).unwrap();
         assert_eq!(
             r.pages_sent_full().as_u64(),
             stats.hashes,
@@ -85,15 +83,9 @@ fn miyakodori_engine_matches_dirty_analytics() {
     let mut guest = Guest::new(mem);
     let snapshot = guest.generations().snapshot();
     for i in 0..100u64 {
-        guest.write_page(
-            PageIndex::new(i * 5),
-            PageContent::ContentId((1 << 57) | i),
-        );
+        guest.write_page(PageIndex::new(i * 5), PageContent::ContentId((1 << 57) | i));
     }
-    let fp_b = Fingerprint::new(
-        SimTime::EPOCH + SimDuration::from_mins(30),
-        guest.digests(),
-    );
+    let fp_b = Fingerprint::new(SimTime::EPOCH + SimDuration::from_mins(30), guest.digests());
     let stats = PairStats::compute(&fp_a, &fp_b);
 
     let engine = engine_no_zero_suppression();
@@ -103,10 +95,7 @@ fn miyakodori_engine_matches_dirty_analytics() {
     // content-dirty equals the engine's full-page count.
     assert_eq!(r.pages_sent_full().as_u64(), stats.dirty);
     assert_eq!(stats.dirty, 100);
-    assert_eq!(
-        r.rounds()[0].skipped_pages.as_u64(),
-        512 - 100
-    );
+    assert_eq!(r.rounds()[0].skipped_pages.as_u64(), 512 - 100);
 }
 
 #[test]
@@ -128,9 +117,7 @@ fn traffic_fraction_matches_similarity_complement() {
     let engine = engine_no_zero_suppression();
     let checkpoint = DigestMemory::from_digests(a.pages().to_vec());
     let vm = DigestMemory::from_digests(b.pages().to_vec());
-    let r = engine
-        .migrate(&vm, Strategy::vecycle(&checkpoint))
-        .unwrap();
+    let r = engine.migrate(&vm, Strategy::vecycle(&checkpoint)).unwrap();
 
     let novel_fraction = r.pages_sent_full().as_u64() as f64 / 2048.0;
     let similarity = b.similarity(a).as_f64();

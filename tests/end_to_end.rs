@@ -86,10 +86,7 @@ fn checkpoint_survives_disk_round_trip_and_still_serves_migration() {
     assert_eq!(loaded, cp);
 
     let (_, transcript) = engine()
-        .migrate_with_transcript(
-            guest.memory(),
-            Strategy::vecycle_from_checkpoint(&loaded),
-        )
+        .migrate_with_transcript(guest.memory(), Strategy::vecycle_from_checkpoint(&loaded))
         .unwrap();
     let rebuilt = apply_transcript(&loaded, &transcript).unwrap();
     assert!(rebuilt.content_equals(guest.memory()));
@@ -134,10 +131,7 @@ fn traffic_accounting_is_conserved() {
 
 #[test]
 fn relocation_heavy_guest_still_rebuilds_and_beats_dirty_tracking() {
-    let mut guest = Guest::new(ByteMemory::with_distinct_content(
-        PageCount::new(256),
-        16,
-    ));
+    let mut guest = Guest::new(ByteMemory::with_distinct_content(PageCount::new(256), 16));
     let gen_snapshot = guest.generations().snapshot();
     let cp = Checkpoint::capture_bytes(VmId::new(0), SimTime::EPOCH, guest.memory());
     let mut reloc = RelocationWorkload::new(17, 50.0);

@@ -9,10 +9,7 @@ use vecycle::net::LinkSpec;
 use vecycle::types::{PageCount, PageIndex, SimTime, VmId};
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "vecycle-persist-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("vecycle-persist-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -96,10 +93,7 @@ fn interrupted_save_preserves_previous_checkpoint() {
     std::fs::write(dir.join(".vm-2.tmp"), b"partial garbage").unwrap();
     let loaded = store.load(vm_id).unwrap().unwrap();
     assert_eq!(loaded.page_count(), PageCount::new(32));
-    assert!(loaded
-        .restore_byte_memory()
-        .unwrap()
-        .content_equals(&old));
+    assert!(loaded.restore_byte_memory().unwrap().content_equals(&old));
     std::fs::remove_dir_all(dir).unwrap();
 }
 

@@ -17,7 +17,9 @@ fn vdi_session(policy: RecyclePolicy) -> Vec<vecycle::core::MigrationReport> {
     let schedule = MigrationSchedule::vdi(VmId::new(0), HostId::new(0), HostId::new(1), 19);
     // 0.03 pages/s ≈ 1.7k writes over a 16 h night on a 16k-page guest.
     let mut workload = IdleWorkload::new(3, 0.03);
-    session.run_schedule(&mut vm, &schedule, &mut workload).unwrap()
+    session
+        .run_schedule(&mut vm, &schedule, &mut workload)
+        .unwrap()
 }
 
 #[test]
@@ -114,9 +116,14 @@ fn shorter_gaps_mean_less_traffic() {
             8,
         );
         let mut workload = IdleWorkload::new(9, 2.0);
-        let reports = session.run_schedule(&mut vm, &schedule, &mut workload).unwrap();
+        let reports = session
+            .run_schedule(&mut vm, &schedule, &mut workload)
+            .unwrap();
         // Skip the cold first migration.
-        reports[1..].iter().map(|r| r.source_traffic().as_f64()).sum()
+        reports[1..]
+            .iter()
+            .map(|r| r.source_traffic().as_f64())
+            .sum()
     };
     let short = run(1);
     let long = run(8);

@@ -1,0 +1,283 @@
+//! Offline shim for `criterion`.
+//!
+//! Mirrors the criterion 0.5 API shapes this workspace's benches use
+//! (`Criterion`, benchmark groups, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros) over a plain
+//! `std::time::Instant` harness: each benchmark is warmed up, run for a
+//! fixed wall-clock budget, and reported as median ns/iteration plus
+//! derived throughput. No statistics machinery, no HTML reports — just
+//! comparable numbers on stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How throughput is derived from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter suffix.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time single calls until we know
+        // roughly how expensive one iteration is.
+        let calibration = Instant::now();
+        let mut one = Duration::ZERO;
+        let mut calls = 0u32;
+        while calls < 3 || (one.is_zero() && calibration.elapsed() < Duration::from_millis(50)) {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            one = t.elapsed();
+            calls += 1;
+        }
+        // Aim each sample at ~20 ms, capped to keep huge benches fast.
+        let per_sample = (Duration::from_millis(20).as_nanos() / one.as_nanos().max(1)) as u64;
+        let iters = per_sample.clamp(1, 1_000_000);
+        let samples = if one > Duration::from_millis(200) {
+            3
+        } else {
+            7
+        };
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = times[times.len() / 2];
+    }
+}
+
+/// One named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput used to annotate subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes warm-up itself.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies criterion's standard CLI arguments.
+    ///
+    /// The shim accepts and ignores them (cargo passes `--bench`).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, f);
+        self
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { ns_per_iter: 0.0 };
+    f(&mut bencher);
+    let ns = bencher.ns_per_iter;
+    let time = format_time(ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            let rate = bytes as f64 / (ns * 1e-9);
+            println!(
+                "{label:<50} time: {time:>12}   thrpt: {:>12}/s",
+                format_bytes(rate),
+            );
+        }
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{label:<50} time: {time:>12}   thrpt: {rate:>12.0} elem/s");
+        }
+        _ => println!("{label:<50} time: {time:>12}"),
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_bytes(rate: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if rate >= GIB {
+        format!("{:.2} GiB", rate / GIB)
+    } else if rate >= MIB {
+        format!("{:.2} MiB", rate / MIB)
+    } else if rate >= KIB {
+        format!("{:.2} KiB", rate / KIB)
+    } else {
+        format!("{rate:.0} B")
+    }
+}
+
+/// Declares a benchmark group function, as in criterion proper.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0u64..64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("bare", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn formatting_is_sensible() {
+        assert_eq!(format_time(12.34), "12.3 ns");
+        assert_eq!(format_time(12_340.0), "12.34 µs");
+        assert!(format_bytes(3.0 * 1024.0 * 1024.0).contains("MiB"));
+    }
+}

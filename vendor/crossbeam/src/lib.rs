@@ -1,0 +1,106 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` / `crossbeam::thread::scope` with the
+//! crossbeam 0.8 API shape (spawn closures receive the scope again, the
+//! scope call returns a `thread::Result`), implemented on top of
+//! `std::thread::scope`, which has been stable since Rust 1.63.
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+/// Scoped-thread module mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result type used by [`scope`]: `Err` carries a panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    ///
+    /// A shim over [`std::thread::Scope`]; copies of it are handed to
+    /// spawned closures, matching crossbeam's `|scope| ...` signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its value or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the
+        /// closure receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let nested = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&nested)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before returning.
+    ///
+    /// Unlike crossbeam proper, a panicking child propagates the panic at
+    /// scope exit (std semantics) rather than surfacing it in the `Err`
+    /// arm — equivalent for callers that `.unwrap()`/`.expect()` the
+    /// result, which is how this workspace uses it.
+    ///
+    /// # Errors
+    ///
+    /// The shim itself always returns `Ok`; the `Result` exists for
+    /// crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

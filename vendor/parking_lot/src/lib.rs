@@ -1,0 +1,136 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's panic-free guard
+//! API (`lock()`/`read()`/`write()` return guards directly). Poisoning
+//! is translated into a panic propagation, which matches parking_lot's
+//! observable behaviour for the call sites in this workspace.
+
+pub use mutex::{Mutex, MutexGuard};
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+mod mutex {
+    /// A mutual-exclusion lock with parking_lot's non-poisoning API.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            match self.inner.into_inner() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, blocking until available.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        /// Mutable access without locking.
+        pub fn get_mut(&mut self) -> &mut T {
+            match self.inner.get_mut() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+}
+
+mod rwlock {
+    /// A reader-writer lock with parking_lot's non-poisoning API.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    /// Guard returned by [`RwLock::read`].
+    pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+    /// Guard returned by [`RwLock::write`].
+    pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+    impl<T> RwLock<T> {
+        /// Creates a new reader-writer lock.
+        pub fn new(value: T) -> Self {
+            RwLock {
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            match self.inner.into_inner() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires a shared read lock.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            match self.inner.read() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        /// Acquires an exclusive write lock.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            match self.inner.write() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        /// Mutable access without locking.
+        pub fn get_mut(&mut self) -> &mut T {
+            match self.inner.get_mut() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Mutex::new(0u32);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        assert_eq!(m.into_inner(), 5);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 6);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (which render to / rebuild from `serde::Value`). Supported
+//! input shapes — the ones present in this workspace:
+//!
+//! - structs with named fields → `Value::Object` keyed by field name
+//! - newtype structs → transparent (the inner value's representation)
+//! - tuple structs with 2+ fields → `Value::Array`
+//! - enums with only unit variants → `Value::Str(variant_name)`
+//!
+//! Generics and `#[serde(...)]` attributes are deliberately unsupported;
+//! the macro panics with a clear message if it meets one, so a future
+//! user extends the shim instead of silently getting wrong behavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// `struct Name { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct Name(A, ...)` — the field count.
+    Tuple(usize),
+    /// `enum Name { A, B }` — unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "::serde::Value::Str(match self {{ {} }}.to_string())",
+                arms.join(", "),
+            )
+        }
+    };
+    let name = &input.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match value.get(\"{f}\") {{\n\
+                             Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                             None => return Err(::serde::Error::custom(\n\
+                                 \"missing field `{f}` in {name}\")),\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                     return Err(::serde::Error::expected(\"object for {name}\", value));\n\
+                 }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(",\n"),
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                     other => return Err(::serde::Error::expected(\n\
+                         \"array of {n} elements for {name}\", other)),\n\
+                 }};\n\
+                 Ok({name}({}))",
+                inits.join(", "),
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {},\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => Err(::serde::Error::expected(\"string for {name}\", other)),\n\
+                 }}",
+                arms.join(",\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and the visibility qualifier.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let shape = match (keyword.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+        }
+        (kw, body) => panic!("serde_derive shim: unsupported item `{kw}` with body {body:?}"),
+    };
+    if let Shape::Tuple(0) = shape {
+        panic!("serde_derive shim: unit struct `{name}` is not supported");
+    }
+    Input { name, shape }
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes (doc comments) and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive shim: expected field name, got {other:?}"),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        // Consume the type: everything up to the next comma outside angle
+        // brackets (groups are single trees, so only `<`/`>` need depth).
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut in_field = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names, rejecting variants that carry data.
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let variant = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive shim: expected variant name, got {other:?}"),
+            None => break,
+        };
+        match tokens.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "serde_derive shim: variant `{enum_name}::{variant}` carries data \
+                 ({other:?}); only unit variants are supported"
+            ),
+        }
+        variants.push(variant);
+    }
+    variants
+}
