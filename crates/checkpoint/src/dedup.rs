@@ -24,7 +24,7 @@ const SHARD_COUNT: usize = 16;
 /// Digest → first-sender map, sharded by digest prefix.
 ///
 /// Equivalent to `HashMap<PageDigest, PageIndex>` with first-insert-wins
-/// semantics, but split into [`SHARD_COUNT`] independent sub-maps keyed
+/// semantics, but split into `SHARD_COUNT` independent sub-maps keyed
 /// by the digest's leading byte. Shards are what make a deterministic
 /// parallel merge possible: workers produce per-shard candidate sets and
 /// the merge resolves each digest exactly once, in scan order.

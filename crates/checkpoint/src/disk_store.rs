@@ -65,6 +65,17 @@ impl DiskStore {
 
     /// Saves (atomically replaces) the checkpoint for its VM.
     ///
+    /// Crash-durability invariant: at every instant there is either the
+    /// old complete checkpoint or the new complete checkpoint at the
+    /// final path, never a torn one and never neither. This needs all
+    /// three steps below — `fsync(tmp)` so the rename cannot promote a
+    /// file whose data blocks are still in the page cache, an atomic
+    /// `rename(2)`, and `fsync(parent dir)` so the rename itself is on
+    /// stable storage. Skipping the directory fsync would let a host
+    /// crash roll the directory entry back to the temp name, losing the
+    /// new checkpoint *and* (because the temp write already replaced
+    /// nothing) leaving a stray `.tmp` — but never corrupting the old one.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors; a failed save leaves any previous
@@ -79,8 +90,14 @@ impl DiskStore {
             checkpoint.write_to(&mut writer)?;
             use std::io::Write;
             writer.flush()?;
+            writer.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, self.path_for(checkpoint.vm()))?;
+        // Persist the rename: fsync the directory entry. Directories can
+        // be opened and fsynced on unix; elsewhere the rename alone is
+        // the best the platform offers.
+        #[cfg(unix)]
+        std::fs::File::open(&self.root)?.sync_all()?;
         Ok(())
     }
 

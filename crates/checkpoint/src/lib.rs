@@ -26,6 +26,7 @@ mod checkpoint;
 mod dedup;
 mod disk_store;
 mod index;
+mod partial;
 mod store;
 mod wire;
 
@@ -33,4 +34,5 @@ pub use checkpoint::{Checkpoint, CheckpointData};
 pub use dedup::DedupIndex;
 pub use disk_store::DiskStore;
 pub use index::{ChecksumIndex, HashChecksumIndex, PageLookup};
+pub use partial::PartialCheckpoint;
 pub use store::CheckpointStore;

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use vecycle_faults::FaultRates;
 use vecycle_net::{LinkSpec, Netem};
 use vecycle_types::{Bytes, SimDuration};
 
@@ -125,6 +126,50 @@ pub fn parse_duration(s: &str) -> Result<SimDuration, String> {
     }
 }
 
+/// Parses a fault-injection spec: comma-separated `key=value` pairs.
+///
+/// Keys: `seed=<u64>` (plan seed, default 0) and per-fault probabilities
+/// in `[0, 1]` — `drop`, `degrade`, `corrupt`, `spike`, `crash`. Example:
+/// `seed=7,drop=0.3,corrupt=0.1`.
+///
+/// # Errors
+///
+/// Fails on unknown keys, malformed numbers, or out-of-range rates.
+pub fn parse_faults(s: &str) -> Result<(u64, FaultRates), String> {
+    let mut seed = 0u64;
+    let mut rates = FaultRates::none();
+    for pair in s.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec {pair:?} is not key=value"))?;
+        if key == "seed" {
+            seed = value
+                .parse()
+                .map_err(|_| format!("cannot parse fault seed {value:?}"))?;
+            continue;
+        }
+        let rate: f64 = value
+            .parse()
+            .map_err(|_| format!("cannot parse fault rate {value:?}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault rate {key}={rate} out of [0, 1]"));
+        }
+        match key {
+            "drop" => rates.link_drop = rate,
+            "degrade" => rates.link_degrade = rate,
+            "corrupt" => rates.corrupt_checkpoint = rate,
+            "spike" => rates.dirty_spike = rate,
+            "crash" => rates.crash_on_save = rate,
+            other => {
+                return Err(format!(
+                    "unknown fault {other:?} (try drop, degrade, corrupt, spike, crash)"
+                ))
+            }
+        }
+    }
+    Ok((seed, rates))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +223,23 @@ mod tests {
         assert_eq!(parse_duration("16h").unwrap(), SimDuration::from_hours(16));
         assert_eq!(parse_duration("2d").unwrap(), SimDuration::from_days(2));
         assert!(parse_duration("90m").is_err());
+    }
+
+    #[test]
+    fn fault_specs() {
+        let (seed, rates) = parse_faults("seed=7,drop=0.3,corrupt=0.1").unwrap();
+        assert_eq!(seed, 7);
+        assert_eq!(rates.link_drop, 0.3);
+        assert_eq!(rates.corrupt_checkpoint, 0.1);
+        assert_eq!(rates.crash_on_save, 0.0);
+        let (seed, rates) = parse_faults("crash=1,spike=0.5,degrade=0.25").unwrap();
+        assert_eq!(seed, 0);
+        assert_eq!(rates.crash_on_save, 1.0);
+        assert_eq!(rates.dirty_spike, 0.5);
+        assert_eq!(rates.link_degrade, 0.25);
+        assert!(parse_faults("drop").is_err());
+        assert!(parse_faults("drop=2.0").is_err());
+        assert!(parse_faults("meteor=0.1").is_err());
+        assert!(parse_faults("seed=x").is_err());
     }
 }

@@ -3,15 +3,16 @@
 use vecycle_analysis::Table;
 use vecycle_checkpoint::Checkpoint;
 use vecycle_core::session::{RecyclePolicy, ScheduleSummary, VeCycleSession, VmInstance};
-use vecycle_core::{estimate, MigrationEngine, Strategy};
+use vecycle_core::{estimate, MigrationEngine, MigrationReport, Strategy};
+use vecycle_faults::{FaultPlan, RetryPolicy};
 use vecycle_host::{Cluster, CpuSpec, MigrationSchedule};
-use vecycle_mem::workload::IdleWorkload;
+use vecycle_mem::workload::{GuestWorkload, IdleWorkload};
 use vecycle_mem::{DigestMemory, Guest, MemoryImage, MutableMemory, PageContent};
 use vecycle_net::LinkSpec;
 use vecycle_trace::{catalog, Trace, TraceGenerator, TraceStats};
 use vecycle_types::{HostId, PageIndex, Ratio, VmId};
 
-use crate::args::{parse_duration, parse_link, parse_size, Args};
+use crate::args::{parse_duration, parse_faults, parse_link, parse_size, Args};
 
 const HELP: &str = "\
 vecycle — checkpoint-recycled VM migration simulator
@@ -26,6 +27,10 @@ USAGE:
   vecycle simulate vdi [--policy vecycle|dedup|baseline|adaptive] [--ram <size>]
   vecycle simulate pingpong [--ram <size>] [--gap 2h] [--count 10]
   vecycle help
+
+`simulate vdi` and `simulate pingpong` also accept fault injection:
+  --faults seed=7,drop=0.3,degrade=0.2,corrupt=0.1,spike=0.2,crash=0.1
+  --retry N              max attempts per migration (default 3)
 
 Sizes look like 4GiB / 512MiB; machines are Table-1 names (try
 `vecycle trace list`).";
@@ -180,6 +185,42 @@ fn estimate_cmd(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `schedule` through `session`, injecting faults when `--faults`
+/// was given, and prints the incident log. Returns the reports.
+fn run_with_optional_faults<M, W>(
+    args: &Args,
+    session: VeCycleSession,
+    vm: &mut VmInstance<M>,
+    schedule: &MigrationSchedule,
+    workload: &mut W,
+) -> Result<Vec<MigrationReport>, String>
+where
+    M: MutableMemory,
+    W: GuestWorkload<M>,
+{
+    let retry: u32 = args.get_parsed("retry", 3)?;
+    let session = session.with_retry_policy(RetryPolicy::default().with_max_attempts(retry));
+    match args.get("faults") {
+        None => session
+            .run_schedule(vm, schedule, workload)
+            .map_err(|e| e.to_string()),
+        Some(spec) => {
+            let (fault_seed, rates) = parse_faults(spec)?;
+            let plan = FaultPlan::seeded(fault_seed, &rates, schedule.len());
+            let run = session
+                .run_schedule_with_faults(vm, schedule, workload, &plan)
+                .map_err(|e| e.to_string())?;
+            if !run.events.is_empty() {
+                println!("incidents:");
+                for e in &run.events {
+                    println!("  {e}");
+                }
+            }
+            Ok(run.reports)
+        }
+    }
+}
+
 fn simulate_cmd(argv: &[String]) -> Result<(), String> {
     let (sub, rest) = argv
         .split_first()
@@ -244,15 +285,17 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             // ~20% of pages touched per 8h working stretch.
             let rate = ram.pages_ceil().as_u64() as f64 * 0.2 / (8.0 * 3600.0);
             let mut workload = IdleWorkload::new(seed ^ 1, rate);
-            let reports = session
-                .run_schedule(&mut vm, &schedule, &mut workload)
-                .map_err(|e| e.to_string())?;
+            let reports =
+                run_with_optional_faults(&args, session, &mut vm, &schedule, &mut workload)?;
 
-            let mut t = Table::new(vec!["#", "strategy", "traffic", "% of ram", "time"]);
+            let mut t = Table::new(vec![
+                "#", "strategy", "outcome", "traffic", "% of ram", "time",
+            ]);
             for (i, r) in reports.iter().enumerate() {
                 t.row(vec![
                     format!("{}", i + 1),
                     r.strategy().to_string(),
+                    r.outcome().to_string(),
                     format!("{}", r.source_traffic()),
                     format!("{:.0}%", r.traffic_fraction_of_ram().as_percent()),
                     format!("{}", r.total_time()),
@@ -288,19 +331,20 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             );
             let rate = ram.pages_ceil().as_u64() as f64 * 0.05 / gap.as_secs_f64();
             let mut workload = IdleWorkload::new(seed ^ 1, rate);
-            let reports = session
-                .run_schedule(&mut vm, &schedule, &mut workload)
-                .map_err(|e| e.to_string())?;
-            let mut t = Table::new(vec!["#", "strategy", "traffic", "time"]);
+            let reports =
+                run_with_optional_faults(&args, session, &mut vm, &schedule, &mut workload)?;
+            let mut t = Table::new(vec!["#", "strategy", "outcome", "traffic", "time"]);
             for (i, r) in reports.iter().enumerate() {
                 t.row(vec![
                     format!("{}", i + 1),
                     r.strategy().to_string(),
+                    r.outcome().to_string(),
                     format!("{}", r.source_traffic()),
                     format!("{}", r.total_time()),
                 ]);
             }
             print!("{}", t.render());
+            println!("{}", ScheduleSummary::of(&reports));
             Ok(())
         }
         other => Err(format!("unknown simulate subcommand {other:?}")),
@@ -425,6 +469,51 @@ mod tests {
         .unwrap();
         assert!(run(&argv(&["simulate", "pingpong", "--count", "0"])).is_err());
         assert!(run(&argv(&["simulate", "pingpong", "--gap", "90m"])).is_err());
+    }
+
+    #[test]
+    fn simulate_with_faults_runs() {
+        run(&argv(&[
+            "simulate",
+            "pingpong",
+            "--ram",
+            "8MiB",
+            "--gap",
+            "1h",
+            "--count",
+            "4",
+            "--faults",
+            "seed=7,drop=0.5,corrupt=0.5,crash=0.5",
+            "--retry",
+            "2",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "simulate",
+            "vdi",
+            "--ram",
+            "8MiB",
+            "--faults",
+            "seed=3,drop=0.3,degrade=0.3,spike=0.3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_fault_specs() {
+        assert!(run(&argv(&[
+            "simulate",
+            "vdi",
+            "--ram",
+            "8MiB",
+            "--faults",
+            "meteor=0.5",
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "simulate", "vdi", "--ram", "8MiB", "--faults", "drop=7",
+        ]))
+        .is_err());
     }
 
     #[test]

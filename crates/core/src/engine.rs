@@ -3,13 +3,93 @@
 use std::collections::HashMap;
 
 use vecycle_checkpoint::{DedupIndex, PageLookup};
+use vecycle_faults::{AttemptFaults, FaultCause};
 use vecycle_host::{CpuSpec, DiskSpec};
 use vecycle_mem::{workload::GuestWorkload, Guest, MemoryImage, MutableMemory};
 use vecycle_net::{wire, LinkSpec, TrafficCategory, TrafficLedger};
-use vecycle_types::{Bytes, PageCount, PageDigest, PageIndex, SimDuration};
+use vecycle_types::{Bytes, BytesPerSec, PageCount, PageDigest, PageIndex, SimDuration};
 
 use crate::strategy::PageAction;
 use crate::{MigrationReport, PageMsg, RoundReport, SetupReport, Strategy, Transcript};
+
+/// What a (possibly faulted) live migration attempt produced.
+///
+/// Transient — matched and consumed immediately by the session, never
+/// stored in bulk, so the variant size gap is harmless.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum LiveOutcome {
+    /// The attempt ran to handover.
+    Completed(MigrationReport),
+    /// An injected fault killed the transfer mid-flight.
+    Aborted(AbortedTransfer),
+}
+
+/// The wreckage of an aborted migration attempt: what landed at the
+/// destination before the link died, and what the attempt cost.
+///
+/// The landed map is the raw material of a
+/// [`vecycle_checkpoint::PartialCheckpoint`]; the session layer wraps it
+/// (the engine does not know VM identities).
+#[derive(Debug, Clone)]
+pub struct AbortedTransfer {
+    /// Why the attempt died.
+    pub cause: FaultCause,
+    /// Per guest page, the digest of the content that reached the
+    /// destination before the cut (page order; `None` = never arrived).
+    pub landed: Vec<Option<PageDigest>>,
+    /// Source traffic spent on the attempt (all of it wasted).
+    pub traffic: Bytes,
+    /// Time spent on the attempt before it died.
+    pub elapsed: SimDuration,
+}
+
+impl AbortedTransfer {
+    /// Pages whose content reached the destination.
+    pub fn landed_pages(&self) -> PageCount {
+        PageCount::new(self.landed.iter().filter(|d| d.is_some()).count() as u64)
+    }
+}
+
+/// Tracks the forward-path byte cursor of a doomed transfer: messages
+/// land until the cumulative payload crosses the cut point, and each
+/// landed message deposits its page's digest at the destination.
+struct CutTracker {
+    limit: u64,
+    sent: u64,
+    landed: Vec<Option<PageDigest>>,
+}
+
+impl CutTracker {
+    fn new(limit: Bytes, pages: PageCount) -> Self {
+        CutTracker {
+            limit: limit.as_u64(),
+            sent: 0,
+            landed: vec![None; pages.as_u64() as usize],
+        }
+    }
+
+    /// Accounts one message for page `idx` carrying `digest`. Returns
+    /// false (and deposits nothing) if the link dies first.
+    fn land(&mut self, bytes: Bytes, idx: PageIndex, digest: PageDigest) -> bool {
+        let next = self.sent + bytes.as_u64();
+        if next > self.limit {
+            return false;
+        }
+        self.sent = next;
+        self.landed[idx.as_usize()] = Some(digest);
+        true
+    }
+}
+
+/// Per-category landed-message counts of a partially transferred round.
+#[derive(Default)]
+struct LandedCounts {
+    full: u64,
+    checksums: u64,
+    refs: u64,
+    zeros: u64,
+}
 
 /// How source and destination agree on which checksums the destination
 /// holds (§3.2).
@@ -123,6 +203,7 @@ pub struct MigrationEngine {
     compression: Option<DeltaCompression>,
     xbzrle: Option<Xbzrle>,
     threads: usize,
+    precopy_time_budget: Option<SimDuration>,
 }
 
 impl MigrationEngine {
@@ -144,6 +225,7 @@ impl MigrationEngine {
             compression: None,
             xbzrle: None,
             threads: 1,
+            precopy_time_budget: None,
         }
     }
 
@@ -237,6 +319,26 @@ impl MigrationEngine {
         self.threads
     }
 
+    /// Caps the cumulative pre-copy time (default: unlimited).
+    ///
+    /// This is the time half of the convergence guard: once the copy
+    /// rounds have spent this budget, the engine stops iterating and
+    /// forces the final stop-and-copy regardless of the residual dirty
+    /// set — a hot guest cannot pin the migration in pre-copy forever.
+    /// The round limit ([`MigrationEngine::with_max_rounds`]) is the
+    /// other half. A guarded exit reports
+    /// [`MigrationReport::converged`]` == false`.
+    #[must_use]
+    pub fn with_precopy_time_budget(mut self, budget: SimDuration) -> Self {
+        self.precopy_time_budget = Some(budget);
+        self
+    }
+
+    /// The configured pre-copy time budget, if any.
+    pub fn precopy_time_budget(&self) -> Option<SimDuration> {
+        self.precopy_time_budget
+    }
+
     /// Estimates the similarity between `vm` and a checkpoint index by
     /// probing `samples` evenly-spaced pages — the cheap test a
     /// deployment can run before committing to checksum the whole image
@@ -325,9 +427,10 @@ impl MigrationEngine {
             &mut sent,
             &mut forward,
             &mut reverse,
+            self.link,
             transcript,
         );
-        let downtime = self.stop_and_copy(0, 0, &mut forward);
+        let downtime = self.stop_and_copy(0, 0, &mut forward, self.link);
         Ok(MigrationReport::new(
             strategy.name(),
             vm.ram_size(),
@@ -376,9 +479,16 @@ impl MigrationEngine {
             let mut forward = TrafficLedger::new();
             let mut reverse = TrafficLedger::new();
             let setup = self.setup_phase(strategy, vm.ram_size(), &mut reverse);
-            let round1 =
-                self.first_round(*vm, strategy, &mut sent, &mut forward, &mut reverse, None);
-            let downtime = self.stop_and_copy(0, 0, &mut forward);
+            let round1 = self.first_round(
+                *vm,
+                strategy,
+                &mut sent,
+                &mut forward,
+                &mut reverse,
+                self.link,
+                None,
+            );
+            let downtime = self.stop_and_copy(0, 0, &mut forward, self.link);
             reports.push(MigrationReport::new(
                 strategy.name(),
                 vm.ram_size(),
@@ -414,6 +524,44 @@ impl MigrationEngine {
         M: MutableMemory,
         W: GuestWorkload<M>,
     {
+        match self.migrate_live_faulted(guest, workload, strategy, &AttemptFaults::none())? {
+            LiveOutcome::Completed(report) => Ok(report),
+            LiveOutcome::Aborted(_) => unreachable!("a fault-free attempt cannot abort"),
+        }
+    }
+
+    /// Like [`MigrationEngine::migrate_live`], but the attempt runs under
+    /// injected faults and may therefore die mid-flight.
+    ///
+    /// With [`AttemptFaults::none`] this is *exactly* `migrate_live`:
+    /// every fault check is a no-op and the report is bit-identical. An
+    /// armed link cut makes each message land at the destination only if
+    /// the cumulative forward payload stays under the cut point; when the
+    /// link dies the attempt returns [`LiveOutcome::Aborted`] carrying
+    /// the per-page landed digests — the raw material a session layer
+    /// turns into a [`vecycle_checkpoint::PartialCheckpoint`] and
+    /// recycles on retry. The guest is left as the failed attempt really
+    /// left it: memory reflects all workload writes up to the abort. (A
+    /// retry restarts dirty logging and re-scans every page in its own
+    /// round 1, so the aborted attempt's residual dirty set need not
+    /// survive.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vecycle_types::Error::InvalidConfig`] if the guest has
+    /// no pages. Injected faults never surface as `Err` — they are data,
+    /// in the returned [`LiveOutcome`].
+    pub fn migrate_live_faulted<M, W>(
+        &self,
+        guest: &mut Guest<M>,
+        workload: &mut W,
+        strategy: Strategy,
+        faults: &AttemptFaults,
+    ) -> vecycle_types::Result<LiveOutcome>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
         let n = guest.page_count();
         if n == PageCount::ZERO {
             return Err(vecycle_types::Error::InvalidConfig {
@@ -423,23 +571,54 @@ impl MigrationEngine {
         let mut forward = TrafficLedger::new();
         let mut reverse = TrafficLedger::new();
         let setup = self.setup_phase(&strategy, guest.ram_size(), &mut reverse);
+        let mut cut = faults
+            .cut_after
+            .map(|point| CutTracker::new(point.resolve(guest.ram_size()), n));
 
         guest.dirty_mut().clear();
         let mut sent = DedupIndex::new();
-        let round1 = self.first_round(
-            guest,
-            &strategy,
-            &mut sent,
-            &mut forward,
-            &mut reverse,
-            None,
-        );
+        let link1 = self.link_for_round(1, faults);
+        let round1 = match cut.as_mut() {
+            None => self.first_round(
+                guest,
+                &strategy,
+                &mut sent,
+                &mut forward,
+                &mut reverse,
+                link1,
+                None,
+            ),
+            Some(tracker) => {
+                let walked = self.first_round_tracked(
+                    guest,
+                    &strategy,
+                    &mut sent,
+                    &mut forward,
+                    &mut reverse,
+                    link1,
+                    tracker,
+                );
+                match walked {
+                    Ok(round) => round,
+                    Err(partial_time) => {
+                        return Ok(LiveOutcome::Aborted(AbortedTransfer {
+                            cause: FaultCause::LinkFailure,
+                            landed: std::mem::take(&mut tracker.landed),
+                            traffic: forward.total(),
+                            elapsed: partial_time,
+                        }));
+                    }
+                }
+            }
+        };
         let mut rounds = vec![round1];
-        workload.advance(guest, rounds[0].duration);
+        let mut elapsed = rounds[0].duration;
+        workload.advance(guest, spiked_duration(faults, 1, rounds[0].duration));
         let mut dirty = guest.dirty_mut().drain();
 
         // Iterative pre-copy: re-send dirty pages until the residual set
-        // fits the downtime budget or the round limit is hit. Every
+        // fits the downtime budget, the round limit is hit, or the
+        // pre-copy time budget runs out (convergence guard). Every
         // resend goes back through the strategy: a guest that rewrites a
         // page with content the destination's checkpoint already holds
         // costs a 28-byte checksum message, not a full page (§3.1 — the
@@ -447,22 +626,46 @@ impl MigrationEngine {
         // minus the stale reusable-set check).
         while rounds.len() < self.max_rounds as usize
             && dirty.len() as u64 > self.downtime_budget_pages()
+            && self
+                .precopy_time_budget
+                .is_none_or(|budget| elapsed < budget)
         {
             let round_no = rounds.len() as u32 + 1;
+            let link = self.link_for_round(round_no, faults);
             let page_msg = self.resend_page_wire_size();
             let mut full = 0u64;
             let mut checksums = 0u64;
             let mut refs = 0u64;
             let mut zeros = 0u64;
+            let mut aborted = false;
             // `drain` yields ascending page order, so dedup cache updates
             // stay deterministic across runs.
             for &idx in &dirty {
                 let digest = guest.page_digest(idx);
                 if self.zero_suppression && digest.is_zero_page() {
+                    if let Some(tracker) = cut.as_mut() {
+                        if !tracker.land(wire::zero_page_msg(), idx, digest) {
+                            aborted = true;
+                            break;
+                        }
+                    }
                     zeros += 1;
                     continue;
                 }
-                match strategy.classify_resend(digest, &sent) {
+                let action = strategy.classify_resend(digest, &sent);
+                if let Some(tracker) = cut.as_mut() {
+                    let size = match action {
+                        PageAction::SendFull => page_msg,
+                        PageAction::SendChecksum => wire::checksum_msg(),
+                        PageAction::SendDedupRef(_) => wire::dedup_ref_msg(),
+                        PageAction::Skip => unreachable!("classify_resend never skips"),
+                    };
+                    if !tracker.land(size, idx, digest) {
+                        aborted = true;
+                        break;
+                    }
+                }
+                match action {
                     PageAction::SendFull => {
                         full += 1;
                         sent.insert_first(digest, idx);
@@ -483,6 +686,16 @@ impl MigrationEngine {
             forward.record_many(TrafficCategory::Checksums, checksums, wire::checksum_msg());
             forward.record_many(TrafficCategory::DedupRefs, refs, wire::dedup_ref_msg());
             forward.record_many(TrafficCategory::ZeroMarkers, zeros, wire::zero_page_msg());
+            if aborted {
+                // Landed messages are accounted above; the control
+                // trailer never made it out.
+                return Ok(LiveOutcome::Aborted(AbortedTransfer {
+                    cause: FaultCause::LinkFailure,
+                    landed: cut.expect("cut tracker armed").landed,
+                    traffic: forward.total(),
+                    elapsed: elapsed.saturating_add(link.transfer_time(bytes)),
+                }));
+            }
             forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
             // Re-dirtied pages must be re-hashed before the index lookup.
             let checksum_cost = if strategy.computes_checksums() {
@@ -495,8 +708,7 @@ impl MigrationEngine {
                 Some(c) => c.time(Bytes::from_pages(full)),
                 None => SimDuration::ZERO,
             };
-            let duration = self
-                .link
+            let duration = link
                 .transfer_time(bytes)
                 .max(checksum_cost)
                 .max(compress_cost);
@@ -510,13 +722,58 @@ impl MigrationEngine {
                 bytes_sent: bytes,
                 duration,
             });
-            workload.advance(guest, duration);
+            elapsed = elapsed.saturating_add(duration);
+            workload.advance(guest, spiked_duration(faults, round_no, duration));
             dirty = guest.dirty_mut().drain();
         }
 
+        // Convergence verdict: did the residue genuinely fit the downtime
+        // budget, or did a guard (round/time limit) force the handover?
+        let converged = dirty.len() as u64 <= self.downtime_budget_pages();
+
+        let link_final = self.link_for_round(rounds.len() as u32 + 1, faults);
+        if let Some(tracker) = cut.as_mut() {
+            // The cut can also strike the final stop-and-copy flush.
+            let page_msg = self.resend_page_wire_size();
+            let mut landed_full = 0u64;
+            let mut landed_zeros = 0u64;
+            let mut aborted = false;
+            for &idx in &dirty {
+                let digest = guest.page_digest(idx);
+                let (size, zero) = if self.zero_suppression && digest.is_zero_page() {
+                    (wire::zero_page_msg(), true)
+                } else {
+                    (page_msg, false)
+                };
+                if !tracker.land(size, idx, digest) {
+                    aborted = true;
+                    break;
+                }
+                if zero {
+                    landed_zeros += 1;
+                } else {
+                    landed_full += 1;
+                }
+            }
+            if aborted {
+                forward.record_many(TrafficCategory::FullPages, landed_full, page_msg);
+                forward.record_many(
+                    TrafficCategory::ZeroMarkers,
+                    landed_zeros,
+                    wire::zero_page_msg(),
+                );
+                let bytes = page_msg * landed_full + wire::zero_page_msg() * landed_zeros;
+                return Ok(LiveOutcome::Aborted(AbortedTransfer {
+                    cause: FaultCause::LinkFailure,
+                    landed: std::mem::take(&mut tracker.landed),
+                    traffic: forward.total(),
+                    elapsed: elapsed.saturating_add(link_final.transfer_time(bytes)),
+                }));
+            }
+        }
         let (residue_full, residue_zeros) = self.split_zero_pages(guest, &dirty);
-        let downtime = self.stop_and_copy(residue_full, residue_zeros, &mut forward);
-        Ok(MigrationReport::new(
+        let downtime = self.stop_and_copy(residue_full, residue_zeros, &mut forward, link_final);
+        let mut report = MigrationReport::new(
             strategy.name(),
             guest.ram_size(),
             rounds,
@@ -524,7 +781,9 @@ impl MigrationEngine {
             setup,
             forward,
             reverse,
-        ))
+        );
+        report.set_converged(converged);
+        Ok(LiveOutcome::Completed(report))
     }
 
     /// Splits a dirty set into (full, zero) page counts under the
@@ -589,6 +848,7 @@ impl MigrationEngine {
         setup
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn first_round<M: MemoryImage>(
         &self,
         vm: &M,
@@ -596,26 +856,123 @@ impl MigrationEngine {
         sent: &mut DedupIndex,
         forward: &mut TrafficLedger,
         reverse: &mut TrafficLedger,
+        link: LinkSpec,
         transcript: Option<&mut Transcript>,
     ) -> RoundReport {
-        let n = vm.page_count().as_u64();
         let want_msgs = transcript.is_some();
-        let scan = if self.threads <= 1 {
+        let mut scan = if self.threads <= 1 {
             self.scan_sequential(vm, strategy, sent, want_msgs)
         } else {
             self.scan_parallel(vm, strategy, sent, want_msgs)
         };
-        let ScanOutcome {
+        if let (Some(t), Some(msgs)) = (transcript, scan.msgs.take()) {
+            t.extend(msgs);
+        }
+        self.finish_first_round(
+            vm.page_count().as_u64(),
+            &scan,
+            strategy,
+            link,
+            forward,
+            reverse,
+        )
+    }
+
+    /// Round 1 under an armed link cut: scans exactly like
+    /// [`MigrationEngine::first_round`], then walks the message stream
+    /// against the cut point. If the round survives it is recorded
+    /// identically to the untracked path; if the link dies mid-round,
+    /// only landed messages are recorded (the control trailer never made
+    /// it out) and the `Err` carries the in-round time spent before the
+    /// cut.
+    #[allow(clippy::too_many_arguments)]
+    fn first_round_tracked<M: MemoryImage>(
+        &self,
+        vm: &M,
+        strategy: &Strategy,
+        sent: &mut DedupIndex,
+        forward: &mut TrafficLedger,
+        reverse: &mut TrafficLedger,
+        link: LinkSpec,
+        tracker: &mut CutTracker,
+    ) -> Result<RoundReport, SimDuration> {
+        // Always scan with messages: the walk needs per-page order.
+        let scan = if self.threads <= 1 {
+            self.scan_sequential(vm, strategy, sent, true)
+        } else {
+            self.scan_parallel(vm, strategy, sent, true)
+        };
+        let page_msg = self.full_page_wire_size();
+        let mut landed = LandedCounts::default();
+        let mut aborted = false;
+        for msg in scan.msgs.as_deref().expect("tracked scan records messages") {
+            let (idx, size) = match msg {
+                PageMsg::Full { idx, .. } => (*idx, page_msg),
+                PageMsg::Checksum { idx, .. } => (*idx, wire::checksum_msg()),
+                PageMsg::DedupRef { idx, .. } => (*idx, wire::dedup_ref_msg()),
+                PageMsg::Zero { idx } => (*idx, wire::zero_page_msg()),
+            };
+            if !tracker.land(size, idx, vm.page_digest(idx)) {
+                aborted = true;
+                break;
+            }
+            match msg {
+                PageMsg::Full { .. } => landed.full += 1,
+                PageMsg::Checksum { .. } => landed.checksums += 1,
+                PageMsg::DedupRef { .. } => landed.refs += 1,
+                PageMsg::Zero { .. } => landed.zeros += 1,
+            }
+        }
+        if aborted {
+            forward.record_many(TrafficCategory::FullPages, landed.full, page_msg);
+            forward.record_many(
+                TrafficCategory::Checksums,
+                landed.checksums,
+                wire::checksum_msg(),
+            );
+            forward.record_many(
+                TrafficCategory::DedupRefs,
+                landed.refs,
+                wire::dedup_ref_msg(),
+            );
+            forward.record_many(
+                TrafficCategory::ZeroMarkers,
+                landed.zeros,
+                wire::zero_page_msg(),
+            );
+            return Err(link.transfer_time(forward.total()));
+        }
+        Ok(self.finish_first_round(
+            vm.page_count().as_u64(),
+            &scan,
+            strategy,
+            link,
+            forward,
+            reverse,
+        ))
+    }
+
+    /// Records a completed round-1 scan into the ledgers and computes its
+    /// [`RoundReport`] — shared between the clean and cut-tracked paths,
+    /// so a surviving faulted round is accounted bit-identically to a
+    /// fault-free one.
+    fn finish_first_round(
+        &self,
+        n: u64,
+        scan: &ScanOutcome,
+        strategy: &Strategy,
+        link: LinkSpec,
+        forward: &mut TrafficLedger,
+        reverse: &mut TrafficLedger,
+    ) -> RoundReport {
+        let &ScanOutcome {
             full,
             checksums,
             refs,
             skipped,
             zeros,
-            msgs,
+            ..
         } = scan;
-        if let (Some(t), Some(msgs)) = (transcript, msgs) {
-            t.extend(msgs);
-        }
 
         let page_msg = self.full_page_wire_size();
         forward.record_many(TrafficCategory::FullPages, full, page_msg);
@@ -641,12 +998,12 @@ impl MigrationEngine {
                 reverse.record_many(TrafficCategory::Control, n, wire::page_query_reply());
                 let rtts = n.div_ceil(u64::from(pipeline_depth.max(1)));
                 query_time =
-                    SimDuration::from_secs_f64(self.link.round_trip().as_secs_f64() * rtts as f64);
+                    SimDuration::from_secs_f64(link.round_trip().as_secs_f64() * rtts as f64);
             }
         }
 
         let bytes = forward.total();
-        let network = self.link.transfer_time(bytes);
+        let network = link.transfer_time(bytes);
         // §3.4: with reuse, the checksum rate bounds the round from
         // below; checksums for all n pages are computed during round 1.
         let checksum_cost = if strategy.computes_checksums() {
@@ -936,6 +1293,7 @@ impl MigrationEngine {
         dirty_full: u64,
         dirty_zeros: u64,
         forward: &mut TrafficLedger,
+        link: LinkSpec,
     ) -> SimDuration {
         // The final flush re-sends pages already transferred once, so
         // XBZRLE applies here as well; zero-page suppression does too —
@@ -952,9 +1310,32 @@ impl MigrationEngine {
         let bytes = page_msg * dirty_full + wire::zero_page_msg() * dirty_zeros;
         // Pause, flush the residue, hand over execution: one transfer
         // plus the resume handshake.
-        self.link
-            .transfer_time(bytes)
-            .saturating_add(self.link.round_trip())
+        link.transfer_time(bytes).saturating_add(link.round_trip())
+    }
+
+    /// The link a given round experiences under the attempt's faults: a
+    /// `LinkDegrade` fault multiplies bandwidth by its factor from its
+    /// onset round onward. Clean attempts always see the engine's link.
+    fn link_for_round(&self, round: u32, faults: &AttemptFaults) -> LinkSpec {
+        match faults.degrade {
+            Some((factor, from_round)) if round >= from_round => self
+                .link
+                .with_bandwidth(BytesPerSec::new(self.link.bandwidth().as_f64() * factor)),
+            _ => self.link,
+        }
+    }
+}
+
+/// The workload-advance time for a round under a possible dirty-spike
+/// fault: from the spike's onset round the guest dirties memory as if
+/// `factor`× the round duration had elapsed. Clean attempts (and rounds
+/// before the onset) pass the duration through untouched, bit-exactly.
+fn spiked_duration(faults: &AttemptFaults, round: u32, duration: SimDuration) -> SimDuration {
+    match faults.dirty_spike {
+        Some((factor, from_round)) if round >= from_round && factor > 1.0 => {
+            SimDuration::from_secs_f64(duration.as_secs_f64() * factor)
+        }
+        _ => duration,
     }
 }
 
@@ -1615,5 +1996,217 @@ mod tests {
     #[should_panic(expected = "at least one scan thread")]
     fn zero_threads_panics() {
         let _ = MigrationEngine::new(LinkSpec::lan_gigabit()).with_threads(0);
+    }
+
+    // ---- fault injection ----
+
+    use vecycle_faults::DropPoint;
+
+    #[test]
+    fn clean_faulted_path_is_bit_identical_to_migrate_live() {
+        // migrate_live delegates to the faulted path; a *separate* call
+        // with AttemptFaults::none() must reproduce it exactly.
+        let run = |faulted: bool| {
+            let mut guest = Guest::new(mem(8, 70));
+            let mut wl = IdleWorkload::new(71, 5_000.0);
+            let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+            if faulted {
+                match engine
+                    .migrate_live_faulted(
+                        &mut guest,
+                        &mut wl,
+                        Strategy::full(),
+                        &AttemptFaults::none(),
+                    )
+                    .unwrap()
+                {
+                    LiveOutcome::Completed(r) => r,
+                    LiveOutcome::Aborted(_) => panic!("clean attempt aborted"),
+                }
+            } else {
+                engine
+                    .migrate_live(&mut guest, &mut wl, Strategy::full())
+                    .unwrap()
+            }
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn link_cut_in_round_one_lands_a_strict_prefix() {
+        let mut guest = Guest::new(mem(8, 72));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let faults = AttemptFaults {
+            cut_after: Some(DropPoint::RamFraction(0.25)),
+            ..AttemptFaults::none()
+        };
+        let outcome = engine
+            .migrate_live_faulted(&mut guest, &mut SilentWorkload, Strategy::full(), &faults)
+            .unwrap();
+        let aborted = match outcome {
+            LiveOutcome::Aborted(a) => a,
+            LiveOutcome::Completed(_) => panic!("cut at 25% of RAM must abort"),
+        };
+        assert_eq!(aborted.cause, FaultCause::LinkFailure);
+        let landed = aborted.landed_pages().as_u64();
+        let total = guest.page_count().as_u64();
+        assert!(landed > 0 && landed < total, "landed {landed}/{total}");
+        // Landed pages form the prefix the wire walk reached.
+        for (i, d) in aborted.landed.iter().enumerate() {
+            assert_eq!(d.is_some(), (i as u64) < landed, "page {i}");
+        }
+        // The aborted attempt cost real traffic and time, but less than
+        // a completed full migration would have.
+        let clean = engine
+            .migrate_live(
+                &mut Guest::new(mem(8, 72)),
+                &mut SilentWorkload,
+                Strategy::full(),
+            )
+            .unwrap();
+        assert!(aborted.traffic > Bytes::ZERO);
+        assert!(aborted.traffic < clean.source_traffic());
+        assert!(aborted.elapsed > SimDuration::ZERO);
+        assert!(aborted.elapsed < clean.total_time());
+    }
+
+    #[test]
+    fn landed_digests_match_guest_content() {
+        let mut guest = Guest::new(mem(4, 73));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        let faults = AttemptFaults {
+            cut_after: Some(DropPoint::RamFraction(0.5)),
+            ..AttemptFaults::none()
+        };
+        let outcome = engine
+            .migrate_live_faulted(&mut guest, &mut SilentWorkload, Strategy::full(), &faults)
+            .unwrap();
+        let LiveOutcome::Aborted(aborted) = outcome else {
+            panic!("expected abort");
+        };
+        for (i, d) in aborted.landed.iter().enumerate() {
+            if let Some(d) = d {
+                assert_eq!(*d, guest.page_digest(PageIndex::new(i as u64)));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_past_total_traffic_lets_the_migration_complete() {
+        let mut guest = Guest::new(mem(4, 74));
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
+        // RamFraction clamps at 1.0, and framing pushes traffic past
+        // RAM — pick an absolute byte cut far beyond any transfer.
+        let faults = AttemptFaults {
+            cut_after: Some(DropPoint::Bytes(Bytes::from_mib(64))),
+            ..AttemptFaults::none()
+        };
+        let outcome = engine
+            .migrate_live_faulted(&mut guest, &mut SilentWorkload, Strategy::full(), &faults)
+            .unwrap();
+        let LiveOutcome::Completed(with_cut) = outcome else {
+            panic!("cut beyond total traffic must not trigger");
+        };
+        // And the surviving run is bit-identical to the clean one.
+        let clean = engine
+            .migrate_live(
+                &mut Guest::new(mem(4, 74)),
+                &mut SilentWorkload,
+                Strategy::full(),
+            )
+            .unwrap();
+        assert_eq!(with_cut, clean);
+    }
+
+    #[test]
+    fn link_degrade_slows_later_rounds_only() {
+        let run = |degrade: Option<(f64, u32)>| {
+            let mut guest = Guest::new(mem(8, 75));
+            let mut wl = IdleWorkload::new(76, 30_000.0);
+            let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
+                .with_max_rounds(4)
+                .with_max_downtime(SimDuration::from_millis(1));
+            let faults = AttemptFaults {
+                degrade,
+                ..AttemptFaults::none()
+            };
+            match engine
+                .migrate_live_faulted(&mut guest, &mut wl, Strategy::full(), &faults)
+                .unwrap()
+            {
+                LiveOutcome::Completed(r) => r,
+                LiveOutcome::Aborted(_) => panic!("degrade never aborts"),
+            }
+        };
+        let clean = run(None);
+        let degraded = run(Some((0.25, 2)));
+        // Round 1 ran at full speed either way.
+        assert_eq!(degraded.rounds()[0], clean.rounds()[0]);
+        // The degraded run took longer overall.
+        assert!(degraded.total_time() > clean.total_time());
+    }
+
+    #[test]
+    fn dirty_spike_increases_resent_traffic() {
+        let run = |spike: Option<(f64, u32)>| {
+            let mut guest = Guest::new(mem(8, 77));
+            let mut wl = IdleWorkload::new(78, 20_000.0);
+            let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
+                .with_max_rounds(5)
+                .with_max_downtime(SimDuration::from_millis(1));
+            let faults = AttemptFaults {
+                dirty_spike: spike,
+                ..AttemptFaults::none()
+            };
+            match engine
+                .migrate_live_faulted(&mut guest, &mut wl, Strategy::full(), &faults)
+                .unwrap()
+            {
+                LiveOutcome::Completed(r) => r,
+                LiveOutcome::Aborted(_) => panic!("spike never aborts"),
+            }
+        };
+        let clean = run(None);
+        let spiked = run(Some((8.0, 2)));
+        assert!(spiked.source_traffic() > clean.source_traffic());
+    }
+
+    #[test]
+    fn precopy_time_budget_forces_early_handover() {
+        let run = |engine: MigrationEngine| {
+            let mut guest = Guest::new(mem(8, 79));
+            let mut wl = IdleWorkload::new(80, 200_000.0);
+            engine
+                .migrate_live(&mut guest, &mut wl, Strategy::full())
+                .unwrap()
+        };
+        // A very hot guest and a 1 ms downtime target: without the guard
+        // pre-copy burns all 30 rounds without ever converging.
+        let unguarded = run(MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_max_downtime(SimDuration::from_millis(1)));
+        let guarded = run(MigrationEngine::new(LinkSpec::lan_gigabit())
+            .with_max_downtime(SimDuration::from_millis(1))
+            .with_precopy_time_budget(SimDuration::from_millis(500)));
+        assert!(guarded.rounds().len() < unguarded.rounds().len());
+        assert!(!guarded.converged(), "guard must report non-convergence");
+        // Pre-copy stops soon after the budget: the round that crosses
+        // the budget is the last one.
+        let precopy: SimDuration = guarded.rounds().iter().map(|r| r.duration).sum();
+        let before_last: SimDuration = guarded.rounds()[..guarded.rounds().len() - 1]
+            .iter()
+            .map(|r| r.duration)
+            .sum();
+        assert!(before_last < SimDuration::from_millis(500), "{before_last}");
+        assert!(precopy >= SimDuration::from_millis(500) || guarded.rounds().len() == 30);
+    }
+
+    #[test]
+    fn converged_run_reports_convergence() {
+        let mut guest = Guest::new(mem(4, 81));
+        let r = MigrationEngine::new(LinkSpec::lan_gigabit())
+            .migrate_live(&mut guest, &mut SilentWorkload, Strategy::full())
+            .unwrap();
+        assert!(r.converged());
+        assert_eq!(r.outcome(), crate::MigrationOutcome::Completed);
     }
 }

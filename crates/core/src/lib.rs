@@ -59,8 +59,10 @@ pub mod session;
 mod strategy;
 mod transcript;
 
-pub use engine::{DeltaCompression, ExchangeProtocol, MigrationEngine, Xbzrle};
+pub use engine::{
+    AbortedTransfer, DeltaCompression, ExchangeProtocol, LiveOutcome, MigrationEngine, Xbzrle,
+};
 pub use postcopy::PostCopyReport;
-pub use report::{MigrationReport, RoundReport, SetupReport};
+pub use report::{MigrationOutcome, MigrationReport, RoundReport, SetupReport};
 pub use strategy::{PageAction, Strategy, StrategyName};
 pub use transcript::{apply_transcript, PageMsg, Transcript};

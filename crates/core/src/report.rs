@@ -1,9 +1,55 @@
 //! Migration reports: what happened, how long it took, what it cost.
 
+use vecycle_faults::FaultCause;
 use vecycle_net::{TrafficCategory, TrafficLedger};
 use vecycle_types::{Bytes, PageCount, Ratio, SimDuration};
 
 use crate::StrategyName;
+
+/// How a migration concluded, once the session's retry loop settled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationOutcome {
+    /// First attempt, no degradation: the happy path.
+    Completed,
+    /// Succeeded, but only after `attempts` total attempts.
+    CompletedAfterRetries {
+        /// Total attempts including the successful one (≥ 2).
+        attempts: u32,
+    },
+    /// Completed without recycling: the checkpoint was unusable and the
+    /// session degraded to a dedup-only full migration.
+    FellBackToFull {
+        /// Why the checkpoint could not be recycled.
+        cause: FaultCause,
+    },
+    /// Every attempt aborted; the VM stayed at the source.
+    Failed {
+        /// The fault that killed the final attempt.
+        cause: FaultCause,
+    },
+}
+
+impl MigrationOutcome {
+    /// True if the VM ended up running at the destination.
+    pub fn is_success(&self) -> bool {
+        !matches!(self, MigrationOutcome::Failed { .. })
+    }
+}
+
+impl std::fmt::Display for MigrationOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrationOutcome::Completed => f.write_str("completed"),
+            MigrationOutcome::CompletedAfterRetries { attempts } => {
+                write!(f, "completed after {attempts} attempts")
+            }
+            MigrationOutcome::FellBackToFull { cause } => {
+                write!(f, "fell back to full ({cause})")
+            }
+            MigrationOutcome::Failed { cause } => write!(f, "failed ({cause})"),
+        }
+    }
+}
 
 /// Timing and traffic of one pre-copy round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +108,10 @@ pub struct MigrationReport {
     setup: SetupReport,
     forward: TrafficLedger,
     reverse: TrafficLedger,
+    outcome: MigrationOutcome,
+    converged: bool,
+    wasted_traffic: Bytes,
+    wasted_time: SimDuration,
 }
 
 impl MigrationReport {
@@ -82,7 +132,58 @@ impl MigrationReport {
             setup,
             forward,
             reverse,
+            outcome: MigrationOutcome::Completed,
+            converged: true,
+            wasted_traffic: Bytes::ZERO,
+            wasted_time: SimDuration::ZERO,
         }
+    }
+
+    pub(crate) fn set_outcome(&mut self, outcome: MigrationOutcome) {
+        self.outcome = outcome;
+    }
+
+    pub(crate) fn set_converged(&mut self, converged: bool) {
+        self.converged = converged;
+    }
+
+    pub(crate) fn add_waste(&mut self, traffic: Bytes, time: SimDuration) {
+        self.wasted_traffic += traffic;
+        self.wasted_time = self.wasted_time.saturating_add(time);
+    }
+
+    /// How the migration concluded after any retries.
+    pub fn outcome(&self) -> MigrationOutcome {
+        self.outcome
+    }
+
+    /// False if the convergence guard (round or pre-copy time budget)
+    /// cut pre-copy short and forced the final stop-and-copy.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Source traffic spent on earlier, *failed* attempts of this
+    /// migration — not included in [`MigrationReport::source_traffic`],
+    /// which covers the successful attempt only.
+    pub fn wasted_traffic(&self) -> Bytes {
+        self.wasted_traffic
+    }
+
+    /// Time spent on failed attempts plus retry backoff — not included
+    /// in [`MigrationReport::total_time`].
+    pub fn wasted_time(&self) -> SimDuration {
+        self.wasted_time
+    }
+
+    /// End-to-end source traffic including failed attempts.
+    pub fn total_traffic_with_retries(&self) -> Bytes {
+        self.source_traffic() + self.wasted_traffic
+    }
+
+    /// End-to-end duration including failed attempts and backoff.
+    pub fn total_time_with_retries(&self) -> SimDuration {
+        self.total_time().saturating_add(self.wasted_time)
     }
 
     /// The strategy that ran.

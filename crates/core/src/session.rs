@@ -7,12 +7,18 @@
 //! bootstrap the VM."* This module owns that cycle so callers only say
 //! "move this VM there now".
 
-use vecycle_checkpoint::Checkpoint;
-use vecycle_host::{Cluster, MigrationSchedule};
-use vecycle_mem::{workload::GuestWorkload, Guest, MutableMemory};
-use vecycle_types::{Error, HostId, SimTime, VmId};
+use std::sync::Arc;
 
-use crate::{MigrationEngine, MigrationReport, Strategy};
+use vecycle_checkpoint::{Checkpoint, PartialCheckpoint};
+use vecycle_faults::{FaultCause, FaultKind, FaultPlan, RetryPolicy};
+use vecycle_host::{Cluster, Host, MigrationSchedule};
+use vecycle_mem::{workload::GuestWorkload, Guest, MutableMemory};
+use vecycle_net::TrafficLedger;
+use vecycle_types::{Bytes, Error, HostId, PageCount, SimDuration, SimTime, VmId};
+
+use crate::{
+    LiveOutcome, MigrationEngine, MigrationOutcome, MigrationReport, SetupReport, Strategy,
+};
 
 /// What first-round technique the session applies when a checkpoint is
 /// (or is not) available at the destination.
@@ -59,6 +65,15 @@ pub struct ScheduleSummary {
     pub max_downtime: vecycle_types::SimDuration,
     /// Migrations that recycled a checkpoint (vecycle strategies).
     pub recycled: usize,
+    /// Migrations that only completed after at least one retry.
+    pub retried: usize,
+    /// Migrations that degraded to a full (dedup-only) transfer because
+    /// the checkpoint was unusable.
+    pub fell_back: usize,
+    /// Migrations that exhausted every attempt; the VM stayed put.
+    pub failed: usize,
+    /// Traffic spent on failed attempts across all migrations.
+    pub wasted_traffic: vecycle_types::Bytes,
 }
 
 impl ScheduleSummary {
@@ -86,12 +101,28 @@ impl ScheduleSummary {
                 )
             })
             .count();
+        let mut retried = 0;
+        let mut fell_back = 0;
+        let mut failed = 0;
+        for r in reports {
+            match r.outcome() {
+                MigrationOutcome::Completed => {}
+                MigrationOutcome::CompletedAfterRetries { .. } => retried += 1,
+                MigrationOutcome::FellBackToFull { .. } => fell_back += 1,
+                MigrationOutcome::Failed { .. } => failed += 1,
+            }
+        }
+        let wasted_traffic = reports.iter().map(|r| r.wasted_traffic()).sum();
         ScheduleSummary {
             migrations: reports.len(),
             total_traffic,
             mean_time,
             max_downtime,
             recycled,
+            retried,
+            fell_back,
+            failed,
+            wasted_traffic,
         }
     }
 }
@@ -102,8 +133,127 @@ impl std::fmt::Display for ScheduleSummary {
             f,
             "{} migrations ({} recycled): {} total, mean time {}, worst downtime {}",
             self.migrations, self.recycled, self.total_traffic, self.mean_time, self.max_downtime,
-        )
+        )?;
+        if self.retried + self.fell_back + self.failed > 0 {
+            write!(
+                f,
+                " [{} retried, {} fell back, {} failed, {} wasted]",
+                self.retried, self.fell_back, self.failed, self.wasted_traffic,
+            )?;
+        }
+        Ok(())
     }
+}
+
+/// A notable incident during a faulted migration, in occurrence order —
+/// the session's transcript of what went wrong and how it recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A migration attempt died mid-transfer.
+    AttemptAborted {
+        /// The migrating VM.
+        vm: VmId,
+        /// Which attempt died (1-based).
+        attempt: u32,
+        /// Why it died.
+        cause: FaultCause,
+        /// Pages that reached the destination before the cut.
+        landed: PageCount,
+    },
+    /// The session backed off before the next attempt.
+    RetryScheduled {
+        /// The migrating VM.
+        vm: VmId,
+        /// The upcoming attempt number.
+        attempt: u32,
+        /// Simulated wait before it starts.
+        backoff: SimDuration,
+    },
+    /// A retry recycled the aborted attempt's landed pages as a
+    /// [`PartialCheckpoint`] — VeCycle's idea applied to its own failure.
+    ResumedFromPartial {
+        /// The migrating VM.
+        vm: VmId,
+        /// The attempt doing the resuming.
+        attempt: u32,
+        /// Landed pages available for recycling.
+        landed: PageCount,
+    },
+    /// A stored checkpoint failed validation and was discarded; the
+    /// migration continues without recycling.
+    CorruptCheckpointDiscarded {
+        /// The VM whose checkpoint was unusable.
+        vm: VmId,
+        /// The host holding the bad checkpoint.
+        host: HostId,
+    },
+    /// The source host crashed while persisting the post-migration
+    /// checkpoint: the fresh capture is lost, the previous on-disk
+    /// checkpoint survives (guaranteed by the fsync + rename protocol).
+    CheckpointSaveLost {
+        /// The VM whose new checkpoint was lost.
+        vm: VmId,
+        /// The crashing host.
+        host: HostId,
+    },
+    /// Every attempt failed; the VM stays at the source.
+    MigrationFailed {
+        /// The VM that could not be moved.
+        vm: VmId,
+        /// The fault that killed the final attempt.
+        cause: FaultCause,
+    },
+}
+
+impl std::fmt::Display for SessionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionEvent::AttemptAborted {
+                vm,
+                attempt,
+                cause,
+                landed,
+            } => write!(
+                f,
+                "{vm}: attempt {attempt} aborted ({cause}), {landed} landed"
+            ),
+            SessionEvent::RetryScheduled {
+                vm,
+                attempt,
+                backoff,
+            } => write!(
+                f,
+                "{vm}: retrying (attempt {attempt}) after {backoff} backoff"
+            ),
+            SessionEvent::ResumedFromPartial {
+                vm,
+                attempt,
+                landed,
+            } => write!(f, "{vm}: attempt {attempt} resumes from {landed} landed"),
+            SessionEvent::CorruptCheckpointDiscarded { vm, host } => {
+                write!(f, "{vm}: corrupt checkpoint discarded at {host}")
+            }
+            SessionEvent::CheckpointSaveLost { vm, host } => {
+                write!(
+                    f,
+                    "{vm}: {host} crashed during checkpoint save; old checkpoint survives"
+                )
+            }
+            SessionEvent::MigrationFailed { vm, cause } => {
+                write!(f, "{vm}: migration failed ({cause}), VM stays at source")
+            }
+        }
+    }
+}
+
+/// The result of a schedule run under fault injection: the per-leg
+/// reports (skipped legs produce none) plus the ordered incident log.
+#[derive(Debug)]
+pub struct FaultedScheduleRun {
+    /// One report per executed migration, in schedule order.
+    pub reports: Vec<MigrationReport>,
+    /// Incidents, in occurrence order.
+    pub events: Vec<SessionEvent>,
 }
 
 /// A placed VM: guest state plus its current host.
@@ -145,23 +295,39 @@ impl<M: MutableMemory> VmInstance<M> {
     }
 }
 
+/// What the session found when it went looking for a recyclable
+/// checkpoint at the destination.
+#[derive(Debug, Clone)]
+enum CheckpointFetch {
+    /// A validated checkpoint, from the warm in-memory store or loaded
+    /// off the durable one.
+    Usable(Arc<Checkpoint>),
+    /// No checkpoint anywhere: first visit (or it was discarded).
+    Missing,
+    /// A checkpoint existed but failed validation and was discarded.
+    Corrupt,
+}
+
 /// Drives checkpoint-recycled migrations across a [`Cluster`].
 #[derive(Debug)]
 pub struct VeCycleSession {
     cluster: Cluster,
     engine: MigrationEngine,
     policy: RecyclePolicy,
+    retry: RetryPolicy,
 }
 
 impl VeCycleSession {
-    /// Creates a session over `cluster` with the VeCycle policy and an
-    /// engine configured from the cluster's link.
+    /// Creates a session over `cluster` with the VeCycle policy, an
+    /// engine configured from the cluster's link, and the default
+    /// [`RetryPolicy`].
     pub fn new(cluster: Cluster) -> Self {
         let engine = MigrationEngine::new(cluster.link());
         VeCycleSession {
             cluster,
             engine,
             policy: RecyclePolicy::VeCycle,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -179,9 +345,157 @@ impl VeCycleSession {
         self
     }
 
+    /// Overrides the retry policy for faulted migrations.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// The cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Finds a recyclable checkpoint of `vm` at `dest`, handling the two
+    /// failure shapes: an injected validation failure (the fault plan
+    /// says the stored bytes are bad) and a genuinely corrupt file in the
+    /// durable store. Corrupt checkpoints are discarded — worst case
+    /// VeCycle behaves like plain dedup, never worse (§3's invariant that
+    /// recycling is an optimisation, not a dependency).
+    fn fetch_checkpoint(
+        &self,
+        vm: VmId,
+        dest: &Host,
+        inject_corrupt: bool,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<CheckpointFetch> {
+        if inject_corrupt {
+            let had_mem = dest.store().remove(vm) > 0;
+            let mut had_disk = false;
+            if let Some(ds) = dest.disk_store() {
+                had_disk = matches!(ds.load(vm), Ok(Some(_)) | Err(Error::Corrupt { .. }));
+                ds.remove(vm)?;
+            }
+            if had_mem || had_disk {
+                events.push(SessionEvent::CorruptCheckpointDiscarded {
+                    vm,
+                    host: dest.id(),
+                });
+                return Ok(CheckpointFetch::Corrupt);
+            }
+            return Ok(CheckpointFetch::Missing);
+        }
+        if let Some(cp) = dest.store().latest(vm) {
+            return Ok(CheckpointFetch::Usable(cp));
+        }
+        // Cold in-memory store: fall back to the durable one (the
+        // host-restart scenario) and warm the memory store on success.
+        if let Some(ds) = dest.disk_store() {
+            match ds.load(vm) {
+                Ok(Some(cp)) => {
+                    dest.store().save(cp);
+                    if let Some(warm) = dest.store().latest(vm) {
+                        return Ok(CheckpointFetch::Usable(warm));
+                    }
+                }
+                Ok(None) => {}
+                Err(Error::Corrupt { .. }) => {
+                    ds.remove(vm)?;
+                    events.push(SessionEvent::CorruptCheckpointDiscarded {
+                        vm,
+                        host: dest.id(),
+                    });
+                    return Ok(CheckpointFetch::Corrupt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(CheckpointFetch::Missing)
+    }
+
+    /// Picks the first-round strategy from what the destination holds: a
+    /// full checkpoint, a [`PartialCheckpoint`] from an aborted attempt,
+    /// both (their digests union into one index), or neither. Also
+    /// reports why recycling was skipped, if it was skipped for a
+    /// fault-shaped reason.
+    fn strategy_for<M: MutableMemory>(
+        &self,
+        vm: &VmInstance<M>,
+        fetch: &CheckpointFetch,
+        partial: Option<&PartialCheckpoint>,
+    ) -> (Strategy, Option<FaultCause>) {
+        let partial = partial
+            .filter(|p| p.page_count() == vm.guest.page_count() && p.landed_pages().as_u64() > 0);
+        let corrupt = matches!(fetch, CheckpointFetch::Corrupt);
+        let cause = corrupt.then_some(FaultCause::CorruptCheckpoint);
+        let cp = match fetch {
+            CheckpointFetch::Usable(cp) if cp.page_count() == vm.guest.page_count() => {
+                Some(Arc::clone(cp))
+            }
+            _ => None,
+        };
+        match self.policy {
+            RecyclePolicy::Baseline => (Strategy::full(), None),
+            RecyclePolicy::DedupOnly => match partial {
+                Some(p) => (
+                    Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup(),
+                    None,
+                ),
+                None => (Strategy::dedup(), None),
+            },
+            RecyclePolicy::VeCycle => {
+                let strategy = match (&cp, partial) {
+                    (Some(cp), Some(p)) => {
+                        Strategy::vecycle_with_index(Arc::new(p.build_index_with(&cp.digests())))
+                            .with_dedup()
+                    }
+                    (Some(cp), None) => Strategy::vecycle_from_checkpoint(cp).with_dedup(),
+                    (None, Some(p)) => {
+                        Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup()
+                    }
+                    (None, None) => Strategy::dedup(),
+                };
+                (strategy, cause)
+            }
+            RecyclePolicy::Adaptive { min_similarity } => match cp {
+                Some(cp) => {
+                    let index = Arc::new(cp.build_index());
+                    let estimate =
+                        MigrationEngine::estimate_similarity(vm.guest.memory(), &index, 256);
+                    if estimate.as_f64() >= min_similarity {
+                        let strategy = match partial {
+                            Some(p) => Strategy::vecycle_with_index(Arc::new(
+                                p.build_index_with(&cp.digests()),
+                            ))
+                            .with_dedup(),
+                            None => Strategy::vecycle_with_index(index).with_dedup(),
+                        };
+                        (strategy, None)
+                    } else {
+                        let strategy = match partial {
+                            Some(p) => {
+                                Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup()
+                            }
+                            None => Strategy::dedup(),
+                        };
+                        (strategy, Some(FaultCause::LowSimilarity))
+                    }
+                }
+                None => match partial {
+                    Some(p) => (
+                        Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup(),
+                        cause,
+                    ),
+                    None => (Strategy::dedup(), cause),
+                },
+            },
+        }
     }
 
     /// Migrates `vm` to `to` at simulated instant `now`, running
@@ -207,6 +521,49 @@ impl VeCycleSession {
         M: MutableMemory,
         W: GuestWorkload<M>,
     {
+        self.migrate_with_faults(
+            vm,
+            to,
+            now,
+            workload,
+            &FaultPlan::none(),
+            0,
+            &mut Vec::new(),
+        )
+    }
+
+    /// Migrates `vm` to `to` under the faults `plan` assigns to leg
+    /// `leg`, retrying per the session's [`RetryPolicy`]. Incidents are
+    /// appended to `events` in occurrence order.
+    ///
+    /// Fault-induced failures are *data*, not errors: an attempt killed
+    /// by an injected link drop is retried (recycling the aborted
+    /// attempt's landed pages as a [`PartialCheckpoint`] when the policy
+    /// allows), and a migration that exhausts every attempt returns a
+    /// report with [`MigrationOutcome::Failed`] and the VM still at the
+    /// source. `Err` is reserved for real problems: unknown hosts,
+    /// filesystem failures, engine invariant violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if `to` is not in the cluster or the
+    /// VM's current host is unknown, and propagates engine and
+    /// durable-store errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_with_faults<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        to: HostId,
+        now: SimTime,
+        workload: &mut W,
+        plan: &FaultPlan,
+        leg: usize,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<MigrationReport>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
         let source = self
             .cluster
             .host(vm.location)
@@ -222,45 +579,118 @@ impl VeCycleSession {
             })?
             .clone();
 
-        let strategy = match self.policy {
-            RecyclePolicy::Baseline => Strategy::full(),
-            RecyclePolicy::DedupOnly => Strategy::dedup(),
-            RecyclePolicy::VeCycle => match dest.store().latest(vm.id) {
-                Some(cp) if cp.page_count() == vm.guest.page_count() => {
-                    Strategy::vecycle_from_checkpoint(&cp).with_dedup()
-                }
-                // First visit (or resized VM): no checkpoint to recycle.
-                _ => Strategy::dedup(),
-            },
-            RecyclePolicy::Adaptive { min_similarity } => match dest.store().latest(vm.id) {
-                Some(cp) if cp.page_count() == vm.guest.page_count() => {
-                    let index = std::sync::Arc::new(cp.build_index());
-                    let estimate =
-                        MigrationEngine::estimate_similarity(vm.guest.memory(), &index, 256);
-                    if estimate.as_f64() >= min_similarity {
-                        Strategy::vecycle_with_index(index).with_dedup()
+        let inject_corrupt = plan.has(leg, |f| matches!(f, FaultKind::CheckpointCorrupt));
+        let crash_on_save = plan.has(leg, |f| matches!(f, FaultKind::CrashDuringSave));
+        let fetch = self.fetch_checkpoint(vm.id, &dest, inject_corrupt, events)?;
+
+        let mut partial: Option<PartialCheckpoint> = None;
+        let mut wasted_traffic = Bytes::ZERO;
+        let mut wasted_time = SimDuration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            let attempt_faults = plan.for_attempt(leg, attempt);
+            let (strategy, cause) = self.strategy_for(vm, &fetch, partial.as_ref());
+            let strategy_name = strategy.name();
+            match self.engine.migrate_live_faulted(
+                &mut vm.guest,
+                workload,
+                strategy,
+                &attempt_faults,
+            )? {
+                LiveOutcome::Completed(mut report) => {
+                    let outcome = if attempt > 1 {
+                        MigrationOutcome::CompletedAfterRetries { attempts: attempt }
+                    } else if let Some(cause) = cause {
+                        MigrationOutcome::FellBackToFull { cause }
                     } else {
-                        Strategy::dedup()
+                        MigrationOutcome::Completed
+                    };
+                    report.set_outcome(outcome);
+                    report.add_waste(wasted_traffic, wasted_time);
+
+                    // "After the migration, the source writes a checkpoint
+                    // of the VM to its local disk" — the state that just
+                    // left. The write is off the critical path but its
+                    // cost is accounted in the setup report.
+                    if crash_on_save {
+                        // The host dies mid-write: the fsync + rename
+                        // protocol guarantees the *previous* checkpoint
+                        // survives intact, so only the fresh capture is
+                        // lost.
+                        events.push(SessionEvent::CheckpointSaveLost {
+                            vm: vm.id,
+                            host: source.id(),
+                        });
+                    } else {
+                        let checkpoint = Checkpoint::capture(vm.id, now, vm.guest.memory());
+                        if let Some(ds) = source.disk_store() {
+                            ds.save(&checkpoint)?;
+                        }
+                        source.store().save(checkpoint);
+                        report.setup_mut().checkpoint_write =
+                            source.disk().sequential_time(vm.guest.ram_size());
                     }
+                    vm.location = to;
+                    return Ok(report);
                 }
-                _ => Strategy::dedup(),
-            },
-        };
-
-        let mut report = self
-            .engine
-            .migrate_live(&mut vm.guest, workload, strategy)?;
-
-        // "After the migration, the source writes a checkpoint of the VM
-        // to its local disk" — the state that just left. The write is
-        // off the critical path but its cost is accounted in the setup
-        // report.
-        source
-            .store()
-            .save(Checkpoint::capture(vm.id, now, vm.guest.memory()));
-        report.setup_mut().checkpoint_write = source.disk().sequential_time(vm.guest.ram_size());
-        vm.location = to;
-        Ok(report)
+                LiveOutcome::Aborted(aborted) => {
+                    wasted_traffic += aborted.traffic;
+                    wasted_time = wasted_time.saturating_add(aborted.elapsed);
+                    events.push(SessionEvent::AttemptAborted {
+                        vm: vm.id,
+                        attempt,
+                        cause: aborted.cause,
+                        landed: aborted.landed_pages(),
+                    });
+                    if attempt >= self.retry.max_attempts {
+                        events.push(SessionEvent::MigrationFailed {
+                            vm: vm.id,
+                            cause: aborted.cause,
+                        });
+                        let mut report = MigrationReport::new(
+                            strategy_name,
+                            vm.guest.ram_size(),
+                            Vec::new(),
+                            SimDuration::ZERO,
+                            SetupReport::default(),
+                            TrafficLedger::new(),
+                            TrafficLedger::new(),
+                        );
+                        report.set_outcome(MigrationOutcome::Failed {
+                            cause: aborted.cause,
+                        });
+                        report.set_converged(false);
+                        report.add_waste(wasted_traffic, wasted_time);
+                        // The VM never left; no checkpoint is written and
+                        // its location does not change.
+                        return Ok(report);
+                    }
+                    let next = attempt + 1;
+                    let backoff = self.retry.backoff_before(next);
+                    events.push(SessionEvent::RetryScheduled {
+                        vm: vm.id,
+                        attempt: next,
+                        backoff,
+                    });
+                    // The guest keeps running (and dirtying pages) at the
+                    // source while the session waits out the backoff.
+                    workload.advance(&mut vm.guest, backoff);
+                    wasted_time = wasted_time.saturating_add(backoff);
+                    if self.retry.resume_from_partial
+                        && !matches!(self.policy, RecyclePolicy::Baseline)
+                        && aborted.landed_pages().as_u64() > 0
+                    {
+                        events.push(SessionEvent::ResumedFromPartial {
+                            vm: vm.id,
+                            attempt: next,
+                            landed: aborted.landed_pages(),
+                        });
+                        partial = Some(PartialCheckpoint::new(vm.id, aborted.landed));
+                    }
+                    attempt = next;
+                }
+            }
+        }
     }
 
     /// Runs a [`MigrationSchedule`], advancing `workload` through the
@@ -300,6 +730,53 @@ impl VeCycleSession {
             reports.push(self.migrate(vm, leg.to, clock, workload)?);
         }
         Ok(reports)
+    }
+
+    /// Runs a [`MigrationSchedule`] under fault injection.
+    ///
+    /// Unlike [`VeCycleSession::run_schedule`], a failed migration does
+    /// not poison the run: the VM simply stays where it is, and later
+    /// legs adapt — a leg whose destination is the VM's current host is
+    /// skipped (the failure already "achieved" it), any other leg
+    /// migrates from the VM's *actual* location rather than the
+    /// scheduled one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates only non-fault errors (unknown hosts, filesystem
+    /// failures); injected faults never produce an `Err`.
+    pub fn run_schedule_with_faults<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        schedule: &MigrationSchedule,
+        workload: &mut W,
+        plan: &FaultPlan,
+    ) -> vecycle_types::Result<FaultedScheduleRun>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        let mut reports = Vec::with_capacity(schedule.len());
+        let mut events = Vec::new();
+        let mut clock = SimTime::EPOCH;
+        for (leg_idx, leg) in schedule.legs().iter().enumerate() {
+            let gap = leg.at.duration_since(clock);
+            workload.advance(&mut vm.guest, gap);
+            clock = leg.at;
+            if leg.to == vm.location {
+                continue;
+            }
+            reports.push(self.migrate_with_faults(
+                vm,
+                leg.to,
+                clock,
+                workload,
+                plan,
+                leg_idx,
+                &mut events,
+            )?);
+        }
+        Ok(FaultedScheduleRun { reports, events })
     }
 }
 
@@ -521,5 +998,382 @@ mod tests {
             .unwrap();
         let cp = s.cluster().hosts()[0].store().latest(VmId::new(0)).unwrap();
         assert_eq!(cp.page_count(), PageCount::new(1024));
+    }
+
+    // --- fault-injection and recovery ---
+
+    use vecycle_faults::{DropPoint, FaultKind, FaultPlan, FaultRates, RetryPolicy};
+
+    /// Warms host 0 with a checkpoint by hopping the VM 0 → 1.
+    fn warmed() -> (VeCycleSession, VmInstance<DigestMemory>) {
+        let s = session();
+        let mut vm = instance();
+        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+        (s, vm)
+    }
+
+    #[test]
+    fn clean_faulted_migrate_matches_migrate() {
+        let (s, mut vm_a) = warmed();
+        let (s2, mut vm_b) = warmed();
+        let clean = s
+            .migrate(
+                &mut vm_a,
+                HostId::new(0),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        let faulted = s2
+            .migrate_with_faults(
+                &mut vm_b,
+                HostId::new(0),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+                &FaultPlan::none(),
+                0,
+                &mut events,
+            )
+            .unwrap();
+        assert_eq!(clean, faulted);
+        assert!(events.is_empty());
+        assert_eq!(clean.outcome(), MigrationOutcome::Completed);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_dedup() {
+        let (s, mut vm) = warmed();
+        let plan = FaultPlan::none().inject(0, FaultKind::CheckpointCorrupt);
+        let mut events = Vec::new();
+        let r = s
+            .migrate_with_faults(
+                &mut vm,
+                HostId::new(0),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+                &plan,
+                0,
+                &mut events,
+            )
+            .unwrap();
+        assert_eq!(r.strategy().to_string(), "dedup");
+        assert_eq!(
+            r.outcome(),
+            MigrationOutcome::FellBackToFull {
+                cause: vecycle_faults::FaultCause::CorruptCheckpoint
+            }
+        );
+        assert!(matches!(
+            events[0],
+            SessionEvent::CorruptCheckpointDiscarded { .. }
+        ));
+        // The bad checkpoint is gone; the VM still arrived.
+        assert_eq!(s.cluster().hosts()[0].store().vm_count(), 0);
+        assert_eq!(vm.location(), HostId::new(0));
+    }
+
+    #[test]
+    fn corrupt_fault_without_checkpoint_is_a_plain_first_visit() {
+        let s = session();
+        let mut vm = instance();
+        let plan = FaultPlan::none().inject(0, FaultKind::CheckpointCorrupt);
+        let mut events = Vec::new();
+        let r = s
+            .migrate_with_faults(
+                &mut vm,
+                HostId::new(1),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+                &plan,
+                0,
+                &mut events,
+            )
+            .unwrap();
+        // Nothing existed to corrupt: no fallback, no event.
+        assert_eq!(r.outcome(), MigrationOutcome::Completed);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn link_drop_retries_and_resumes_from_landed_pages() {
+        let (s, mut vm) = warmed();
+        // The return leg recycles a checkpoint, so its forward traffic is
+        // mostly 28-byte checksums — the cut must be far below RAM size
+        // to strike mid-transfer.
+        let plan = FaultPlan::none().inject(
+            0,
+            FaultKind::LinkDrop {
+                after: DropPoint::Bytes(Bytes::from_kib(8)),
+                attempts: 1,
+            },
+        );
+        let mut events = Vec::new();
+        let r = s
+            .migrate_with_faults(
+                &mut vm,
+                HostId::new(0),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+                &plan,
+                0,
+                &mut events,
+            )
+            .unwrap();
+        assert_eq!(
+            r.outcome(),
+            MigrationOutcome::CompletedAfterRetries { attempts: 2 }
+        );
+        assert_eq!(vm.location(), HostId::new(0));
+        assert!(r.wasted_traffic() > Bytes::ZERO);
+        assert!(r.wasted_time() > SimDuration::ZERO);
+        assert!(r.total_traffic_with_retries() > r.source_traffic());
+        assert_eq!(events.len(), 3, "{events:?}");
+        assert!(matches!(events[0], SessionEvent::AttemptAborted { .. }));
+        assert!(matches!(events[1], SessionEvent::RetryScheduled { .. }));
+        assert!(matches!(events[2], SessionEvent::ResumedFromPartial { .. }));
+    }
+
+    #[test]
+    fn resumed_retry_resends_less_than_from_scratch() {
+        // Two identical worlds, differing only in whether the retry
+        // recycles the aborted attempt's landed pages.
+        let drop_fault = FaultKind::LinkDrop {
+            after: DropPoint::RamFraction(0.5),
+            attempts: 1,
+        };
+        let run = |retry: RetryPolicy| {
+            let s = session().with_retry_policy(retry);
+            let mut vm = instance();
+            let plan = FaultPlan::none().inject(0, drop_fault);
+            let mut events = Vec::new();
+            s.migrate_with_faults(
+                &mut vm,
+                HostId::new(1),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+                &plan,
+                0,
+                &mut events,
+            )
+            .unwrap()
+        };
+        let resumed = run(RetryPolicy::default());
+        let scratch = run(RetryPolicy::from_scratch());
+        assert_eq!(
+            resumed.outcome(),
+            MigrationOutcome::CompletedAfterRetries { attempts: 2 }
+        );
+        // The cut lands ~half the pages; the resumed attempt replaces
+        // those with checksum messages, so it re-sends well under what a
+        // from-scratch retry sends.
+        assert!(
+            resumed.source_traffic().as_f64() < scratch.source_traffic().as_f64() * 0.75,
+            "resumed {} vs scratch {}",
+            resumed.source_traffic(),
+            scratch.source_traffic()
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_leave_the_vm_at_the_source() {
+        let s = session().with_retry_policy(RetryPolicy::default().with_max_attempts(2));
+        let mut vm = instance();
+        let plan = FaultPlan::none().inject(
+            0,
+            FaultKind::LinkDrop {
+                after: DropPoint::RamFraction(0.25),
+                attempts: u32::MAX,
+            },
+        );
+        let mut events = Vec::new();
+        let r = s
+            .migrate_with_faults(
+                &mut vm,
+                HostId::new(1),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+                &plan,
+                0,
+                &mut events,
+            )
+            .unwrap();
+        assert!(matches!(r.outcome(), MigrationOutcome::Failed { .. }));
+        assert!(!r.outcome().is_success());
+        assert_eq!(vm.location(), HostId::new(0), "VM must stay at the source");
+        assert_eq!(r.source_traffic(), Bytes::ZERO);
+        assert!(r.wasted_traffic() > Bytes::ZERO);
+        // No checkpoint is written for a migration that never happened.
+        assert_eq!(s.cluster().hosts()[0].store().vm_count(), 0);
+        assert!(matches!(
+            events.last().unwrap(),
+            SessionEvent::MigrationFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn crash_during_save_loses_only_the_new_checkpoint() {
+        let (s, mut vm) = warmed();
+        // Host 0 holds the checkpoint from the warm-up hop. Migrating
+        // back with a crash-on-save fault means host 1 (the vacated
+        // source) never stores the new one.
+        let plan = FaultPlan::none().inject(0, FaultKind::CrashDuringSave);
+        let mut events = Vec::new();
+        let r = s
+            .migrate_with_faults(
+                &mut vm,
+                HostId::new(0),
+                SimTime::EPOCH,
+                &mut SilentWorkload,
+                &plan,
+                0,
+                &mut events,
+            )
+            .unwrap();
+        assert_eq!(r.outcome(), MigrationOutcome::Completed);
+        assert_eq!(vm.location(), HostId::new(0));
+        assert_eq!(s.cluster().hosts()[1].store().vm_count(), 0);
+        // The old checkpoint at host 0 was consumed-but-kept: still there.
+        assert_eq!(s.cluster().hosts()[0].store().vm_count(), 1);
+        assert!(matches!(events[0], SessionEvent::CheckpointSaveLost { .. }));
+    }
+
+    #[test]
+    fn disk_store_write_through_survives_memory_store_loss() {
+        let dir = std::env::temp_dir().join("vecycle-session-diskstore-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit())
+            .attach_disk_stores(&dir)
+            .unwrap();
+        let s = VeCycleSession::new(cluster);
+        let mut vm = instance();
+        s.migrate(&mut vm, HostId::new(1), SimTime::EPOCH, &mut SilentWorkload)
+            .unwrap();
+        // Simulate a host restart: the in-memory store evaporates, the
+        // durable one does not.
+        assert_eq!(s.cluster().hosts()[0].store().remove(vm.id()), 1);
+        let r = s
+            .migrate(
+                &mut vm,
+                HostId::new(0),
+                SimTime::EPOCH + SimDuration::from_hours(1),
+                &mut SilentWorkload,
+            )
+            .unwrap();
+        assert_eq!(
+            r.strategy().to_string(),
+            "vecycle+dedup",
+            "checkpoint must be recovered from the durable store"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulted_schedule_survives_a_permanent_failure() {
+        let s = session().with_retry_policy(RetryPolicy::default().with_max_attempts(2));
+        let mut vm = instance();
+        let schedule = MigrationSchedule::ping_pong(
+            vm.id(),
+            HostId::new(0),
+            HostId::new(1),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::from_hours(1),
+            2,
+        );
+        // Leg 0 fails on every attempt; leg 1 (1 → 0) then finds the VM
+        // already at host 0 and is skipped.
+        let plan = FaultPlan::none().inject(
+            0,
+            FaultKind::LinkDrop {
+                after: DropPoint::RamFraction(0.1),
+                attempts: u32::MAX,
+            },
+        );
+        let run = s
+            .run_schedule_with_faults(&mut vm, &schedule, &mut SilentWorkload, &plan)
+            .unwrap();
+        assert_eq!(run.reports.len(), 1, "the return leg is skipped");
+        assert!(matches!(
+            run.reports[0].outcome(),
+            MigrationOutcome::Failed { .. }
+        ));
+        assert_eq!(vm.location(), HostId::new(0));
+        let summary = ScheduleSummary::of(&run.reports);
+        assert_eq!(summary.failed, 1);
+        assert!(summary.to_string().contains("1 failed"));
+    }
+
+    #[test]
+    fn seeded_fault_schedule_completes_without_errors() {
+        let s = session();
+        let mut vm = instance();
+        let schedule = MigrationSchedule::ping_pong(
+            vm.id(),
+            HostId::new(0),
+            HostId::new(1),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::from_hours(1),
+            8,
+        );
+        let plan = FaultPlan::seeded(7, &FaultRates::uniform(0.5), schedule.len());
+        assert!(!plan.is_empty(), "seed 7 at 50% must fault something");
+        let run = s
+            .run_schedule_with_faults(&mut vm, &schedule, &mut SilentWorkload, &plan)
+            .unwrap();
+        assert!(!run.reports.is_empty());
+        // Every report carries a definite outcome and no panic occurred.
+        for r in &run.reports {
+            let _ = r.outcome().to_string();
+        }
+        for e in &run.events {
+            let _ = e.to_string();
+        }
+    }
+
+    #[test]
+    fn clean_faulted_schedule_matches_plain_schedule() {
+        let make_schedule = |vm: VmId| {
+            MigrationSchedule::ping_pong(
+                vm,
+                HostId::new(0),
+                HostId::new(1),
+                SimTime::EPOCH + SimDuration::from_hours(1),
+                SimDuration::from_hours(1),
+                4,
+            )
+        };
+        let s1 = session();
+        let mut vm1 = instance();
+        let schedule1 = make_schedule(vm1.id());
+        let plain = s1
+            .run_schedule(&mut vm1, &schedule1, &mut SilentWorkload)
+            .unwrap();
+        let s2 = session();
+        let mut vm2 = instance();
+        let schedule2 = make_schedule(vm2.id());
+        let faulted = s2
+            .run_schedule_with_faults(
+                &mut vm2,
+                &schedule2,
+                &mut SilentWorkload,
+                &FaultPlan::none(),
+            )
+            .unwrap();
+        assert_eq!(plain, faulted.reports);
+        assert!(faulted.events.is_empty());
+    }
+
+    #[test]
+    fn session_events_display_as_prose() {
+        let e = SessionEvent::AttemptAborted {
+            vm: VmId::new(3),
+            attempt: 1,
+            cause: vecycle_faults::FaultCause::LinkFailure,
+            landed: PageCount::new(100),
+        };
+        let text = e.to_string();
+        assert!(text.contains("attempt 1"), "{text}");
+        assert!(text.contains("link failure"), "{text}");
     }
 }

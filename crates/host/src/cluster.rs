@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use vecycle_checkpoint::CheckpointStore;
+use vecycle_checkpoint::{CheckpointStore, DiskStore};
 use vecycle_net::LinkSpec;
 use vecycle_types::HostId;
 
@@ -26,6 +26,7 @@ pub struct Host {
     cpu: CpuSpec,
     disk: DiskSpec,
     store: Arc<CheckpointStore>,
+    disk_store: Option<Arc<DiskStore>>,
 }
 
 impl Host {
@@ -36,6 +37,7 @@ impl Host {
             cpu,
             disk,
             store: Arc::new(CheckpointStore::new()),
+            disk_store: None,
         }
     }
 
@@ -70,6 +72,21 @@ impl Host {
     pub fn with_disk(mut self, disk: DiskSpec) -> Self {
         self.disk = disk;
         self
+    }
+
+    /// Attaches a durable on-disk checkpoint store. The in-memory
+    /// [`CheckpointStore`] stays the fast path; sessions write through to
+    /// this store and fall back to it when the in-memory one is cold
+    /// (e.g. after a simulated host restart).
+    #[must_use]
+    pub fn with_disk_store(mut self, store: Arc<DiskStore>) -> Self {
+        self.disk_store = Some(store);
+        self
+    }
+
+    /// The durable checkpoint store, if one is attached.
+    pub fn disk_store(&self) -> Option<&Arc<DiskStore>> {
+        self.disk_store.as_ref()
     }
 }
 
@@ -123,6 +140,25 @@ impl Cluster {
     /// The link between any pair of hosts.
     pub fn link(&self) -> LinkSpec {
         self.link
+    }
+
+    /// Attaches a durable [`DiskStore`] to every host, rooted at
+    /// `root/host-<id>` — the deployment shape of §3, where each host
+    /// keeps its checkpoints on local storage that survives restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the per-host directories.
+    pub fn attach_disk_stores(
+        mut self,
+        root: impl AsRef<std::path::Path>,
+    ) -> vecycle_types::Result<Self> {
+        let root = root.as_ref();
+        for host in &mut self.hosts {
+            let store = DiskStore::open(root.join(format!("host-{}", host.id.as_u32())))?;
+            host.disk_store = Some(Arc::new(store));
+        }
+        Ok(self)
     }
 }
 
@@ -180,5 +216,22 @@ mod tests {
         use crate::disk::DiskKind;
         let h = Host::benchmark_default(HostId::new(0)).with_disk(DiskSpec::ssd_intel_330());
         assert_eq!(h.disk().kind(), DiskKind::Ssd);
+    }
+
+    #[test]
+    fn attach_disk_stores_gives_each_host_its_own_directory() {
+        let dir = std::env::temp_dir().join("vecycle-cluster-diskstore-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Cluster::homogeneous(2, LinkSpec::lan_gigabit())
+            .attach_disk_stores(&dir)
+            .unwrap();
+        let roots: Vec<_> = c
+            .hosts()
+            .iter()
+            .map(|h| h.disk_store().expect("attached").root().to_path_buf())
+            .collect();
+        assert_ne!(roots[0], roots[1]);
+        assert!(roots.iter().all(|r| r.is_dir()));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use vecycle_types::{Bytes, BytesPerSec, SimDuration};
+use vecycle_types::{Bytes, BytesPerSec, Error, SimDuration};
 
 use crate::LinkSpec;
 
@@ -61,12 +61,33 @@ impl Netem {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is out of range.
+    /// Panics if `p` is out of range (including NaN). Use
+    /// [`Netem::try_loss`] for a non-panicking variant.
     #[must_use]
-    pub fn loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability {p} out of [0,1)");
+    pub fn loss(self, p: f64) -> Self {
+        match self.try_loss(p) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible version of [`Netem::loss`]: validates `p` into
+    /// `[0.0, 1.0)` and rejects NaN, so the Mathis model can never be fed
+    /// a probability that yields NaN or negative throughput (`√p` with
+    /// `p < 0`, or division by `√0 = 0` at `p = 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `p` is NaN or outside
+    /// `[0.0, 1.0)`.
+    pub fn try_loss(mut self, p: f64) -> Result<Self, Error> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(Error::InvalidConfig {
+                reason: format!("loss probability {p} out of [0,1)"),
+            });
+        }
         self.loss = p;
-        self
+        Ok(self)
     }
 
     /// Caps the link rate (netem `rate`).
@@ -176,5 +197,41 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_panics() {
         let _ = Netem::new().loss(1.0);
+    }
+
+    #[test]
+    fn try_loss_accepts_zero_boundary() {
+        // p = 0.0 is valid: loss-free, Mathis model disabled.
+        let n = Netem::new().try_loss(0.0).unwrap();
+        assert!(n.tcp_throughput(SimDuration::from_millis(54)).is_none());
+        assert_eq!(n.apply(LinkSpec::lan_gigabit()), LinkSpec::lan_gigabit());
+    }
+
+    #[test]
+    fn try_loss_accepts_near_one_and_stays_finite() {
+        // Just under 1.0 is valid and yields a tiny but positive,
+        // finite Mathis throughput.
+        let n = Netem::new().try_loss(0.999_999).unwrap();
+        let tcp = n.tcp_throughput(SimDuration::from_millis(54)).unwrap();
+        assert!(tcp.as_f64().is_finite() && tcp.as_f64() > 0.0);
+        let link = n.apply(LinkSpec::wan_cloudnet());
+        assert!(link.effective_bandwidth().as_f64() > 0.0);
+    }
+
+    #[test]
+    fn try_loss_rejects_out_of_range() {
+        for bad in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let err = Netem::new().try_loss(bad).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidConfig { .. }),
+                "p = {bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn nan_loss_panics_too() {
+        let _ = Netem::new().loss(f64::NAN);
     }
 }

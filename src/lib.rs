@@ -15,6 +15,7 @@
 //! * [`net`] — link models (LAN/WAN), wire sizing, traffic accounting.
 //! * [`sim`] — a minimal discrete-event simulator.
 //! * [`host`] — disks, hosts, clusters and migration schedules.
+//! * [`faults`] — deterministic fault injection and retry policies.
 //! * [`core`] — the migration engine and traffic-reduction strategies.
 //! * [`analysis`] — binning, CDFs and report rendering.
 //!
@@ -42,6 +43,7 @@
 pub use vecycle_analysis as analysis;
 pub use vecycle_checkpoint as checkpoint;
 pub use vecycle_core as core;
+pub use vecycle_faults as faults;
 pub use vecycle_hash as hash;
 pub use vecycle_host as host;
 pub use vecycle_mem as mem;

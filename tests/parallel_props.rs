@@ -7,8 +7,10 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use vecycle::core::{MigrationEngine, Strategy};
-use vecycle::mem::{DigestMemory, MutableMemory, PageContent};
+use vecycle::core::{LiveOutcome, MigrationEngine, Strategy};
+use vecycle::faults::{AttemptFaults, DropPoint};
+use vecycle::mem::workload::SilentWorkload;
+use vecycle::mem::{DigestMemory, Guest, MemoryImage, MutableMemory, PageContent};
 use vecycle::net::LinkSpec;
 use vecycle::types::{PageCount, PageIndex};
 
@@ -82,6 +84,71 @@ proptest! {
                 .migrate_gang(&[&a, &b], &strategies)
                 .unwrap();
             prop_assert_eq!(&par, &seq, "threads {}", threads);
+        }
+    }
+
+    /// A migration attempt running under an injected link cut is just as
+    /// deterministic as a clean one: completed reports, abort causes,
+    /// wasted traffic/time and the per-page landed digests are all
+    /// bit-identical for every thread count. Additionally, every landed
+    /// digest must equal the guest's actual page content — the resumed
+    /// retry recycles exactly what a fault-free transfer would have sent.
+    #[test]
+    fn faulted_migration_is_deterministic_across_thread_counts(
+        vm_ids in vec(0u64..24, 1..200),
+        cp_ids in vec(0u64..24, 1..200),
+        cut_frac in 0.0f64..0.9,
+        use_index in any::<bool>(),
+    ) {
+        let cp = image(&cp_ids);
+        let strategy = if use_index {
+            Strategy::vecycle(&cp).with_dedup()
+        } else {
+            Strategy::dedup()
+        };
+        let faults = AttemptFaults {
+            cut_after: Some(DropPoint::RamFraction(cut_frac)),
+            ..AttemptFaults::none()
+        };
+        let run = |threads: usize| {
+            let mut guest = Guest::new(image(&vm_ids));
+            MigrationEngine::new(LinkSpec::lan_gigabit())
+                .with_threads(threads)
+                .migrate_live_faulted(
+                    &mut guest,
+                    &mut SilentWorkload,
+                    strategy.clone(),
+                    &faults,
+                )
+                .unwrap()
+        };
+        let seq = run(1);
+        if let LiveOutcome::Aborted(a) = &seq {
+            let vm = image(&vm_ids);
+            for (i, landed) in a.landed.iter().enumerate() {
+                if let Some(d) = landed {
+                    prop_assert_eq!(
+                        *d,
+                        vm.page_digest(PageIndex::new(i as u64)),
+                        "landed digest {} diverges from guest content", i
+                    );
+                }
+            }
+        }
+        for threads in [2usize, 4, 8] {
+            let par = run(threads);
+            match (&seq, &par) {
+                (LiveOutcome::Completed(a), LiveOutcome::Completed(b)) => {
+                    prop_assert_eq!(a, b, "threads {}", threads);
+                }
+                (LiveOutcome::Aborted(a), LiveOutcome::Aborted(b)) => {
+                    prop_assert_eq!(a.cause, b.cause, "threads {}", threads);
+                    prop_assert_eq!(&a.landed, &b.landed, "threads {}", threads);
+                    prop_assert_eq!(a.traffic, b.traffic, "threads {}", threads);
+                    prop_assert_eq!(a.elapsed, b.elapsed, "threads {}", threads);
+                }
+                _ => prop_assert!(false, "outcome kind diverged at threads {}", threads),
+            }
         }
     }
 }
