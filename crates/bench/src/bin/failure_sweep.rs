@@ -12,7 +12,11 @@
 //! * fallbacks (corrupt checkpoints, low similarity) cost traffic but
 //!   never correctness: every non-failed migration lands the VM.
 //!
-//! Writes `results/failure_sweep.csv` when `results/` exists.
+//! Writes `results/failure_sweep.csv` when `results/` exists, plus
+//! `results/failure_sweep_metrics.json` — the canonical
+//! [`MetricsSnapshot`](vecycle_obs::MetricsSnapshot) accumulated across
+//! every cell, for cross-checking the sweep against the typed counters
+//! (injected vs observed faults, engine vs net wire bytes).
 
 use vecycle_analysis::{ExperimentLog, Table};
 use vecycle_bench::Options;
@@ -22,6 +26,7 @@ use vecycle_faults::{FaultPlan, FaultRates, RetryPolicy};
 use vecycle_host::{Cluster, MigrationSchedule};
 use vecycle_mem::{workload::IdleWorkload, DigestMemory, Guest};
 use vecycle_net::LinkSpec;
+use vecycle_obs::MetricsRegistry;
 use vecycle_types::{Bytes, HostId, SimDuration, SimTime, VmId};
 
 const LEGS: u64 = 20;
@@ -29,6 +34,7 @@ const LEGS: u64 = 20;
 fn main() {
     let opts = Options::from_args();
     let mut log = ExperimentLog::new();
+    let metrics = MetricsRegistry::new();
     let ram = Bytes::from_mib(64);
 
     println!(
@@ -59,7 +65,8 @@ fn main() {
             let engine = MigrationEngine::new(cluster.link()).with_threads(opts.threads);
             let session = VeCycleSession::new(cluster)
                 .with_engine(engine)
-                .with_retry_policy(retry);
+                .with_retry_policy(retry)
+                .with_metrics(metrics.clone());
             let mem = DigestMemory::with_uniform_content(ram, opts.seed).expect("page-aligned");
             let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(0));
             let schedule = MigrationSchedule::ping_pong(
@@ -113,11 +120,23 @@ fn main() {
     }
     print!("{}", t.render());
 
+    let snap = metrics.snapshot();
+    println!(
+        "\nmetrics: {} faults injected, {} observed by the session, \
+         {} engine wire bytes",
+        snap.counter_total("faults_injected_total"),
+        snap.counter_total("faults_observed_total"),
+        snap.counter_total("engine_wire_bytes_total"),
+    );
+
     let out = std::path::Path::new("results");
     if out.is_dir() {
         let path = out.join("failure_sweep.csv");
         std::fs::write(&path, csv).expect("writing csv");
         println!("\n[csv written to {}]", path.display());
+        let mpath = out.join("failure_sweep_metrics.json");
+        std::fs::write(&mpath, snap.to_canonical_json()).expect("writing metrics json");
+        println!("[metrics snapshot written to {}]", mpath.display());
     }
     opts.finish(&log);
 }

@@ -26,6 +26,7 @@ mod checkpoint;
 mod dedup;
 mod disk_store;
 mod index;
+mod obs;
 mod partial;
 mod store;
 mod wire;
@@ -34,5 +35,6 @@ pub use checkpoint::{Checkpoint, CheckpointData};
 pub use dedup::DedupIndex;
 pub use disk_store::DiskStore;
 pub use index::{ChecksumIndex, HashChecksumIndex, PageLookup};
+pub use obs::{observe_index, observe_partial};
 pub use partial::PartialCheckpoint;
 pub use store::CheckpointStore;

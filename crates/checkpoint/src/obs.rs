@@ -1,0 +1,90 @@
+//! Metrics export for the checkpoint layer.
+//!
+//! The checkpoint store itself is passive — indexes are built and
+//! partial checkpoints assembled on behalf of a session — so the
+//! observability hooks here are free functions a caller invokes at the
+//! moment the corresponding artifact exists. Keeping them here (rather
+//! than in the session) pins the metric names and label schema next to
+//! the data structures they describe.
+
+use vecycle_obs::MetricsRegistry;
+
+use crate::{ChecksumIndex, PartialCheckpoint};
+
+/// Records a freshly built [`ChecksumIndex`]: bumps
+/// `checkpoint_index_builds_total{source}` and sets
+/// `checkpoint_index_entries{source}` to the number of indexed pages.
+/// `source` distinguishes where the digests came from (`"checkpoint"`
+/// for a stored image, `"partial"` for a resumed transfer).
+pub fn observe_index(metrics: &MetricsRegistry, source: &str, index: &ChecksumIndex) {
+    let labels = [("source", source)];
+    metrics.inc("checkpoint_index_builds_total", &labels, 1);
+    metrics.set_gauge(
+        "checkpoint_index_entries",
+        &labels,
+        index.total_pages() as f64,
+    );
+}
+
+/// Records a [`PartialCheckpoint`] left behind by an interrupted
+/// migration: the landed-page count feeds
+/// `checkpoint_partial_landed_pages_total` and the coverage ratio the
+/// `checkpoint_partial_coverage` gauge, so a failure sweep can show how
+/// much of an aborted leg's work the resume path gets to keep.
+pub fn observe_partial(metrics: &MetricsRegistry, partial: &PartialCheckpoint) {
+    metrics.inc(
+        "checkpoint_partial_landed_pages_total",
+        &[],
+        partial.landed_pages().as_u64(),
+    );
+    metrics.set_gauge(
+        "checkpoint_partial_coverage",
+        &[],
+        partial.coverage().as_f64(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_types::{PageDigest, VmId};
+
+    fn digest(id: u64) -> PageDigest {
+        PageDigest::from_content_id(id)
+    }
+
+    #[test]
+    fn index_export_sets_entries_gauge() {
+        let index = ChecksumIndex::build(vec![digest(1), digest(2), digest(3)]);
+        let m = MetricsRegistry::new();
+        observe_index(&m, "checkpoint", &index);
+        observe_index(&m, "checkpoint", &index);
+        assert_eq!(
+            m.counter("checkpoint_index_builds_total", &[("source", "checkpoint")]),
+            2
+        );
+        let snap = m.snapshot();
+        let entries = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "checkpoint_index_entries")
+            .unwrap();
+        assert!((entries.value - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_export_tracks_coverage() {
+        let landed = vec![Some(digest(7)), None, Some(digest(9)), None];
+        let partial = PartialCheckpoint::new(VmId::new(1), landed);
+        let m = MetricsRegistry::new();
+        observe_partial(&m, &partial);
+        assert_eq!(m.counter("checkpoint_partial_landed_pages_total", &[]), 2);
+        let snap = m.snapshot();
+        let coverage = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "checkpoint_partial_coverage")
+            .unwrap();
+        assert!((coverage.value - 0.5).abs() < 1e-12);
+    }
+}

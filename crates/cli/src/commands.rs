@@ -9,6 +9,7 @@ use vecycle_host::{Cluster, CpuSpec, MigrationSchedule};
 use vecycle_mem::workload::{GuestWorkload, IdleWorkload};
 use vecycle_mem::{DigestMemory, Guest, MemoryImage, MutableMemory, PageContent};
 use vecycle_net::LinkSpec;
+use vecycle_obs::MetricsRegistry;
 use vecycle_trace::{catalog, Trace, TraceGenerator, TraceStats};
 use vecycle_types::{HostId, PageIndex, Ratio, VmId};
 
@@ -31,6 +32,8 @@ USAGE:
 `simulate vdi` and `simulate pingpong` also accept fault injection:
   --faults seed=7,drop=0.3,degrade=0.2,corrupt=0.1,spike=0.2,crash=0.1
   --retry N              max attempts per migration (default 3)
+  --metrics-out <file>   write the run's metrics timeline as JSONL
+                         (spans + events; see DESIGN.md §10)
 
 Sizes look like 4GiB / 512MiB; machines are Table-1 names (try
 `vecycle trace list`).";
@@ -186,7 +189,9 @@ fn estimate_cmd(argv: &[String]) -> Result<(), String> {
 }
 
 /// Runs `schedule` through `session`, injecting faults when `--faults`
-/// was given, and prints the incident log. Returns the reports.
+/// was given, and prints the incident log. With `--metrics-out <file>`
+/// the run is instrumented and its timeline written as JSONL (one span
+/// or event per line). Returns the reports.
 fn run_with_optional_faults<M, W>(
     args: &Args,
     session: VeCycleSession,
@@ -199,11 +204,15 @@ where
     W: GuestWorkload<M>,
 {
     let retry: u32 = args.get_parsed("retry", 3)?;
-    let session = session.with_retry_policy(RetryPolicy::default().with_max_attempts(retry));
-    match args.get("faults") {
+    let mut session = session.with_retry_policy(RetryPolicy::default().with_max_attempts(retry));
+    let metrics = args.get("metrics-out").map(|_| MetricsRegistry::new());
+    if let Some(m) = &metrics {
+        session = session.with_metrics(m.clone());
+    }
+    let reports = match args.get("faults") {
         None => session
             .run_schedule(vm, schedule, workload)
-            .map_err(|e| e.to_string()),
+            .map_err(|e| e.to_string())?,
         Some(spec) => {
             let (fault_seed, rates) = parse_faults(spec)?;
             let plan = FaultPlan::seeded(fault_seed, &rates, schedule.len());
@@ -216,9 +225,15 @@ where
                     println!("  {e}");
                 }
             }
-            Ok(run.reports)
+            run.reports
         }
+    };
+    if let Some(m) = &metrics {
+        let path = args.get("metrics-out").expect("checked above");
+        std::fs::write(path, m.snapshot().events_jsonl()).map_err(|e| e.to_string())?;
+        println!("metrics timeline written to {path}");
     }
+    Ok(reports)
 }
 
 fn simulate_cmd(argv: &[String]) -> Result<(), String> {
@@ -497,6 +512,34 @@ mod tests {
             "seed=3,drop=0.3,degrade=0.3,spike=0.3",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_metrics_out_writes_jsonl() {
+        let dir = std::env::temp_dir().join(format!("vecycle-cli-mx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        run(&argv(&[
+            "simulate",
+            "pingpong",
+            "--ram",
+            "8MiB",
+            "--gap",
+            "1h",
+            "--count",
+            "2",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "timeline must not be empty");
+        assert!(
+            text.lines().all(|l| l.starts_with('{') && l.ends_with('}')),
+            "every line must be a JSON object"
+        );
+        assert!(text.contains("\"migration\""));
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

@@ -7,6 +7,7 @@ use vecycle_faults::{AttemptFaults, FaultCause};
 use vecycle_host::{CpuSpec, DiskSpec};
 use vecycle_mem::{workload::GuestWorkload, Guest, MemoryImage, MutableMemory};
 use vecycle_net::{wire, LinkSpec, TrafficCategory, TrafficLedger};
+use vecycle_obs::{layouts, FieldValue, MetricsRegistry, SpanId};
 use vecycle_types::{Bytes, BytesPerSec, PageCount, PageDigest, PageIndex, SimDuration};
 
 use crate::strategy::PageAction;
@@ -204,6 +205,7 @@ pub struct MigrationEngine {
     xbzrle: Option<Xbzrle>,
     threads: usize,
     precopy_time_budget: Option<SimDuration>,
+    metrics: MetricsRegistry,
 }
 
 impl MigrationEngine {
@@ -226,6 +228,7 @@ impl MigrationEngine {
             xbzrle: None,
             threads: 1,
             precopy_time_budget: None,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -339,6 +342,21 @@ impl MigrationEngine {
         self.precopy_time_budget
     }
 
+    /// Shares a metrics registry with this engine (default: a fresh
+    /// private one, so un-instrumented callers pay only a no-reader
+    /// registry). The registry is purely an observer: attaching one
+    /// never changes a single byte of any migration result.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The engine's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Estimates the similarity between `vm` and a checkpoint index by
     /// probing `samples` evenly-spaced pages — the cheap test a
     /// deployment can run before committing to checksum the whole image
@@ -417,6 +435,7 @@ impl MigrationEngine {
                 reason: "cannot migrate an empty memory image".into(),
             });
         }
+        let span = self.obs_migration_start("static", &strategy);
         let mut forward = TrafficLedger::new();
         let mut reverse = TrafficLedger::new();
         let setup = self.setup_phase(&strategy, vm.ram_size(), &mut reverse);
@@ -430,8 +449,9 @@ impl MigrationEngine {
             self.link,
             transcript,
         );
+        self.obs_round(&round1);
         let downtime = self.stop_and_copy(0, 0, &mut forward, self.link);
-        Ok(MigrationReport::new(
+        let report = MigrationReport::new(
             strategy.name(),
             vm.ram_size(),
             vec![round1],
@@ -439,7 +459,9 @@ impl MigrationEngine {
             setup,
             forward,
             reverse,
-        ))
+        );
+        self.obs_migration_end(span, &report);
+        Ok(report)
     }
 
     /// Migrates a *gang* of VMs to the same destination with a shared
@@ -476,6 +498,7 @@ impl MigrationEngine {
                     reason: "cannot migrate an empty memory image".into(),
                 });
             }
+            let span = self.obs_migration_start("gang", strategy);
             let mut forward = TrafficLedger::new();
             let mut reverse = TrafficLedger::new();
             let setup = self.setup_phase(strategy, vm.ram_size(), &mut reverse);
@@ -488,8 +511,9 @@ impl MigrationEngine {
                 self.link,
                 None,
             );
+            self.obs_round(&round1);
             let downtime = self.stop_and_copy(0, 0, &mut forward, self.link);
-            reports.push(MigrationReport::new(
+            let report = MigrationReport::new(
                 strategy.name(),
                 vm.ram_size(),
                 vec![round1],
@@ -497,7 +521,9 @@ impl MigrationEngine {
                 setup,
                 forward,
                 reverse,
-            ));
+            );
+            self.obs_migration_end(span, &report);
+            reports.push(report);
         }
         Ok(reports)
     }
@@ -568,6 +594,7 @@ impl MigrationEngine {
                 reason: "cannot migrate an empty guest".into(),
             });
         }
+        let span = self.obs_migration_start("live", &strategy);
         let mut forward = TrafficLedger::new();
         let mut reverse = TrafficLedger::new();
         let setup = self.setup_phase(&strategy, guest.ram_size(), &mut reverse);
@@ -601,20 +628,24 @@ impl MigrationEngine {
                 match walked {
                     Ok(round) => round,
                     Err(partial_time) => {
-                        return Ok(LiveOutcome::Aborted(AbortedTransfer {
+                        let wreck = AbortedTransfer {
                             cause: FaultCause::LinkFailure,
                             landed: std::mem::take(&mut tracker.landed),
                             traffic: forward.total(),
                             elapsed: partial_time,
-                        }));
+                        };
+                        self.obs_abort(span, 1, &wreck);
+                        return Ok(LiveOutcome::Aborted(wreck));
                     }
                 }
             }
         };
         let mut rounds = vec![round1];
+        self.obs_round(&rounds[0]);
         let mut elapsed = rounds[0].duration;
         workload.advance(guest, spiked_duration(faults, 1, rounds[0].duration));
         let mut dirty = guest.dirty_mut().drain();
+        self.obs_dirty(&dirty);
 
         // Iterative pre-copy: re-send dirty pages until the residual set
         // fits the downtime budget, the round limit is hit, or the
@@ -682,21 +713,61 @@ impl MigrationEngine {
                 + wire::checksum_msg() * checksums
                 + wire::dedup_ref_msg() * refs
                 + wire::zero_page_msg() * zeros;
-            forward.record_many(TrafficCategory::FullPages, full, page_msg);
-            forward.record_many(TrafficCategory::Checksums, checksums, wire::checksum_msg());
-            forward.record_many(TrafficCategory::DedupRefs, refs, wire::dedup_ref_msg());
-            forward.record_many(TrafficCategory::ZeroMarkers, zeros, wire::zero_page_msg());
+            self.rec_many(
+                &mut forward,
+                "forward",
+                TrafficCategory::FullPages,
+                full,
+                page_msg,
+            );
+            self.rec_many(
+                &mut forward,
+                "forward",
+                TrafficCategory::Checksums,
+                checksums,
+                wire::checksum_msg(),
+            );
+            self.rec_many(
+                &mut forward,
+                "forward",
+                TrafficCategory::DedupRefs,
+                refs,
+                wire::dedup_ref_msg(),
+            );
+            self.rec_many(
+                &mut forward,
+                "forward",
+                TrafficCategory::ZeroMarkers,
+                zeros,
+                wire::zero_page_msg(),
+            );
+            self.obs_pages(
+                "engine_resend_pages_total",
+                &[
+                    ("full", full),
+                    ("checksum", checksums),
+                    ("dedup_ref", refs),
+                    ("zero", zeros),
+                ],
+            );
             if aborted {
                 // Landed messages are accounted above; the control
                 // trailer never made it out.
-                return Ok(LiveOutcome::Aborted(AbortedTransfer {
+                let wreck = AbortedTransfer {
                     cause: FaultCause::LinkFailure,
                     landed: cut.expect("cut tracker armed").landed,
                     traffic: forward.total(),
                     elapsed: elapsed.saturating_add(link.transfer_time(bytes)),
-                }));
+                };
+                self.obs_abort(span, round_no, &wreck);
+                return Ok(LiveOutcome::Aborted(wreck));
             }
-            forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
+            self.rec(
+                &mut forward,
+                "forward",
+                TrafficCategory::Control,
+                Bytes::new(wire::MSG_HEADER),
+            );
             // Re-dirtied pages must be re-hashed before the index lookup.
             let checksum_cost = if strategy.computes_checksums() {
                 self.cpu
@@ -722,9 +793,11 @@ impl MigrationEngine {
                 bytes_sent: bytes,
                 duration,
             });
+            self.obs_round(rounds.last().expect("just pushed"));
             elapsed = elapsed.saturating_add(duration);
             workload.advance(guest, spiked_duration(faults, round_no, duration));
             dirty = guest.dirty_mut().drain();
+            self.obs_dirty(&dirty);
         }
 
         // Convergence verdict: did the residue genuinely fit the downtime
@@ -756,19 +829,29 @@ impl MigrationEngine {
                 }
             }
             if aborted {
-                forward.record_many(TrafficCategory::FullPages, landed_full, page_msg);
-                forward.record_many(
+                self.rec_many(
+                    &mut forward,
+                    "forward",
+                    TrafficCategory::FullPages,
+                    landed_full,
+                    page_msg,
+                );
+                self.rec_many(
+                    &mut forward,
+                    "forward",
                     TrafficCategory::ZeroMarkers,
                     landed_zeros,
                     wire::zero_page_msg(),
                 );
                 let bytes = page_msg * landed_full + wire::zero_page_msg() * landed_zeros;
-                return Ok(LiveOutcome::Aborted(AbortedTransfer {
+                let wreck = AbortedTransfer {
                     cause: FaultCause::LinkFailure,
                     landed: std::mem::take(&mut tracker.landed),
                     traffic: forward.total(),
                     elapsed: elapsed.saturating_add(link_final.transfer_time(bytes)),
-                }));
+                };
+                self.obs_abort(span, rounds.len() as u32 + 1, &wreck);
+                return Ok(LiveOutcome::Aborted(wreck));
             }
         }
         let (residue_full, residue_zeros) = self.split_zero_pages(guest, &dirty);
@@ -783,6 +866,7 @@ impl MigrationEngine {
             reverse,
         );
         report.set_converged(converged);
+        self.obs_migration_end(span, &report);
         Ok(LiveOutcome::Completed(report))
     }
 
@@ -841,7 +925,7 @@ impl MigrationEngine {
         };
         if matches!(self.exchange, ExchangeProtocol::Bulk) {
             let bytes = wire::bulk_exchange(entries);
-            reverse.record(TrafficCategory::BulkExchange, bytes);
+            self.rec(reverse, "reverse", TrafficCategory::BulkExchange, bytes);
             setup.exchange_bytes = bytes;
             setup.exchange_time = self.link.transfer_time(bytes);
         }
@@ -924,18 +1008,30 @@ impl MigrationEngine {
             }
         }
         if aborted {
-            forward.record_many(TrafficCategory::FullPages, landed.full, page_msg);
-            forward.record_many(
+            self.rec_many(
+                forward,
+                "forward",
+                TrafficCategory::FullPages,
+                landed.full,
+                page_msg,
+            );
+            self.rec_many(
+                forward,
+                "forward",
                 TrafficCategory::Checksums,
                 landed.checksums,
                 wire::checksum_msg(),
             );
-            forward.record_many(
+            self.rec_many(
+                forward,
+                "forward",
                 TrafficCategory::DedupRefs,
                 landed.refs,
                 wire::dedup_ref_msg(),
             );
-            forward.record_many(
+            self.rec_many(
+                forward,
+                "forward",
                 TrafficCategory::ZeroMarkers,
                 landed.zeros,
                 wire::zero_page_msg(),
@@ -975,15 +1071,46 @@ impl MigrationEngine {
         } = scan;
 
         let page_msg = self.full_page_wire_size();
-        forward.record_many(TrafficCategory::FullPages, full, page_msg);
-        forward.record_many(TrafficCategory::Checksums, checksums, wire::checksum_msg());
-        forward.record_many(TrafficCategory::DedupRefs, refs, wire::dedup_ref_msg());
-        forward.record_many(TrafficCategory::ZeroMarkers, zeros, wire::zero_page_msg());
-        forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
+        self.rec_many(
+            forward,
+            "forward",
+            TrafficCategory::FullPages,
+            full,
+            page_msg,
+        );
+        self.rec_many(
+            forward,
+            "forward",
+            TrafficCategory::Checksums,
+            checksums,
+            wire::checksum_msg(),
+        );
+        self.rec_many(
+            forward,
+            "forward",
+            TrafficCategory::DedupRefs,
+            refs,
+            wire::dedup_ref_msg(),
+        );
+        self.rec_many(
+            forward,
+            "forward",
+            TrafficCategory::ZeroMarkers,
+            zeros,
+            wire::zero_page_msg(),
+        );
+        self.rec(
+            forward,
+            "forward",
+            TrafficCategory::Control,
+            Bytes::new(wire::MSG_HEADER),
+        );
         // Miyakodori ships the page-reuse bitmap so the destination knows
         // which checkpoint pages stand (1 bit per page).
         if skipped > 0 {
-            forward.record(
+            self.rec(
+                forward,
+                "forward",
                 TrafficCategory::Control,
                 Bytes::new(n.div_ceil(8) + wire::MSG_HEADER),
             );
@@ -994,8 +1121,20 @@ impl MigrationEngine {
             if let ExchangeProtocol::PerPage { pipeline_depth } = self.exchange {
                 // Every scanned page costs a query/reply pair; queries
                 // pipeline `pipeline_depth` deep.
-                forward.record_many(TrafficCategory::Checksums, n, wire::page_query());
-                reverse.record_many(TrafficCategory::Control, n, wire::page_query_reply());
+                self.rec_many(
+                    forward,
+                    "forward",
+                    TrafficCategory::Checksums,
+                    n,
+                    wire::page_query(),
+                );
+                self.rec_many(
+                    reverse,
+                    "reverse",
+                    TrafficCategory::Control,
+                    n,
+                    wire::page_query_reply(),
+                );
                 let rtts = n.div_ceil(u64::from(pipeline_depth.max(1)));
                 query_time =
                     SimDuration::from_secs_f64(link.round_trip().as_secs_f64() * rtts as f64);
@@ -1086,6 +1225,16 @@ impl MigrationEngine {
                 PageAction::Skip => out.skipped += 1,
             }
         }
+        self.obs_pages(
+            "engine_scan_pages_total",
+            &[
+                ("full", out.full),
+                ("checksum", out.checksums),
+                ("dedup_ref", out.refs),
+                ("skipped", out.skipped),
+                ("zero", out.zeros),
+            ],
+        );
         out
     }
 
@@ -1182,81 +1331,115 @@ impl MigrationEngine {
         let dedup = strategy.dedup_enabled();
         let sent_view: &DedupIndex = sent;
         let round_min_view = &round_min;
-        let resolved: Vec<ScanOutcome> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| {
-                    scope.spawn(move |_| {
-                        let mut out = ScanOutcome::new(want_msgs);
-                        out.skipped = shard.skipped;
-                        for rec in &shard.records {
-                            match *rec {
-                                PreRecord::Zero(idx) => {
-                                    out.zeros += 1;
-                                    if let Some(t) = out.msgs.as_mut() {
-                                        t.push(PageMsg::Zero { idx });
-                                    }
-                                }
-                                PreRecord::Checksum(idx, digest) => {
-                                    out.checksums += 1;
-                                    if let Some(t) = out.msgs.as_mut() {
-                                        t.push(PageMsg::Checksum { idx, digest });
-                                    }
-                                }
-                                PreRecord::Candidate(idx, digest) => {
-                                    // A prior sender of this content (an
-                                    // earlier gang VM, or a lower page of
-                                    // this image) turns the candidate
-                                    // into a back-reference.
-                                    let source = if dedup {
-                                        sent_view.get(digest).or_else(|| {
-                                            let first = round_min_view[&digest];
-                                            (first < idx).then_some(first)
-                                        })
-                                    } else {
-                                        None
-                                    };
-                                    match source {
-                                        Some(source) => {
-                                            out.refs += 1;
-                                            if let Some(t) = out.msgs.as_mut() {
-                                                t.push(PageMsg::DedupRef { idx, source });
-                                            }
+        let resolved: Vec<(ScanOutcome, vecycle_obs::CounterShard)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move |_| {
+                            let mut out = ScanOutcome::new(want_msgs);
+                            let mut pages = vecycle_obs::CounterShard::default();
+                            out.skipped = shard.skipped;
+                            if shard.skipped > 0 {
+                                pages.inc(
+                                    "engine_scan_pages_total",
+                                    &[("class", "skipped")],
+                                    shard.skipped,
+                                );
+                            }
+                            for rec in &shard.records {
+                                match *rec {
+                                    PreRecord::Zero(idx) => {
+                                        out.zeros += 1;
+                                        pages.inc(
+                                            "engine_scan_pages_total",
+                                            &[("class", "zero")],
+                                            1,
+                                        );
+                                        if let Some(t) = out.msgs.as_mut() {
+                                            t.push(PageMsg::Zero { idx });
                                         }
-                                        None => {
-                                            out.full += 1;
-                                            if let Some(t) = out.msgs.as_mut() {
-                                                t.push(PageMsg::Full {
-                                                    idx,
-                                                    digest,
-                                                    bytes: vm
-                                                        .page_bytes(idx)
-                                                        .map(|b| b.to_vec().into_boxed_slice()),
-                                                });
+                                    }
+                                    PreRecord::Checksum(idx, digest) => {
+                                        out.checksums += 1;
+                                        pages.inc(
+                                            "engine_scan_pages_total",
+                                            &[("class", "checksum")],
+                                            1,
+                                        );
+                                        if let Some(t) = out.msgs.as_mut() {
+                                            t.push(PageMsg::Checksum { idx, digest });
+                                        }
+                                    }
+                                    PreRecord::Candidate(idx, digest) => {
+                                        // A prior sender of this content
+                                        // (an earlier gang VM, or a lower
+                                        // page of this image) turns the
+                                        // candidate into a back-reference.
+                                        let source = if dedup {
+                                            sent_view.get(digest).or_else(|| {
+                                                let first = round_min_view[&digest];
+                                                (first < idx).then_some(first)
+                                            })
+                                        } else {
+                                            None
+                                        };
+                                        match source {
+                                            Some(source) => {
+                                                out.refs += 1;
+                                                pages.inc(
+                                                    "engine_scan_pages_total",
+                                                    &[("class", "dedup_ref")],
+                                                    1,
+                                                );
+                                                if let Some(t) = out.msgs.as_mut() {
+                                                    t.push(PageMsg::DedupRef { idx, source });
+                                                }
+                                            }
+                                            None => {
+                                                out.full += 1;
+                                                pages.inc(
+                                                    "engine_scan_pages_total",
+                                                    &[("class", "full")],
+                                                    1,
+                                                );
+                                                if let Some(t) = out.msgs.as_mut() {
+                                                    t.push(PageMsg::Full {
+                                                        idx,
+                                                        digest,
+                                                        bytes: vm
+                                                            .page_bytes(idx)
+                                                            .map(|b| b.to_vec().into_boxed_slice()),
+                                                    });
+                                                }
                                             }
                                         }
                                     }
                                 }
                             }
-                        }
-                        out
+                            (out, pages)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("resolve worker panicked"))
-                .collect()
-        })
-        .expect("scoped resolve threads");
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("resolve worker panicked"))
+                    .collect()
+            })
+            .expect("scoped resolve threads");
 
         // Phase D: concatenate shard outcomes in page order and commit
         // this round's first-senders to the shared dedup cache (existing
         // entries — earlier gang VMs — keep priority, as they did when
         // the sequential scan inserted per page).
         let mut out = ScanOutcome::new(want_msgs);
-        for part in resolved {
+        for (part, pages) in resolved {
             out.merge(part);
+            // Counter addition commutes, so absorbing the per-worker
+            // shards in range order yields the same totals the sequential
+            // scan records — snapshots stay bit-identical across thread
+            // counts.
+            self.metrics.absorb(pages);
         }
         for (&digest, &idx) in &round_min {
             sent.insert_first(digest, idx);
@@ -1300,17 +1483,194 @@ impl MigrationEngine {
         // a guest that zeroes pages during the last round pays 13-byte
         // markers, not full pages, exactly as in the copy rounds.
         let page_msg = self.resend_page_wire_size();
-        forward.record_many(TrafficCategory::FullPages, dirty_full, page_msg);
-        forward.record_many(
+        self.rec_many(
+            forward,
+            "forward",
+            TrafficCategory::FullPages,
+            dirty_full,
+            page_msg,
+        );
+        self.rec_many(
+            forward,
+            "forward",
             TrafficCategory::ZeroMarkers,
             dirty_zeros,
             wire::zero_page_msg(),
         );
-        forward.record(TrafficCategory::Control, Bytes::new(wire::MSG_HEADER));
+        self.rec(
+            forward,
+            "forward",
+            TrafficCategory::Control,
+            Bytes::new(wire::MSG_HEADER),
+        );
+        self.obs_pages(
+            "engine_stop_copy_pages_total",
+            &[("full", dirty_full), ("zero", dirty_zeros)],
+        );
         let bytes = page_msg * dirty_full + wire::zero_page_msg() * dirty_zeros;
         // Pause, flush the residue, hand over execution: one transfer
         // plus the resume handshake.
         link.transfer_time(bytes).saturating_add(link.round_trip())
+    }
+
+    /// Records traffic in a ledger *and* in the engine-side
+    /// `engine_wire_*` counters in one step, so the two accountings
+    /// cannot drift apart at a call site. [`vecycle_net::observe_ledger`]
+    /// later exports the finished ledger into the independent `net_wire_*`
+    /// family; the invariant suite reconciles the two.
+    fn rec(
+        &self,
+        ledger: &mut TrafficLedger,
+        direction: &'static str,
+        category: TrafficCategory,
+        bytes: Bytes,
+    ) {
+        ledger.record(category, bytes);
+        self.obs_wire(direction, category, 1, bytes);
+    }
+
+    /// Bulk form of [`MigrationEngine::rec`]: `count` messages of `size`
+    /// bytes each.
+    fn rec_many(
+        &self,
+        ledger: &mut TrafficLedger,
+        direction: &'static str,
+        category: TrafficCategory,
+        count: u64,
+        size: Bytes,
+    ) {
+        ledger.record_many(category, count, size);
+        self.obs_wire(direction, category, count, size * count);
+    }
+
+    /// Bumps the engine-side wire counters; zero-message records are
+    /// skipped so the series set stays minimal (and matches the skip rule
+    /// of [`vecycle_net::observe_ledger`]).
+    fn obs_wire(&self, direction: &str, category: TrafficCategory, messages: u64, bytes: Bytes) {
+        if messages == 0 && bytes == Bytes::ZERO {
+            return;
+        }
+        let labels = [("direction", direction), ("kind", category.label())];
+        self.metrics
+            .inc("engine_wire_bytes_total", &labels, bytes.as_u64());
+        self.metrics
+            .inc("engine_wire_messages_total", &labels, messages);
+    }
+
+    /// Bumps one `{class}`-labelled page counter per nonzero class.
+    fn obs_pages(&self, name: &str, classes: &[(&str, u64)]) {
+        for &(class, count) in classes {
+            if count > 0 {
+                self.metrics.inc(name, &[("class", class)], count);
+            }
+        }
+    }
+
+    /// Opens the `migration` root span and counts the attempt.
+    fn obs_migration_start(&self, mode: &'static str, strategy: &Strategy) -> SpanId {
+        let name = strategy.name().to_string();
+        let labels = [("mode", mode), ("strategy", name.as_str())];
+        self.metrics.inc("engine_migrations_total", &labels, 1);
+        self.metrics.span_start("migration", &labels)
+    }
+
+    /// Closes the migration span with summary attributes, feeds the
+    /// per-migration histograms, and exports the completed ledgers to the
+    /// `net_wire_*` counter families — the second, independent accounting
+    /// of the same traffic.
+    fn obs_migration_end(&self, span: SpanId, report: &MigrationReport) {
+        vecycle_net::observe_ledger(&self.metrics, "forward", report.forward_ledger());
+        vecycle_net::observe_ledger(&self.metrics, "reverse", report.reverse_ledger());
+        self.metrics.observe(
+            "engine_migration_rounds",
+            &[],
+            layouts::ROUNDS,
+            report.rounds().len() as u64,
+        );
+        self.metrics.observe(
+            "engine_downtime_sim_millis",
+            &[],
+            layouts::SIM_MILLIS,
+            report.downtime().as_nanos() / 1_000_000,
+        );
+        self.metrics.span_end(
+            span,
+            &[
+                ("rounds", report.rounds().len() as u64),
+                ("forward_bytes", report.source_traffic().as_u64()),
+                ("downtime_ns", report.downtime().as_nanos()),
+            ],
+        );
+    }
+
+    /// Closes the migration span for an attempt a fault killed, leaving
+    /// an `engine_abort` event carrying the wreckage counts. The aborted
+    /// attempt's landed bytes stay in the `engine_wire_*` counters but
+    /// never reach `net_wire_*` (no completed ledger) — the difference
+    /// between the families is exactly the wasted wire traffic.
+    fn obs_abort(&self, span: SpanId, round: u32, wreck: &AbortedTransfer) {
+        self.metrics.inc("engine_aborts_total", &[], 1);
+        self.metrics.event(
+            "engine_abort",
+            &[
+                ("round", FieldValue::from(u64::from(round))),
+                (
+                    "landed_pages",
+                    FieldValue::from(wreck.landed_pages().as_u64()),
+                ),
+                ("traffic_bytes", FieldValue::from(wreck.traffic.as_u64())),
+            ],
+        );
+        self.metrics.span_end(span, &[("aborted", 1)]);
+    }
+
+    /// Counts a freshly drained dirty set.
+    fn obs_dirty(&self, dirty: &[PageIndex]) {
+        if !dirty.is_empty() {
+            self.metrics
+                .inc("engine_dirty_pages_total", &[], dirty.len() as u64);
+        }
+    }
+
+    /// Emits one completed round: a `round` span with one `page_class`
+    /// child span per nonzero class, plus the per-round histograms.
+    fn obs_round(&self, report: &RoundReport) {
+        let round = report.round.to_string();
+        let span = self
+            .metrics
+            .span_start("round", &[("round", round.as_str())]);
+        for (class, pages) in [
+            ("full", report.full_pages),
+            ("checksum", report.checksum_pages),
+            ("dedup_ref", report.dedup_refs),
+            ("skipped", report.skipped_pages),
+            ("zero", report.zero_pages),
+        ] {
+            if pages == PageCount::ZERO {
+                continue;
+            }
+            let child = self.metrics.span_start("page_class", &[("class", class)]);
+            self.metrics.span_end(child, &[("pages", pages.as_u64())]);
+        }
+        self.metrics.span_end(
+            span,
+            &[
+                ("bytes", report.bytes_sent.as_u64()),
+                ("sim_ns", report.duration.as_nanos()),
+            ],
+        );
+        self.metrics.observe(
+            "engine_round_bytes",
+            &[],
+            layouts::BYTES,
+            report.bytes_sent.as_u64(),
+        );
+        self.metrics.observe(
+            "engine_round_sim_millis",
+            &[],
+            layouts::SIM_MILLIS,
+            report.duration.as_nanos() / 1_000_000,
+        );
     }
 
     /// The link a given round experiences under the attempt's faults: a

@@ -34,6 +34,16 @@ impl MigrationOutcome {
     pub fn is_success(&self) -> bool {
         !matches!(self, MigrationOutcome::Failed { .. })
     }
+
+    /// Stable snake_case label for metrics (`…{outcome=…}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationOutcome::Completed => "completed",
+            MigrationOutcome::CompletedAfterRetries { .. } => "completed_after_retries",
+            MigrationOutcome::FellBackToFull { .. } => "fell_back_to_full",
+            MigrationOutcome::Failed { .. } => "failed",
+        }
+    }
 }
 
 impl std::fmt::Display for MigrationOutcome {

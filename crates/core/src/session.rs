@@ -9,11 +9,12 @@
 
 use std::sync::Arc;
 
-use vecycle_checkpoint::{Checkpoint, PartialCheckpoint};
+use vecycle_checkpoint::{Checkpoint, ChecksumIndex, PartialCheckpoint};
 use vecycle_faults::{FaultCause, FaultKind, FaultPlan, RetryPolicy};
 use vecycle_host::{Cluster, Host, MigrationSchedule};
 use vecycle_mem::{workload::GuestWorkload, Guest, MutableMemory};
 use vecycle_net::TrafficLedger;
+use vecycle_obs::{layouts, MetricsRegistry};
 use vecycle_types::{Bytes, Error, HostId, PageCount, SimDuration, SimTime, VmId};
 
 use crate::{
@@ -205,6 +206,25 @@ pub enum SessionEvent {
     },
 }
 
+impl SessionEvent {
+    /// Stable snake_case label for metrics (`session_events_total{event=…}`).
+    ///
+    /// Every event the session pushes also bumps the matching counter
+    /// (see `VeCycleSession::record_event`), so transcript prose and the
+    /// metrics layer can never disagree about how often something
+    /// happened.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionEvent::AttemptAborted { .. } => "attempt_aborted",
+            SessionEvent::RetryScheduled { .. } => "retry_scheduled",
+            SessionEvent::ResumedFromPartial { .. } => "resumed_from_partial",
+            SessionEvent::CorruptCheckpointDiscarded { .. } => "corrupt_checkpoint_discarded",
+            SessionEvent::CheckpointSaveLost { .. } => "checkpoint_save_lost",
+            SessionEvent::MigrationFailed { .. } => "migration_failed",
+        }
+    }
+}
+
 impl std::fmt::Display for SessionEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -357,6 +377,34 @@ impl VeCycleSession {
         &self.retry
     }
 
+    /// Shares a metrics registry with this session (and its engine).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.engine = self.engine.with_metrics(metrics);
+        self
+    }
+
+    /// The metrics registry (the engine's — session and engine always
+    /// share one, so wire counters and session counters land together).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.engine.metrics()
+    }
+
+    /// Appends a transcript event *and* bumps its typed counter in one
+    /// step — the only way session code records an incident, so the two
+    /// accountings cannot drift.
+    fn record_event(&self, events: &mut Vec<SessionEvent>, event: SessionEvent) {
+        self.metrics()
+            .inc("session_events_total", &[("event", event.kind())], 1);
+        events.push(event);
+    }
+
+    /// Observes a freshly built recycling index, passing it through.
+    fn obs_index(&self, source: &str, index: Arc<ChecksumIndex>) -> Arc<ChecksumIndex> {
+        vecycle_checkpoint::observe_index(self.metrics(), source, &index);
+        index
+    }
+
     /// The cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
@@ -383,10 +431,13 @@ impl VeCycleSession {
                 ds.remove(vm)?;
             }
             if had_mem || had_disk {
-                events.push(SessionEvent::CorruptCheckpointDiscarded {
-                    vm,
-                    host: dest.id(),
-                });
+                self.record_event(
+                    events,
+                    SessionEvent::CorruptCheckpointDiscarded {
+                        vm,
+                        host: dest.id(),
+                    },
+                );
                 return Ok(CheckpointFetch::Corrupt);
             }
             return Ok(CheckpointFetch::Missing);
@@ -407,10 +458,13 @@ impl VeCycleSession {
                 Ok(None) => {}
                 Err(Error::Corrupt { .. }) => {
                     ds.remove(vm)?;
-                    events.push(SessionEvent::CorruptCheckpointDiscarded {
-                        vm,
-                        host: dest.id(),
-                    });
+                    self.record_event(
+                        events,
+                        SessionEvent::CorruptCheckpointDiscarded {
+                            vm,
+                            host: dest.id(),
+                        },
+                    );
                     return Ok(CheckpointFetch::Corrupt);
                 }
                 Err(e) => return Err(e),
@@ -444,44 +498,62 @@ impl VeCycleSession {
             RecyclePolicy::Baseline => (Strategy::full(), None),
             RecyclePolicy::DedupOnly => match partial {
                 Some(p) => (
-                    Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup(),
+                    Strategy::vecycle_with_index(
+                        self.obs_index("partial", Arc::new(p.build_index())),
+                    )
+                    .with_dedup(),
                     None,
                 ),
                 None => (Strategy::dedup(), None),
             },
             RecyclePolicy::VeCycle => {
                 let strategy = match (&cp, partial) {
-                    (Some(cp), Some(p)) => {
-                        Strategy::vecycle_with_index(Arc::new(p.build_index_with(&cp.digests())))
-                            .with_dedup()
-                    }
-                    (Some(cp), None) => Strategy::vecycle_from_checkpoint(cp).with_dedup(),
-                    (None, Some(p)) => {
-                        Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup()
-                    }
+                    (Some(cp), Some(p)) => Strategy::vecycle_with_index(
+                        self.obs_index("merged", Arc::new(p.build_index_with(&cp.digests()))),
+                    )
+                    .with_dedup(),
+                    (Some(cp), None) => Strategy::vecycle_with_index(
+                        self.obs_index("checkpoint", Arc::new(cp.build_index())),
+                    )
+                    .with_dedup(),
+                    (None, Some(p)) => Strategy::vecycle_with_index(
+                        self.obs_index("partial", Arc::new(p.build_index())),
+                    )
+                    .with_dedup(),
                     (None, None) => Strategy::dedup(),
                 };
                 (strategy, cause)
             }
             RecyclePolicy::Adaptive { min_similarity } => match cp {
                 Some(cp) => {
-                    let index = Arc::new(cp.build_index());
+                    let index = self.obs_index("checkpoint", Arc::new(cp.build_index()));
                     let estimate =
                         MigrationEngine::estimate_similarity(vm.guest.memory(), &index, 256);
-                    if estimate.as_f64() >= min_similarity {
-                        let strategy = match partial {
-                            Some(p) => Strategy::vecycle_with_index(Arc::new(
-                                p.build_index_with(&cp.digests()),
-                            ))
-                            .with_dedup(),
-                            None => Strategy::vecycle_with_index(index).with_dedup(),
-                        };
+                    let recycle = estimate.as_f64() >= min_similarity;
+                    self.metrics()
+                        .set_gauge("session_similarity_estimate", &[], estimate.as_f64());
+                    self.metrics().inc(
+                        "session_similarity_probe_total",
+                        &[("verdict", if recycle { "recycle" } else { "fallback" })],
+                        1,
+                    );
+                    if recycle {
+                        let strategy =
+                            match partial {
+                                Some(p) => Strategy::vecycle_with_index(self.obs_index(
+                                    "merged",
+                                    Arc::new(p.build_index_with(&cp.digests())),
+                                ))
+                                .with_dedup(),
+                                None => Strategy::vecycle_with_index(index).with_dedup(),
+                            };
                         (strategy, None)
                     } else {
                         let strategy = match partial {
-                            Some(p) => {
-                                Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup()
-                            }
+                            Some(p) => Strategy::vecycle_with_index(
+                                self.obs_index("partial", Arc::new(p.build_index())),
+                            )
+                            .with_dedup(),
                             None => Strategy::dedup(),
                         };
                         (strategy, Some(FaultCause::LowSimilarity))
@@ -489,7 +561,10 @@ impl VeCycleSession {
                 }
                 None => match partial {
                     Some(p) => (
-                        Strategy::vecycle_with_index(Arc::new(p.build_index())).with_dedup(),
+                        Strategy::vecycle_with_index(
+                            self.obs_index("partial", Arc::new(p.build_index())),
+                        )
+                        .with_dedup(),
                         cause,
                     ),
                     None => (Strategy::dedup(), cause),
@@ -582,12 +657,29 @@ impl VeCycleSession {
         let inject_corrupt = plan.has(leg, |f| matches!(f, FaultKind::CheckpointCorrupt));
         let crash_on_save = plan.has(leg, |f| matches!(f, FaultKind::CrashDuringSave));
         let fetch = self.fetch_checkpoint(vm.id, &dest, inject_corrupt, events)?;
+        let fetch_result = match &fetch {
+            CheckpointFetch::Usable(_) => "hit",
+            CheckpointFetch::Missing => "miss",
+            CheckpointFetch::Corrupt => "corrupt",
+        };
+        self.metrics().inc(
+            "session_checkpoint_fetch_total",
+            &[("result", fetch_result)],
+            1,
+        );
+        // The attempts this migration makes are *derived from the metrics
+        // layer*: the counter delta across the retry loop is the one
+        // source of truth the outcome reports (the transcript's
+        // `AttemptAborted`/`RetryScheduled` counts must reconcile with it
+        // — tested in `tests/metrics_golden.rs`).
+        let attempts_before = self.metrics().counter("session_attempts_total", &[]);
 
         let mut partial: Option<PartialCheckpoint> = None;
         let mut wasted_traffic = Bytes::ZERO;
         let mut wasted_time = SimDuration::ZERO;
         let mut attempt = 1u32;
         loop {
+            self.metrics().inc("session_attempts_total", &[], 1);
             let attempt_faults = plan.for_attempt(leg, attempt);
             let (strategy, cause) = self.strategy_for(vm, &fetch, partial.as_ref());
             let strategy_name = strategy.name();
@@ -598,13 +690,20 @@ impl VeCycleSession {
                 &attempt_faults,
             )? {
                 LiveOutcome::Completed(mut report) => {
-                    let outcome = if attempt > 1 {
-                        MigrationOutcome::CompletedAfterRetries { attempts: attempt }
+                    let attempts = (self.metrics().counter("session_attempts_total", &[])
+                        - attempts_before) as u32;
+                    let outcome = if attempts > 1 {
+                        MigrationOutcome::CompletedAfterRetries { attempts }
                     } else if let Some(cause) = cause {
                         MigrationOutcome::FellBackToFull { cause }
                     } else {
                         MigrationOutcome::Completed
                     };
+                    self.metrics().inc(
+                        "session_outcomes_total",
+                        &[("outcome", outcome.label())],
+                        1,
+                    );
                     report.set_outcome(outcome);
                     report.add_waste(wasted_traffic, wasted_time);
 
@@ -617,16 +716,29 @@ impl VeCycleSession {
                         // protocol guarantees the *previous* checkpoint
                         // survives intact, so only the fresh capture is
                         // lost.
-                        events.push(SessionEvent::CheckpointSaveLost {
-                            vm: vm.id,
-                            host: source.id(),
-                        });
+                        self.metrics().inc(
+                            "session_checkpoint_saves_total",
+                            &[("result", "lost")],
+                            1,
+                        );
+                        self.record_event(
+                            events,
+                            SessionEvent::CheckpointSaveLost {
+                                vm: vm.id,
+                                host: source.id(),
+                            },
+                        );
                     } else {
                         let checkpoint = Checkpoint::capture(vm.id, now, vm.guest.memory());
                         if let Some(ds) = source.disk_store() {
                             ds.save(&checkpoint)?;
                         }
                         source.store().save(checkpoint);
+                        self.metrics().inc(
+                            "session_checkpoint_saves_total",
+                            &[("result", "saved")],
+                            1,
+                        );
                         report.setup_mut().checkpoint_write =
                             source.disk().sequential_time(vm.guest.ram_size());
                     }
@@ -636,17 +748,30 @@ impl VeCycleSession {
                 LiveOutcome::Aborted(aborted) => {
                     wasted_traffic += aborted.traffic;
                     wasted_time = wasted_time.saturating_add(aborted.elapsed);
-                    events.push(SessionEvent::AttemptAborted {
-                        vm: vm.id,
-                        attempt,
-                        cause: aborted.cause,
-                        landed: aborted.landed_pages(),
-                    });
-                    if attempt >= self.retry.max_attempts {
-                        events.push(SessionEvent::MigrationFailed {
+                    self.metrics().inc(
+                        "faults_observed_total",
+                        &[("cause", aborted.cause.label())],
+                        1,
+                    );
+                    self.record_event(
+                        events,
+                        SessionEvent::AttemptAborted {
                             vm: vm.id,
+                            attempt,
                             cause: aborted.cause,
-                        });
+                            landed: aborted.landed_pages(),
+                        },
+                    );
+                    if attempt >= self.retry.max_attempts {
+                        self.metrics()
+                            .inc("session_outcomes_total", &[("outcome", "failed")], 1);
+                        self.record_event(
+                            events,
+                            SessionEvent::MigrationFailed {
+                                vm: vm.id,
+                                cause: aborted.cause,
+                            },
+                        );
                         let mut report = MigrationReport::new(
                             strategy_name,
                             vm.guest.ram_size(),
@@ -667,11 +792,21 @@ impl VeCycleSession {
                     }
                     let next = attempt + 1;
                     let backoff = self.retry.backoff_before(next);
-                    events.push(SessionEvent::RetryScheduled {
-                        vm: vm.id,
-                        attempt: next,
-                        backoff,
-                    });
+                    self.metrics().inc("session_retries_total", &[], 1);
+                    self.metrics().observe(
+                        "session_backoff_sim_millis",
+                        &[],
+                        layouts::SIM_MILLIS,
+                        backoff.as_nanos() / 1_000_000,
+                    );
+                    self.record_event(
+                        events,
+                        SessionEvent::RetryScheduled {
+                            vm: vm.id,
+                            attempt: next,
+                            backoff,
+                        },
+                    );
                     // The guest keeps running (and dirtying pages) at the
                     // source while the session waits out the backoff.
                     workload.advance(&mut vm.guest, backoff);
@@ -680,12 +815,17 @@ impl VeCycleSession {
                         && !matches!(self.policy, RecyclePolicy::Baseline)
                         && aborted.landed_pages().as_u64() > 0
                     {
-                        events.push(SessionEvent::ResumedFromPartial {
-                            vm: vm.id,
-                            attempt: next,
-                            landed: aborted.landed_pages(),
-                        });
-                        partial = Some(PartialCheckpoint::new(vm.id, aborted.landed));
+                        self.record_event(
+                            events,
+                            SessionEvent::ResumedFromPartial {
+                                vm: vm.id,
+                                attempt: next,
+                                landed: aborted.landed_pages(),
+                            },
+                        );
+                        let resumed = PartialCheckpoint::new(vm.id, aborted.landed);
+                        vecycle_checkpoint::observe_partial(self.metrics(), &resumed);
+                        partial = Some(resumed);
                     }
                     attempt = next;
                 }
@@ -756,6 +896,7 @@ impl VeCycleSession {
         M: MutableMemory,
         W: GuestWorkload<M>,
     {
+        vecycle_faults::observe_plan(self.metrics(), plan);
         let mut reports = Vec::with_capacity(schedule.len());
         let mut events = Vec::new();
         let mut clock = SimTime::EPOCH;

@@ -41,9 +41,11 @@
 //! assert_eq!(a, b);
 //! ```
 
+mod obs;
 mod plan;
 mod retry;
 
+pub use obs::observe_plan;
 pub use plan::{AttemptFaults, DropPoint, FaultKind, FaultPlan, FaultRates};
 pub use retry::RetryPolicy;
 

@@ -1,0 +1,111 @@
+//! Metrics for fault injection: what was *planned* vs what actually
+//! *struck*.
+//!
+//! The plan side is recorded here ([`observe_plan`]); the observed side
+//! is recorded by the session layer when an attempt actually aborts or
+//! degrades (`faults_observed_total{cause=…}`). Comparing the two
+//! separates "the harness armed a fault" from "the fault bit" — e.g. a
+//! `LinkDrop` armed on a leg the schedule ended up skipping never shows
+//! up on the observed side.
+
+use vecycle_obs::MetricsRegistry;
+
+use crate::{FaultCause, FaultKind, FaultPlan};
+
+impl FaultKind {
+    /// Stable snake_case label for metrics (`faults_injected_total{kind=…}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDrop { .. } => "link_drop",
+            FaultKind::LinkDegrade { .. } => "link_degrade",
+            FaultKind::CheckpointCorrupt => "checkpoint_corrupt",
+            FaultKind::CrashDuringSave => "crash_during_save",
+            FaultKind::DirtySpike { .. } => "dirty_spike",
+        }
+    }
+}
+
+impl FaultCause {
+    /// Stable snake_case label for metrics (`faults_observed_total{cause=…}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultCause::LinkFailure => "link_failure",
+            FaultCause::CorruptCheckpoint => "corrupt_checkpoint",
+            FaultCause::LowSimilarity => "low_similarity",
+            FaultCause::NonConvergence => "non_convergence",
+        }
+    }
+}
+
+/// Records every fault the plan has armed, by kind, into
+/// `faults_injected_total{kind=…}`, plus the armed-leg count in
+/// `faults_injected_legs_total`. Call once per schedule run.
+pub fn observe_plan(metrics: &MetricsRegistry, plan: &FaultPlan) {
+    metrics.inc(
+        "faults_injected_legs_total",
+        &[],
+        plan.faulted_legs() as u64,
+    );
+    for (_leg, fault) in plan.iter() {
+        metrics.inc("faults_injected_total", &[("kind", fault.label())], 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DropPoint, FaultRates};
+    use vecycle_types::Bytes;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            FaultKind::LinkDrop {
+                after: DropPoint::Bytes(Bytes::new(1)),
+                attempts: 1
+            }
+            .label(),
+            "link_drop"
+        );
+        assert_eq!(FaultCause::NonConvergence.label(), "non_convergence");
+    }
+
+    #[test]
+    fn observe_plan_counts_by_kind() {
+        let plan = FaultPlan::none()
+            .inject(0, FaultKind::CheckpointCorrupt)
+            .inject(2, FaultKind::CheckpointCorrupt)
+            .inject(2, FaultKind::CrashDuringSave);
+        let m = MetricsRegistry::new();
+        observe_plan(&m, &plan);
+        assert_eq!(
+            m.counter("faults_injected_total", &[("kind", "checkpoint_corrupt")]),
+            2
+        );
+        assert_eq!(
+            m.counter("faults_injected_total", &[("kind", "crash_during_save")]),
+            1
+        );
+        assert_eq!(m.counter("faults_injected_legs_total", &[]), 2);
+    }
+
+    #[test]
+    fn observe_empty_plan_is_quiet() {
+        let m = MetricsRegistry::new();
+        observe_plan(&m, &FaultPlan::none());
+        assert_eq!(m.counter_total("faults_injected_total"), 0);
+    }
+
+    #[test]
+    fn seeded_plan_observation_is_deterministic() {
+        let plan = FaultPlan::seeded(9, &FaultRates::uniform(0.5), 12);
+        let m1 = MetricsRegistry::new();
+        let m2 = MetricsRegistry::new();
+        observe_plan(&m1, &plan);
+        observe_plan(&m2, &plan);
+        assert_eq!(
+            m1.snapshot().to_canonical_json(),
+            m2.snapshot().to_canonical_json()
+        );
+    }
+}

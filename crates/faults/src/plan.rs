@@ -119,6 +119,13 @@ impl FaultPlan {
         self.legs.values().filter(|v| !v.is_empty()).count()
     }
 
+    /// Every armed fault with its leg index, in ascending leg order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &FaultKind)> {
+        self.legs
+            .iter()
+            .flat_map(|(&leg, faults)| faults.iter().map(move |f| (leg, f)))
+    }
+
     /// Generates a plan for `legs` migration legs from a seed and
     /// per-fault rates. Same `(seed, rates, legs)` → same plan, always:
     /// the generator is a self-contained xorshift with a fixed draw order

@@ -14,8 +14,10 @@
 mod ledger;
 mod link;
 mod netem;
+mod obs;
 pub mod wire;
 
 pub use ledger::{TrafficCategory, TrafficLedger};
 pub use link::LinkSpec;
 pub use netem::Netem;
+pub use obs::{observe_ledger, observe_netem};

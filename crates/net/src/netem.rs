@@ -97,6 +97,21 @@ impl Netem {
         self
     }
 
+    /// The configured loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss
+    }
+
+    /// The configured extra one-way delay.
+    pub fn extra_delay(&self) -> SimDuration {
+        self.extra_delay
+    }
+
+    /// The configured rate cap, if any.
+    pub fn rate_limit(&self) -> Option<BytesPerSec> {
+        self.rate_limit
+    }
+
     /// The sustained TCP throughput under this impairment for a flow
     /// with round-trip time `rtt` (Mathis et al., CCR 1997).
     pub fn tcp_throughput(&self, rtt: SimDuration) -> Option<BytesPerSec> {

@@ -1,0 +1,124 @@
+//! Metrics export for the network layer.
+//!
+//! [`observe_ledger`] copies a finished [`TrafficLedger`] into the
+//! `net_wire_bytes_total` / `net_wire_messages_total` counter families.
+//! The engine keeps its own incremental `engine_wire_*` counters at
+//! every record site; the two families are **independent accountings of
+//! the same traffic**, so the invariant suite can reconcile them and
+//! catch double-counting at the layer boundary. They diverge only by
+//! design: the engine side includes bytes landed by attempts that later
+//! aborted, the net side only completed migrations' ledgers — the
+//! difference is exactly the wasted wire traffic.
+
+use vecycle_obs::MetricsRegistry;
+
+use crate::{Netem, TrafficCategory, TrafficLedger};
+
+impl TrafficCategory {
+    /// Stable snake_case label for metrics (`…{kind=…}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficCategory::FullPages => "full_pages",
+            TrafficCategory::Checksums => "checksums",
+            TrafficCategory::BulkExchange => "bulk_exchange",
+            TrafficCategory::DedupRefs => "dedup_refs",
+            TrafficCategory::ZeroMarkers => "zero_markers",
+            TrafficCategory::Control => "control",
+        }
+    }
+}
+
+/// Adds a completed migration's ledger to the per-category wire
+/// counters, labelled with the traffic `direction` (`"forward"` or
+/// `"reverse"`). Empty categories are skipped so the series set stays
+/// minimal and deterministic.
+pub fn observe_ledger(metrics: &MetricsRegistry, direction: &str, ledger: &TrafficLedger) {
+    for category in TrafficCategory::ALL {
+        let bytes = ledger.bytes_in(category).as_u64();
+        let messages = ledger.messages_in(category);
+        if messages == 0 && bytes == 0 {
+            continue;
+        }
+        let labels = [("direction", direction), ("kind", category.label())];
+        metrics.inc("net_wire_bytes_total", &labels, bytes);
+        metrics.inc("net_wire_messages_total", &labels, messages);
+    }
+}
+
+/// Records a netem configuration as gauges: packet-loss probability,
+/// added one-way delay (simulated milliseconds) and the rate cap in
+/// bytes/s (0 when uncapped). Loss in this simulator shapes TCP
+/// throughput via the Mathis model rather than dropping discrete
+/// packets, so the *observable* is the configured probability itself.
+pub fn observe_netem(metrics: &MetricsRegistry, scope: &str, netem: &Netem) {
+    let labels = [("scope", scope)];
+    metrics.set_gauge(
+        "net_netem_loss_probability",
+        &labels,
+        netem.loss_probability(),
+    );
+    metrics.set_gauge(
+        "net_netem_extra_delay_ms",
+        &labels,
+        netem.extra_delay().as_nanos() as f64 / 1e6,
+    );
+    metrics.set_gauge(
+        "net_netem_rate_limit_bytes_per_sec",
+        &labels,
+        netem.rate_limit().map_or(0.0, |r| r.as_f64()),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecycle_types::Bytes;
+
+    #[test]
+    fn ledger_export_matches_ledger() {
+        let mut ledger = TrafficLedger::new();
+        ledger.record_many(TrafficCategory::FullPages, 3, Bytes::from_kib(4));
+        ledger.record(TrafficCategory::Control, Bytes::new(24));
+        let m = MetricsRegistry::new();
+        observe_ledger(&m, "forward", &ledger);
+        assert_eq!(
+            m.counter(
+                "net_wire_bytes_total",
+                &[("direction", "forward"), ("kind", "full_pages")]
+            ),
+            3 * 4096
+        );
+        assert_eq!(
+            m.counter(
+                "net_wire_messages_total",
+                &[("direction", "forward"), ("kind", "control")]
+            ),
+            1
+        );
+        assert_eq!(
+            m.counter_total("net_wire_bytes_total"),
+            ledger.total().as_u64()
+        );
+        // Empty categories create no series.
+        assert_eq!(
+            m.snapshot().counters_named("net_wire_bytes_total").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn netem_gauges() {
+        let netem = Netem::new()
+            .delay(vecycle_types::SimDuration::from_millis(40))
+            .loss(0.01);
+        let m = MetricsRegistry::new();
+        observe_netem(&m, "wan", &netem);
+        let snap = m.snapshot();
+        let loss = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "net_netem_loss_probability")
+            .unwrap();
+        assert!((loss.value - 0.01).abs() < 1e-12);
+    }
+}

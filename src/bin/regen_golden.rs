@@ -1,0 +1,45 @@
+//! Regenerates the golden metrics transcripts under `tests/golden/`.
+//!
+//! Run after an *intentional* change to metric names, label schemas or
+//! instrumentation sites:
+//!
+//! ```text
+//! cargo run --bin regen_golden
+//! ```
+//!
+//! The scenarios are thread-count invariant (see `vecycle::golden`), so
+//! regenerating under any `VECYCLE_THREADS` produces identical bytes —
+//! CI runs the golden suite at 1 and 4 threads against the same files.
+
+use vecycle::golden;
+
+type Scenario = fn(usize) -> vecycle::obs::MetricsSnapshot;
+
+fn main() {
+    let threads = golden::scan_threads();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    std::fs::create_dir_all(&dir).expect("creating tests/golden");
+
+    let scenarios: [(&str, Scenario); 3] = [
+        ("idle_vm", golden::idle_vm),
+        ("update_rate_sweep", golden::update_rate_sweep),
+        ("failure_sweep", golden::failure_sweep),
+    ];
+    for (name, run) in scenarios {
+        let path = dir.join(format!("{name}.json"));
+        let json = run(threads).to_canonical_json();
+        let changed = std::fs::read_to_string(&path)
+            .map(|old| old != json)
+            .unwrap_or(true);
+        std::fs::write(&path, &json).expect("writing golden file");
+        println!(
+            "{} {} ({} bytes, {} threads)",
+            if changed { "rewrote " } else { "unchanged" },
+            path.display(),
+            json.len(),
+            threads,
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Canonical observability scenarios for the golden-transcript suite.
+//!
+//! Each function runs a fixed-seed simulation end to end and returns the
+//! [`MetricsSnapshot`] its shared registry accumulated. The snapshots
+//! are locked down byte-for-byte in `tests/metrics_golden.rs` against
+//! the JSON files under `tests/golden/`; regenerate those with
+//! `cargo run --bin regen_golden` after an *intentional* metrics change.
+//!
+//! Determinism contract: a scenario's snapshot depends only on its seed
+//! constants — never on the scan-thread count (`threads` is a pure
+//! wall-clock knob), the host wall clock, or iteration order of any
+//! unordered container. `tests/parallel_props.rs` enforces the thread
+//! half of that contract.
+
+use vecycle_core::session::{RecyclePolicy, SessionEvent, VeCycleSession, VmInstance};
+use vecycle_core::MigrationEngine;
+use vecycle_faults::{FaultPlan, FaultRates, RetryPolicy};
+use vecycle_host::{Cluster, MigrationSchedule};
+use vecycle_mem::{workload::IdleWorkload, DigestMemory, Guest};
+use vecycle_net::LinkSpec;
+use vecycle_obs::{MetricsRegistry, MetricsSnapshot};
+use vecycle_types::{Bytes, HostId, SimDuration, SimTime, VmId};
+
+/// Every scenario's VM: small enough that the suite is quick, large
+/// enough that rounds, dedup and zero suppression all fire.
+const RAM: Bytes = Bytes::from_mib(4);
+
+/// Generator seed shared by the scenarios.
+const SEED: u64 = 0x7ec;
+
+/// Scan threads from `VECYCLE_THREADS`, defaulting to 1 (sequential).
+pub fn scan_threads() -> usize {
+    std::env::var("VECYCLE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// A 2-host LAN session sharing `metrics`, scanning with `threads`.
+fn session(metrics: &MetricsRegistry, threads: usize, retry: RetryPolicy) -> VeCycleSession {
+    let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+    let engine = MigrationEngine::new(cluster.link()).with_threads(threads);
+    VeCycleSession::new(cluster)
+        .with_engine(engine)
+        .with_policy(RecyclePolicy::VeCycle)
+        .with_retry_policy(retry)
+        .with_metrics(metrics.clone())
+}
+
+/// A fresh VM placed on host 0.
+fn instance() -> VmInstance<DigestMemory> {
+    let mem = DigestMemory::with_uniform_content(RAM, SEED).expect("page-aligned RAM");
+    VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(0))
+}
+
+/// A ping-pong schedule between the two hosts, hourly legs.
+fn ping_pong(legs: u64) -> MigrationSchedule {
+    MigrationSchedule::ping_pong(
+        VmId::new(0),
+        HostId::new(0),
+        HostId::new(1),
+        SimTime::EPOCH + SimDuration::from_hours(1),
+        SimDuration::from_hours(1),
+        legs,
+    )
+}
+
+/// An idle VM hopping back and forth: the paper's best case. Four legs,
+/// a trickle of background dirtying, no faults — the snapshot captures
+/// the clean path through engine, session, checkpoint and net counters.
+pub fn idle_vm(threads: usize) -> MetricsSnapshot {
+    let metrics = MetricsRegistry::new();
+    let s = session(&metrics, threads, RetryPolicy::default());
+    let mut vm = instance();
+    // ~2% of pages touched per hour-long gap.
+    let rate = RAM.pages_ceil().as_u64() as f64 * 0.02 / 3600.0;
+    let mut workload = IdleWorkload::new(SEED ^ 1, rate);
+    s.run_schedule(&mut vm, &ping_pong(4), &mut workload)
+        .expect("clean schedule");
+    metrics.snapshot()
+}
+
+/// Three sessions at increasing guest update rates (1%, 5%, 25% of
+/// pages per gap) accumulating into one registry — the observability
+/// view of the paper's update-rate sensitivity experiment.
+pub fn update_rate_sweep(threads: usize) -> MetricsSnapshot {
+    let metrics = MetricsRegistry::new();
+    for (i, frac) in [0.01, 0.05, 0.25].into_iter().enumerate() {
+        let s = session(&metrics, threads, RetryPolicy::default());
+        let mut vm = instance();
+        let rate = RAM.pages_ceil().as_u64() as f64 * frac / 3600.0;
+        let mut workload = IdleWorkload::new(SEED.wrapping_add(i as u64), rate);
+        s.run_schedule(&mut vm, &ping_pong(2), &mut workload)
+            .expect("clean schedule");
+    }
+    metrics.snapshot()
+}
+
+/// A faulted schedule at 25% and 50% uniform fault rates, once resuming
+/// from partial checkpoints and once retrying from scratch. Returns the
+/// snapshot; [`failure_sweep_with_events`] also returns the transcript
+/// so tests can reconcile prose events against the typed counters.
+pub fn failure_sweep(threads: usize) -> MetricsSnapshot {
+    failure_sweep_with_events(threads).0
+}
+
+/// [`failure_sweep`] plus the concatenated [`SessionEvent`] transcript.
+pub fn failure_sweep_with_events(threads: usize) -> (MetricsSnapshot, Vec<SessionEvent>) {
+    let metrics = MetricsRegistry::new();
+    let mut events = Vec::new();
+    for p in [0.25, 0.5] {
+        for retry in [RetryPolicy::default(), RetryPolicy::from_scratch()] {
+            let s = session(&metrics, threads, retry);
+            let mut vm = instance();
+            let rate = RAM.pages_ceil().as_u64() as f64 * 0.05 / 3600.0;
+            let mut workload = IdleWorkload::new(SEED ^ 2, rate);
+            let schedule = ping_pong(6);
+            let plan = FaultPlan::seeded(SEED, &FaultRates::uniform(p), schedule.len());
+            let run = s
+                .run_schedule_with_faults(&mut vm, &schedule, &mut workload, &plan)
+                .expect("faults are data, not errors");
+            events.extend(run.events);
+        }
+    }
+    (metrics.snapshot(), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_repeatable() {
+        assert_eq!(
+            idle_vm(1).to_canonical_json(),
+            idle_vm(1).to_canonical_json()
+        );
+    }
+
+    #[test]
+    fn failure_sweep_observes_faults() {
+        let (snap, events) = failure_sweep_with_events(1);
+        assert!(!events.is_empty(), "50% fault rate must produce incidents");
+        assert!(snap.counter_total("faults_injected_total") > 0);
+        assert!(snap.counter_total("session_events_total") > 0);
+    }
+}

@@ -17,7 +17,11 @@
 //! * [`host`] — disks, hosts, clusters and migration schedules.
 //! * [`faults`] — deterministic fault injection and retry policies.
 //! * [`core`] — the migration engine and traffic-reduction strategies.
+//! * [`obs`] — deterministic metrics registry and span timeline.
 //! * [`analysis`] — binning, CDFs and report rendering.
+//!
+//! The [`golden`] module (in this crate) defines the fixed-seed scenarios
+//! whose metrics snapshots are locked down by the golden-transcript suite.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,9 @@ pub use vecycle_hash as hash;
 pub use vecycle_host as host;
 pub use vecycle_mem as mem;
 pub use vecycle_net as net;
+pub use vecycle_obs as obs;
 pub use vecycle_sim as sim;
 pub use vecycle_trace as trace;
 pub use vecycle_types as types;
+
+pub mod golden;

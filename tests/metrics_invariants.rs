@@ -1,0 +1,143 @@
+//! Wire-accounting invariants: the engine's incremental
+//! `engine_wire_*` counters, the net layer's ledger-derived
+//! `net_wire_*` counters and the per-report traffic ledgers are three
+//! independent accountings of the same bytes. On a clean run all three
+//! must agree exactly, per direction and message kind, for every
+//! strategy family; under faults the engine side may exceed the net
+//! side by exactly the traffic wasted on aborted attempts.
+
+use std::collections::BTreeMap;
+
+use vecycle::checkpoint::Checkpoint;
+use vecycle::core::{MigrationEngine, Strategy};
+use vecycle::mem::workload::{GuestWorkload, IdleWorkload};
+use vecycle::mem::{ByteMemory, Guest};
+use vecycle::net::LinkSpec;
+use vecycle::obs::{MetricsRegistry, MetricsSnapshot};
+use vecycle::types::{PageCount, SimDuration, SimTime, VmId};
+
+/// Folds one counter family into a `labels -> value` map so two
+/// families can be compared series-by-series.
+fn family(snap: &MetricsSnapshot, name: &str) -> BTreeMap<Vec<(String, String)>, u64> {
+    snap.counters_named(name)
+        .map(|c| (c.labels.clone(), c.value))
+        .collect()
+}
+
+/// Sums one counter family filtered to a single direction label.
+fn direction_total(snap: &MetricsSnapshot, name: &str, direction: &str) -> u64 {
+    snap.counters_named(name)
+        .filter(|c| {
+            c.labels
+                .iter()
+                .any(|(k, v)| k == "direction" && v == direction)
+        })
+        .map(|c| c.value)
+        .sum()
+}
+
+/// An aged guest plus the checkpoint its destination still holds.
+fn aged_guest(pages: u64, seed: u64) -> (Guest<ByteMemory>, Checkpoint) {
+    let mut guest = Guest::new(ByteMemory::with_distinct_content(
+        PageCount::new(pages),
+        seed,
+    ));
+    let cp = Checkpoint::capture_bytes(VmId::new(0), SimTime::EPOCH, guest.memory());
+    let mut daemons = IdleWorkload::new(seed ^ 1, 0.05);
+    daemons.advance(&mut guest, SimDuration::from_mins(30));
+    (guest, cp)
+}
+
+#[test]
+fn wire_counters_reconcile_for_every_strategy() {
+    let (guest, cp) = aged_guest(384, 41);
+    let gen_snapshot = {
+        // A snapshot taken before the daemon writes, so dirty tracking
+        // has both reusable and changed pages.
+        let fresh = Guest::new(ByteMemory::with_distinct_content(PageCount::new(384), 41));
+        fresh.generations().snapshot()
+    };
+    let strategies: Vec<(&str, Strategy)> = vec![
+        ("full", Strategy::full()),
+        ("dedup", Strategy::dedup()),
+        (
+            "dirty",
+            Strategy::miyakodori(guest.generations(), &gen_snapshot),
+        ),
+        ("vecycle", Strategy::vecycle_from_checkpoint(&cp)),
+        (
+            "vecycle+dedup",
+            Strategy::vecycle_from_checkpoint(&cp).with_dedup(),
+        ),
+    ];
+
+    for (name, strategy) in strategies {
+        let metrics = MetricsRegistry::new();
+        let engine = MigrationEngine::new(LinkSpec::lan_gigabit()).with_metrics(metrics.clone());
+        let report = engine.migrate(guest.memory(), strategy).unwrap();
+        let snap = metrics.snapshot();
+
+        // Engine-side and net-side accountings agree series-by-series:
+        // same (direction, kind) label sets, same bytes, same messages.
+        assert_eq!(
+            family(&snap, "engine_wire_bytes_total"),
+            family(&snap, "net_wire_bytes_total"),
+            "{name}: byte accounting diverged between engine and net"
+        );
+        assert_eq!(
+            family(&snap, "engine_wire_messages_total"),
+            family(&snap, "net_wire_messages_total"),
+            "{name}: message accounting diverged between engine and net"
+        );
+
+        // Both reconcile with the report's ledgers per direction.
+        assert_eq!(
+            direction_total(&snap, "engine_wire_bytes_total", "forward"),
+            report.source_traffic().as_u64(),
+            "{name}: forward bytes != report source traffic"
+        );
+        assert_eq!(
+            direction_total(&snap, "engine_wire_bytes_total", "reverse"),
+            report.reverse_traffic().as_u64(),
+            "{name}: reverse bytes != report reverse traffic"
+        );
+        assert_eq!(
+            snap.counter_total("engine_wire_bytes_total"),
+            (report.source_traffic() + report.reverse_traffic()).as_u64(),
+            "{name}: total wire bytes != report total"
+        );
+    }
+}
+
+#[test]
+fn clean_session_run_keeps_engine_and_net_in_lockstep() {
+    let snap = vecycle::golden::idle_vm(1);
+    assert_eq!(
+        family(&snap, "engine_wire_bytes_total"),
+        family(&snap, "net_wire_bytes_total"),
+    );
+    assert_eq!(
+        family(&snap, "engine_wire_messages_total"),
+        family(&snap, "net_wire_messages_total"),
+    );
+    assert!(snap.counter_total("engine_wire_bytes_total") > 0);
+}
+
+#[test]
+fn faulted_runs_diverge_by_exactly_the_wasted_traffic() {
+    let snap = vecycle::golden::failure_sweep(1);
+    let engine_bytes = snap.counter_total("engine_wire_bytes_total");
+    let net_bytes = snap.counter_total("net_wire_bytes_total");
+    assert!(
+        engine_bytes >= net_bytes,
+        "net counters only see completed migrations, so they can never \
+         exceed the engine's incremental accounting"
+    );
+    let aborted = snap.counter("session_events_total", &[("event", "attempt_aborted")]);
+    if aborted > 0 {
+        assert!(
+            engine_bytes > net_bytes,
+            "aborted attempts recorded traffic, so the accountings must differ"
+        );
+    }
+}

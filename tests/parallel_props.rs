@@ -12,6 +12,7 @@ use vecycle::faults::{AttemptFaults, DropPoint};
 use vecycle::mem::workload::SilentWorkload;
 use vecycle::mem::{DigestMemory, Guest, MemoryImage, MutableMemory, PageContent};
 use vecycle::net::LinkSpec;
+use vecycle::obs::{MetricsRegistry, MetricsSnapshot};
 use vecycle::types::{PageCount, PageIndex};
 
 /// Builds a digest-level image holding the given content ids (id 0 is
@@ -149,6 +150,104 @@ proptest! {
                 }
                 _ => prop_assert!(false, "outcome kind diverged at threads {}", threads),
             }
+        }
+    }
+
+    /// Attaching a metrics registry adds a sharded counter path to the
+    /// parallel scan; the resulting snapshot — counters, histograms and
+    /// the span timeline, serialized canonically — must still be
+    /// byte-identical for every thread count.
+    #[test]
+    fn metrics_snapshot_is_identical_across_thread_counts(
+        vm_ids in vec(0u64..24, 1..200),
+        cp_ids in vec(0u64..24, 1..200),
+        use_index in any::<bool>(),
+        use_dedup in any::<bool>(),
+    ) {
+        let vm = image(&vm_ids);
+        let cp = image(&cp_ids);
+        let base = if use_index {
+            Strategy::vecycle(&cp)
+        } else {
+            Strategy::full()
+        };
+        let strategy = if use_dedup { base.with_dedup() } else { base };
+        let snap = |threads: usize| {
+            let metrics = MetricsRegistry::new();
+            MigrationEngine::new(LinkSpec::lan_gigabit())
+                .with_threads(threads)
+                .with_metrics(metrics.clone())
+                .migrate(&vm, strategy.clone())
+                .unwrap();
+            metrics.snapshot().to_canonical_json()
+        };
+        let seq = snap(1);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(snap(threads), seq.clone(), "threads {}", threads);
+        }
+    }
+
+    /// Same property under an injected link cut: the abort path ends
+    /// spans early and records the wreck, and all of it must still be
+    /// thread-count invariant.
+    #[test]
+    fn faulted_metrics_snapshot_is_identical_across_thread_counts(
+        vm_ids in vec(0u64..24, 1..200),
+        cp_ids in vec(0u64..24, 1..200),
+        cut_frac in 0.0f64..0.9,
+    ) {
+        let cp = image(&cp_ids);
+        let strategy = Strategy::vecycle(&cp).with_dedup();
+        let faults = AttemptFaults {
+            cut_after: Some(DropPoint::RamFraction(cut_frac)),
+            ..AttemptFaults::none()
+        };
+        let snap = |threads: usize| {
+            let metrics = MetricsRegistry::new();
+            let mut guest = Guest::new(image(&vm_ids));
+            MigrationEngine::new(LinkSpec::lan_gigabit())
+                .with_threads(threads)
+                .with_metrics(metrics.clone())
+                .migrate_live_faulted(
+                    &mut guest,
+                    &mut SilentWorkload,
+                    strategy.clone(),
+                    &faults,
+                )
+                .unwrap();
+            metrics.snapshot().to_canonical_json()
+        };
+        let seq = snap(1);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(snap(threads), seq.clone(), "threads {}", threads);
+        }
+    }
+}
+
+/// The three golden scenarios — including the faulted failure sweep —
+/// produce byte-identical snapshots when re-run with the same seed and
+/// when scanned with 2, 4 or 8 threads instead of 1.
+#[test]
+fn golden_scenarios_are_thread_invariant_and_repeatable() {
+    type Scenario = fn(usize) -> MetricsSnapshot;
+    let scenarios: [(&str, Scenario); 3] = [
+        ("idle_vm", vecycle::golden::idle_vm),
+        ("update_rate_sweep", vecycle::golden::update_rate_sweep),
+        ("failure_sweep", vecycle::golden::failure_sweep),
+    ];
+    for (name, run) in scenarios {
+        let base = run(1).to_canonical_json();
+        assert_eq!(
+            run(1).to_canonical_json(),
+            base,
+            "{name}: same-seed rerun diverged"
+        );
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                run(threads).to_canonical_json(),
+                base,
+                "{name}: snapshot diverged at {threads} threads"
+            );
         }
     }
 }
