@@ -1,96 +1,24 @@
-//! [`MigrationEngine`]: the pre-copy loop with pluggable first rounds.
-
-use std::collections::HashMap;
+//! [`MigrationEngine`]: configuration plus thin drivers over the one
+//! transfer pipeline.
+//!
+//! Every public migration flavor — static, gang, live, faulted — is a
+//! policy loop over [`TransferLoop`](crate::pipeline::rounds::TransferLoop):
+//! the drivers here decide *when* to run another round or hand over;
+//! the pipeline decides what a round costs, what a fault destroys and
+//! what the observability layer sees. See [`crate::pipeline`] for the
+//! module map and the invariants.
 
 use vecycle_checkpoint::{DedupIndex, PageLookup};
-use vecycle_faults::{AttemptFaults, FaultCause};
+use vecycle_faults::AttemptFaults;
 use vecycle_host::{CpuSpec, DiskSpec};
 use vecycle_mem::{workload::GuestWorkload, Guest, MemoryImage, MutableMemory};
-use vecycle_net::{wire, LinkSpec, TrafficCategory, TrafficLedger};
-use vecycle_obs::{layouts, FieldValue, MetricsRegistry, SpanId};
-use vecycle_types::{Bytes, BytesPerSec, PageCount, PageDigest, PageIndex, SimDuration};
+use vecycle_net::LinkSpec;
+use vecycle_obs::MetricsRegistry;
+use vecycle_types::{PageCount, PageIndex, SimDuration};
 
-use crate::strategy::PageAction;
-use crate::{MigrationReport, PageMsg, RoundReport, SetupReport, Strategy, Transcript};
-
-/// What a (possibly faulted) live migration attempt produced.
-///
-/// Transient — matched and consumed immediately by the session, never
-/// stored in bulk, so the variant size gap is harmless.
-#[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)]
-pub enum LiveOutcome {
-    /// The attempt ran to handover.
-    Completed(MigrationReport),
-    /// An injected fault killed the transfer mid-flight.
-    Aborted(AbortedTransfer),
-}
-
-/// The wreckage of an aborted migration attempt: what landed at the
-/// destination before the link died, and what the attempt cost.
-///
-/// The landed map is the raw material of a
-/// [`vecycle_checkpoint::PartialCheckpoint`]; the session layer wraps it
-/// (the engine does not know VM identities).
-#[derive(Debug, Clone)]
-pub struct AbortedTransfer {
-    /// Why the attempt died.
-    pub cause: FaultCause,
-    /// Per guest page, the digest of the content that reached the
-    /// destination before the cut (page order; `None` = never arrived).
-    pub landed: Vec<Option<PageDigest>>,
-    /// Source traffic spent on the attempt (all of it wasted).
-    pub traffic: Bytes,
-    /// Time spent on the attempt before it died.
-    pub elapsed: SimDuration,
-}
-
-impl AbortedTransfer {
-    /// Pages whose content reached the destination.
-    pub fn landed_pages(&self) -> PageCount {
-        PageCount::new(self.landed.iter().filter(|d| d.is_some()).count() as u64)
-    }
-}
-
-/// Tracks the forward-path byte cursor of a doomed transfer: messages
-/// land until the cumulative payload crosses the cut point, and each
-/// landed message deposits its page's digest at the destination.
-struct CutTracker {
-    limit: u64,
-    sent: u64,
-    landed: Vec<Option<PageDigest>>,
-}
-
-impl CutTracker {
-    fn new(limit: Bytes, pages: PageCount) -> Self {
-        CutTracker {
-            limit: limit.as_u64(),
-            sent: 0,
-            landed: vec![None; pages.as_u64() as usize],
-        }
-    }
-
-    /// Accounts one message for page `idx` carrying `digest`. Returns
-    /// false (and deposits nothing) if the link dies first.
-    fn land(&mut self, bytes: Bytes, idx: PageIndex, digest: PageDigest) -> bool {
-        let next = self.sent + bytes.as_u64();
-        if next > self.limit {
-            return false;
-        }
-        self.sent = next;
-        self.landed[idx.as_usize()] = Some(digest);
-        true
-    }
-}
-
-/// Per-category landed-message counts of a partially transferred round.
-#[derive(Default)]
-struct LandedCounts {
-    full: u64,
-    checksums: u64,
-    refs: u64,
-    zeros: u64,
-}
+use crate::pipeline::rounds::{LiveOutcome, RoundMode, TransferLoop};
+use crate::pipeline::wire_costs::{DeltaCompression, Xbzrle};
+use crate::{MigrationReport, Strategy, Transcript};
 
 /// How source and destination agree on which checksums the destination
 /// holds (§3.2).
@@ -109,103 +37,25 @@ pub enum ExchangeProtocol {
     },
 }
 
-/// A delta/block-compression model for full-page payloads.
-///
-/// Svärd et al. \[24 in the paper\] show compression shrinks migration
-/// data at a CPU cost; this model captures both: payloads shrink to
-/// `ratio` of their size, and compressing competes with the wire for
-/// round time at `throughput`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DeltaCompression {
-    ratio: f64,
-    throughput: vecycle_types::BytesPerSec,
-}
-
-impl DeltaCompression {
-    /// Creates a compression model.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < ratio ≤ 1`.
-    pub fn new(ratio: f64, throughput: vecycle_types::BytesPerSec) -> Self {
-        assert!(
-            ratio > 0.0 && ratio <= 1.0,
-            "compression ratio must be in (0, 1], got {ratio}"
-        );
-        DeltaCompression { ratio, throughput }
-    }
-
-    /// The output/input size ratio.
-    pub fn ratio(&self) -> f64 {
-        self.ratio
-    }
-
-    /// Compressed wire size of a payload.
-    pub fn compress(&self, payload: Bytes) -> Bytes {
-        Bytes::new((payload.as_f64() * self.ratio).ceil() as u64)
-    }
-
-    /// CPU time to compress a payload.
-    pub fn time(&self, payload: Bytes) -> SimDuration {
-        self.throughput.time_to_transfer(payload)
-    }
-}
-
-/// QEMU-style XBZRLE delta encoding for *re-sent* pages.
-///
-/// In pre-copy rounds ≥ 2 the source re-sends pages the guest dirtied;
-/// QEMU's XBZRLE cache keeps the previously-sent version and transmits
-/// only the byte delta when the page is still cached. Modeled here as a
-/// cache hit rate and a mean delta/page size ratio.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Xbzrle {
-    hit_rate: f64,
-    delta_ratio: f64,
-}
-
-impl Xbzrle {
-    /// Creates an XBZRLE model.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless both parameters are in `[0, 1]`.
-    pub fn new(hit_rate: f64, delta_ratio: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&hit_rate) && (0.0..=1.0).contains(&delta_ratio),
-            "xbzrle parameters must be fractions: hit {hit_rate}, delta {delta_ratio}"
-        );
-        Xbzrle {
-            hit_rate,
-            delta_ratio,
-        }
-    }
-
-    /// Mean wire bytes for one re-sent page of `raw` bytes.
-    pub fn resend_bytes(&self, raw: Bytes) -> Bytes {
-        let mean = self.hit_rate * self.delta_ratio + (1.0 - self.hit_rate);
-        Bytes::new((raw.as_f64() * mean).ceil() as u64)
-    }
-}
-
 /// The migration engine: link, CPU and policy knobs.
 ///
 /// Construct with [`MigrationEngine::new`] and adjust with the `with_*`
 /// methods. The engine is stateless across migrations and can be reused.
 #[derive(Debug, Clone)]
 pub struct MigrationEngine {
-    link: LinkSpec,
-    cpu: CpuSpec,
-    dest_disk: DiskSpec,
-    algorithm: vecycle_hash::ChecksumAlgorithm,
-    exchange: ExchangeProtocol,
-    max_rounds: u32,
-    max_downtime: SimDuration,
-    zero_suppression: bool,
-    compression: Option<DeltaCompression>,
-    xbzrle: Option<Xbzrle>,
-    threads: usize,
-    precopy_time_budget: Option<SimDuration>,
-    metrics: MetricsRegistry,
+    pub(crate) link: LinkSpec,
+    pub(crate) cpu: CpuSpec,
+    pub(crate) dest_disk: DiskSpec,
+    pub(crate) algorithm: vecycle_hash::ChecksumAlgorithm,
+    pub(crate) exchange: ExchangeProtocol,
+    pub(crate) max_rounds: u32,
+    pub(crate) max_downtime: SimDuration,
+    pub(crate) zero_suppression: bool,
+    pub(crate) compression: Option<DeltaCompression>,
+    pub(crate) xbzrle: Option<Xbzrle>,
+    pub(crate) threads: usize,
+    pub(crate) precopy_time_budget: Option<SimDuration>,
+    pub(crate) metrics: MetricsRegistry,
 }
 
 impl MigrationEngine {
@@ -429,39 +279,31 @@ impl MigrationEngine {
         strategy: Strategy,
         transcript: Option<&mut Transcript>,
     ) -> vecycle_types::Result<MigrationReport> {
-        let n = vm.page_count();
-        if n == PageCount::ZERO {
+        if vm.page_count() == PageCount::ZERO {
             return Err(vecycle_types::Error::InvalidConfig {
                 reason: "cannot migrate an empty memory image".into(),
             });
         }
-        let span = self.obs_migration_start("static", &strategy);
-        let mut forward = TrafficLedger::new();
-        let mut reverse = TrafficLedger::new();
-        let setup = self.setup_phase(&strategy, vm.ram_size(), &mut reverse);
-        let mut sent = DedupIndex::new();
-        let round1 = self.first_round(
-            vm,
+        let faults = AttemptFaults::none();
+        let mut tl = TransferLoop::start(
+            self,
+            "static",
             &strategy,
-            &mut sent,
-            &mut forward,
-            &mut reverse,
-            self.link,
-            transcript,
-        );
-        self.obs_round(&round1);
-        let downtime = self.stop_and_copy(0, 0, &mut forward, self.link);
-        let report = MigrationReport::new(
-            strategy.name(),
             vm.ram_size(),
-            vec![round1],
-            downtime,
-            setup,
-            forward,
-            reverse,
+            vm.page_count(),
+            &faults,
         );
-        self.obs_migration_end(span, &report);
-        Ok(report)
+        let mut sent = DedupIndex::new();
+        let mode = match transcript {
+            Some(t) => RoundMode::Record(t),
+            None => RoundMode::Count,
+        };
+        tl.first_round(vm, &strategy, &mut sent, mode)
+            .expect("a fault-free transfer cannot abort");
+        let downtime = tl
+            .stop_copy(vm, &[])
+            .expect("a fault-free transfer cannot abort");
+        Ok(tl.complete(&strategy, vm.ram_size(), downtime, true))
     }
 
     /// Migrates a *gang* of VMs to the same destination with a shared
@@ -490,6 +332,7 @@ impl MigrationEngine {
                 ),
             });
         }
+        let faults = AttemptFaults::none();
         let mut sent = DedupIndex::new();
         let mut reports = Vec::with_capacity(vms.len());
         for (vm, strategy) in vms.iter().zip(strategies) {
@@ -498,32 +341,20 @@ impl MigrationEngine {
                     reason: "cannot migrate an empty memory image".into(),
                 });
             }
-            let span = self.obs_migration_start("gang", strategy);
-            let mut forward = TrafficLedger::new();
-            let mut reverse = TrafficLedger::new();
-            let setup = self.setup_phase(strategy, vm.ram_size(), &mut reverse);
-            let round1 = self.first_round(
-                *vm,
+            let mut tl = TransferLoop::start(
+                self,
+                "gang",
                 strategy,
-                &mut sent,
-                &mut forward,
-                &mut reverse,
-                self.link,
-                None,
-            );
-            self.obs_round(&round1);
-            let downtime = self.stop_and_copy(0, 0, &mut forward, self.link);
-            let report = MigrationReport::new(
-                strategy.name(),
                 vm.ram_size(),
-                vec![round1],
-                downtime,
-                setup,
-                forward,
-                reverse,
+                vm.page_count(),
+                &faults,
             );
-            self.obs_migration_end(span, &report);
-            reports.push(report);
+            tl.first_round(*vm, strategy, &mut sent, RoundMode::Count)
+                .expect("a fault-free transfer cannot abort");
+            let downtime = tl
+                .stop_copy(*vm, &[])
+                .expect("a fault-free transfer cannot abort");
+            reports.push(tl.complete(strategy, vm.ram_size(), downtime, true));
         }
         Ok(reports)
     }
@@ -588,1985 +419,67 @@ impl MigrationEngine {
         M: MutableMemory,
         W: GuestWorkload<M>,
     {
-        let n = guest.page_count();
-        if n == PageCount::ZERO {
+        if guest.page_count() == PageCount::ZERO {
             return Err(vecycle_types::Error::InvalidConfig {
                 reason: "cannot migrate an empty guest".into(),
             });
         }
-        let span = self.obs_migration_start("live", &strategy);
-        let mut forward = TrafficLedger::new();
-        let mut reverse = TrafficLedger::new();
-        let setup = self.setup_phase(&strategy, guest.ram_size(), &mut reverse);
-        let mut cut = faults
-            .cut_after
-            .map(|point| CutTracker::new(point.resolve(guest.ram_size()), n));
+        let mut tl = TransferLoop::start(
+            self,
+            "live",
+            &strategy,
+            guest.ram_size(),
+            guest.page_count(),
+            faults,
+        );
 
         guest.dirty_mut().clear();
         let mut sent = DedupIndex::new();
-        let link1 = self.link_for_round(1, faults);
-        let round1 = match cut.as_mut() {
-            None => self.first_round(
-                guest,
-                &strategy,
-                &mut sent,
-                &mut forward,
-                &mut reverse,
-                link1,
-                None,
-            ),
-            Some(tracker) => {
-                let walked = self.first_round_tracked(
-                    guest,
-                    &strategy,
-                    &mut sent,
-                    &mut forward,
-                    &mut reverse,
-                    link1,
-                    tracker,
-                );
-                match walked {
-                    Ok(round) => round,
-                    Err(partial_time) => {
-                        let wreck = AbortedTransfer {
-                            cause: FaultCause::LinkFailure,
-                            landed: std::mem::take(&mut tracker.landed),
-                            traffic: forward.total(),
-                            elapsed: partial_time,
-                        };
-                        self.obs_abort(span, 1, &wreck);
-                        return Ok(LiveOutcome::Aborted(wreck));
-                    }
-                }
-            }
+        let mode = if tl.cut_armed() {
+            RoundMode::Walk
+        } else {
+            RoundMode::Count
         };
-        let mut rounds = vec![round1];
-        self.obs_round(&rounds[0]);
-        let mut elapsed = rounds[0].duration;
-        workload.advance(guest, spiked_duration(faults, 1, rounds[0].duration));
+        if let Err(wreck) = tl.first_round(&*guest, &strategy, &mut sent, mode) {
+            return Ok(LiveOutcome::Aborted(wreck));
+        }
+        workload.advance(guest, tl.spiked(1, tl.last_round_duration()));
         let mut dirty = guest.dirty_mut().drain();
         self.obs_dirty(&dirty);
 
         // Iterative pre-copy: re-send dirty pages until the residual set
         // fits the downtime budget, the round limit is hit, or the
-        // pre-copy time budget runs out (convergence guard). Every
-        // resend goes back through the strategy: a guest that rewrites a
-        // page with content the destination's checkpoint already holds
-        // costs a 28-byte checksum message, not a full page (§3.1 — the
-        // re-dirtied page is classified exactly like a first-round page,
-        // minus the stale reusable-set check).
-        while rounds.len() < self.max_rounds as usize
+        // pre-copy time budget runs out (convergence guard).
+        while tl.rounds_len() < self.max_rounds as usize
             && dirty.len() as u64 > self.downtime_budget_pages()
             && self
                 .precopy_time_budget
-                .is_none_or(|budget| elapsed < budget)
+                .is_none_or(|budget| tl.elapsed() < budget)
         {
-            let round_no = rounds.len() as u32 + 1;
-            let link = self.link_for_round(round_no, faults);
-            let page_msg = self.resend_page_wire_size();
-            let mut full = 0u64;
-            let mut checksums = 0u64;
-            let mut refs = 0u64;
-            let mut zeros = 0u64;
-            let mut aborted = false;
-            // `drain` yields ascending page order, so dedup cache updates
-            // stay deterministic across runs.
-            for &idx in &dirty {
-                let digest = guest.page_digest(idx);
-                if self.zero_suppression && digest.is_zero_page() {
-                    if let Some(tracker) = cut.as_mut() {
-                        if !tracker.land(wire::zero_page_msg(), idx, digest) {
-                            aborted = true;
-                            break;
-                        }
-                    }
-                    zeros += 1;
-                    continue;
+            let round_no = tl.rounds_len() as u32 + 1;
+            match tl.resend_round(&*guest, &dirty, &strategy, &mut sent) {
+                Ok(duration) => {
+                    workload.advance(guest, tl.spiked(round_no, duration));
+                    dirty = guest.dirty_mut().drain();
+                    self.obs_dirty(&dirty);
                 }
-                let action = strategy.classify_resend(digest, &sent);
-                if let Some(tracker) = cut.as_mut() {
-                    let size = match action {
-                        PageAction::SendFull => page_msg,
-                        PageAction::SendChecksum => wire::checksum_msg(),
-                        PageAction::SendDedupRef(_) => wire::dedup_ref_msg(),
-                        PageAction::Skip => unreachable!("classify_resend never skips"),
-                    };
-                    if !tracker.land(size, idx, digest) {
-                        aborted = true;
-                        break;
-                    }
-                }
-                match action {
-                    PageAction::SendFull => {
-                        full += 1;
-                        sent.insert_first(digest, idx);
-                    }
-                    PageAction::SendChecksum => {
-                        checksums += 1;
-                        sent.insert_first(digest, idx);
-                    }
-                    PageAction::SendDedupRef(_) => refs += 1,
-                    PageAction::Skip => unreachable!("classify_resend never skips"),
-                }
+                Err(wreck) => return Ok(LiveOutcome::Aborted(wreck)),
             }
-            let bytes = page_msg * full
-                + wire::checksum_msg() * checksums
-                + wire::dedup_ref_msg() * refs
-                + wire::zero_page_msg() * zeros;
-            self.rec_many(
-                &mut forward,
-                "forward",
-                TrafficCategory::FullPages,
-                full,
-                page_msg,
-            );
-            self.rec_many(
-                &mut forward,
-                "forward",
-                TrafficCategory::Checksums,
-                checksums,
-                wire::checksum_msg(),
-            );
-            self.rec_many(
-                &mut forward,
-                "forward",
-                TrafficCategory::DedupRefs,
-                refs,
-                wire::dedup_ref_msg(),
-            );
-            self.rec_many(
-                &mut forward,
-                "forward",
-                TrafficCategory::ZeroMarkers,
-                zeros,
-                wire::zero_page_msg(),
-            );
-            self.obs_pages(
-                "engine_resend_pages_total",
-                &[
-                    ("full", full),
-                    ("checksum", checksums),
-                    ("dedup_ref", refs),
-                    ("zero", zeros),
-                ],
-            );
-            if aborted {
-                // Landed messages are accounted above; the control
-                // trailer never made it out.
-                let wreck = AbortedTransfer {
-                    cause: FaultCause::LinkFailure,
-                    landed: cut.expect("cut tracker armed").landed,
-                    traffic: forward.total(),
-                    elapsed: elapsed.saturating_add(link.transfer_time(bytes)),
-                };
-                self.obs_abort(span, round_no, &wreck);
-                return Ok(LiveOutcome::Aborted(wreck));
-            }
-            self.rec(
-                &mut forward,
-                "forward",
-                TrafficCategory::Control,
-                Bytes::new(wire::MSG_HEADER),
-            );
-            // Re-dirtied pages must be re-hashed before the index lookup.
-            let checksum_cost = if strategy.computes_checksums() {
-                self.cpu
-                    .checksum_time(self.algorithm, Bytes::from_pages(dirty.len() as u64))
-            } else {
-                SimDuration::ZERO
-            };
-            let compress_cost = match self.compression {
-                Some(c) => c.time(Bytes::from_pages(full)),
-                None => SimDuration::ZERO,
-            };
-            let duration = link
-                .transfer_time(bytes)
-                .max(checksum_cost)
-                .max(compress_cost);
-            rounds.push(RoundReport {
-                round: round_no,
-                full_pages: PageCount::new(full),
-                checksum_pages: PageCount::new(checksums),
-                dedup_refs: PageCount::new(refs),
-                skipped_pages: PageCount::ZERO,
-                zero_pages: PageCount::new(zeros),
-                bytes_sent: bytes,
-                duration,
-            });
-            self.obs_round(rounds.last().expect("just pushed"));
-            elapsed = elapsed.saturating_add(duration);
-            workload.advance(guest, spiked_duration(faults, round_no, duration));
-            dirty = guest.dirty_mut().drain();
-            self.obs_dirty(&dirty);
         }
 
         // Convergence verdict: did the residue genuinely fit the downtime
         // budget, or did a guard (round/time limit) force the handover?
         let converged = dirty.len() as u64 <= self.downtime_budget_pages();
 
-        let link_final = self.link_for_round(rounds.len() as u32 + 1, faults);
-        if let Some(tracker) = cut.as_mut() {
-            // The cut can also strike the final stop-and-copy flush.
-            let page_msg = self.resend_page_wire_size();
-            let mut landed_full = 0u64;
-            let mut landed_zeros = 0u64;
-            let mut aborted = false;
-            for &idx in &dirty {
-                let digest = guest.page_digest(idx);
-                let (size, zero) = if self.zero_suppression && digest.is_zero_page() {
-                    (wire::zero_page_msg(), true)
-                } else {
-                    (page_msg, false)
-                };
-                if !tracker.land(size, idx, digest) {
-                    aborted = true;
-                    break;
-                }
-                if zero {
-                    landed_zeros += 1;
-                } else {
-                    landed_full += 1;
-                }
-            }
-            if aborted {
-                self.rec_many(
-                    &mut forward,
-                    "forward",
-                    TrafficCategory::FullPages,
-                    landed_full,
-                    page_msg,
-                );
-                self.rec_many(
-                    &mut forward,
-                    "forward",
-                    TrafficCategory::ZeroMarkers,
-                    landed_zeros,
-                    wire::zero_page_msg(),
-                );
-                let bytes = page_msg * landed_full + wire::zero_page_msg() * landed_zeros;
-                let wreck = AbortedTransfer {
-                    cause: FaultCause::LinkFailure,
-                    landed: std::mem::take(&mut tracker.landed),
-                    traffic: forward.total(),
-                    elapsed: elapsed.saturating_add(link_final.transfer_time(bytes)),
-                };
-                self.obs_abort(span, rounds.len() as u32 + 1, &wreck);
-                return Ok(LiveOutcome::Aborted(wreck));
-            }
-        }
-        let (residue_full, residue_zeros) = self.split_zero_pages(guest, &dirty);
-        let downtime = self.stop_and_copy(residue_full, residue_zeros, &mut forward, link_final);
-        let mut report = MigrationReport::new(
-            strategy.name(),
+        let downtime = match tl.stop_copy(&*guest, &dirty) {
+            Ok(downtime) => downtime,
+            Err(wreck) => return Ok(LiveOutcome::Aborted(wreck)),
+        };
+        Ok(LiveOutcome::Completed(tl.complete(
+            &strategy,
             guest.ram_size(),
-            rounds,
             downtime,
-            setup,
-            forward,
-            reverse,
-        );
-        report.set_converged(converged);
-        self.obs_migration_end(span, &report);
-        Ok(LiveOutcome::Completed(report))
-    }
-
-    /// Splits a dirty set into (full, zero) page counts under the
-    /// current zero-suppression setting.
-    fn split_zero_pages<M: MemoryImage>(&self, vm: &M, dirty: &[PageIndex]) -> (u64, u64) {
-        if !self.zero_suppression {
-            return (dirty.len() as u64, 0);
-        }
-        let zeros = dirty
-            .iter()
-            .filter(|idx| vm.page_digest(**idx).is_zero_page())
-            .count() as u64;
-        (dirty.len() as u64 - zeros, zeros)
-    }
-
-    /// Pages the final round may still carry within the downtime target.
-    ///
-    /// Divides the downtime byte budget by the wire size a resent page
-    /// *actually* occupies: XBZRLE deltas and compressed payloads shrink
-    /// resends, so more residual pages fit the same pause — using the
-    /// uncompressed size here would stop iterating too early and then
-    /// overshoot the downtime target it was meant to respect.
-    fn downtime_budget_pages(&self) -> u64 {
-        let budget = self.link.effective_bandwidth().bytes_in(self.max_downtime);
-        budget.as_u64() / self.resend_page_wire_size().as_u64()
-    }
-
-    fn setup_phase(
-        &self,
-        strategy: &Strategy,
-        ram: Bytes,
-        reverse: &mut TrafficLedger,
-    ) -> SetupReport {
-        let Some(index) = strategy.index() else {
-            return SetupReport::default();
-        };
-        // Destination: sequential checkpoint read, hashing each block as
-        // it streams past (§3.3); the slower of disk and hash rate wins.
-        let read = self
-            .dest_disk
-            .sequential_time(ram)
-            .max(self.cpu.checksum_time(self.algorithm, ram));
-        // Sorting ~n log n digest comparisons; ~20 ns per element-move is
-        // generous for 16-byte keys.
-        let entries = index.distinct() as u64;
-        let index_build = SimDuration::from_nanos(
-            entries.max(1) * (64 - entries.max(2).leading_zeros() as u64) * 20,
-        );
-        let mut setup = SetupReport {
-            checkpoint_read: read,
-            checkpoint_write: SimDuration::ZERO,
-            index_build,
-            exchange_bytes: Bytes::ZERO,
-            exchange_time: SimDuration::ZERO,
-        };
-        if matches!(self.exchange, ExchangeProtocol::Bulk) {
-            let bytes = wire::bulk_exchange(entries);
-            self.rec(reverse, "reverse", TrafficCategory::BulkExchange, bytes);
-            setup.exchange_bytes = bytes;
-            setup.exchange_time = self.link.transfer_time(bytes);
-        }
-        setup
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn first_round<M: MemoryImage>(
-        &self,
-        vm: &M,
-        strategy: &Strategy,
-        sent: &mut DedupIndex,
-        forward: &mut TrafficLedger,
-        reverse: &mut TrafficLedger,
-        link: LinkSpec,
-        transcript: Option<&mut Transcript>,
-    ) -> RoundReport {
-        let want_msgs = transcript.is_some();
-        let mut scan = if self.threads <= 1 {
-            self.scan_sequential(vm, strategy, sent, want_msgs)
-        } else {
-            self.scan_parallel(vm, strategy, sent, want_msgs)
-        };
-        if let (Some(t), Some(msgs)) = (transcript, scan.msgs.take()) {
-            t.extend(msgs);
-        }
-        self.finish_first_round(
-            vm.page_count().as_u64(),
-            &scan,
-            strategy,
-            link,
-            forward,
-            reverse,
-        )
-    }
-
-    /// Round 1 under an armed link cut: scans exactly like
-    /// [`MigrationEngine::first_round`], then walks the message stream
-    /// against the cut point. If the round survives it is recorded
-    /// identically to the untracked path; if the link dies mid-round,
-    /// only landed messages are recorded (the control trailer never made
-    /// it out) and the `Err` carries the in-round time spent before the
-    /// cut.
-    #[allow(clippy::too_many_arguments)]
-    fn first_round_tracked<M: MemoryImage>(
-        &self,
-        vm: &M,
-        strategy: &Strategy,
-        sent: &mut DedupIndex,
-        forward: &mut TrafficLedger,
-        reverse: &mut TrafficLedger,
-        link: LinkSpec,
-        tracker: &mut CutTracker,
-    ) -> Result<RoundReport, SimDuration> {
-        // Always scan with messages: the walk needs per-page order.
-        let scan = if self.threads <= 1 {
-            self.scan_sequential(vm, strategy, sent, true)
-        } else {
-            self.scan_parallel(vm, strategy, sent, true)
-        };
-        let page_msg = self.full_page_wire_size();
-        let mut landed = LandedCounts::default();
-        let mut aborted = false;
-        for msg in scan.msgs.as_deref().expect("tracked scan records messages") {
-            let (idx, size) = match msg {
-                PageMsg::Full { idx, .. } => (*idx, page_msg),
-                PageMsg::Checksum { idx, .. } => (*idx, wire::checksum_msg()),
-                PageMsg::DedupRef { idx, .. } => (*idx, wire::dedup_ref_msg()),
-                PageMsg::Zero { idx } => (*idx, wire::zero_page_msg()),
-            };
-            if !tracker.land(size, idx, vm.page_digest(idx)) {
-                aborted = true;
-                break;
-            }
-            match msg {
-                PageMsg::Full { .. } => landed.full += 1,
-                PageMsg::Checksum { .. } => landed.checksums += 1,
-                PageMsg::DedupRef { .. } => landed.refs += 1,
-                PageMsg::Zero { .. } => landed.zeros += 1,
-            }
-        }
-        if aborted {
-            self.rec_many(
-                forward,
-                "forward",
-                TrafficCategory::FullPages,
-                landed.full,
-                page_msg,
-            );
-            self.rec_many(
-                forward,
-                "forward",
-                TrafficCategory::Checksums,
-                landed.checksums,
-                wire::checksum_msg(),
-            );
-            self.rec_many(
-                forward,
-                "forward",
-                TrafficCategory::DedupRefs,
-                landed.refs,
-                wire::dedup_ref_msg(),
-            );
-            self.rec_many(
-                forward,
-                "forward",
-                TrafficCategory::ZeroMarkers,
-                landed.zeros,
-                wire::zero_page_msg(),
-            );
-            return Err(link.transfer_time(forward.total()));
-        }
-        Ok(self.finish_first_round(
-            vm.page_count().as_u64(),
-            &scan,
-            strategy,
-            link,
-            forward,
-            reverse,
-        ))
-    }
-
-    /// Records a completed round-1 scan into the ledgers and computes its
-    /// [`RoundReport`] — shared between the clean and cut-tracked paths,
-    /// so a surviving faulted round is accounted bit-identically to a
-    /// fault-free one.
-    fn finish_first_round(
-        &self,
-        n: u64,
-        scan: &ScanOutcome,
-        strategy: &Strategy,
-        link: LinkSpec,
-        forward: &mut TrafficLedger,
-        reverse: &mut TrafficLedger,
-    ) -> RoundReport {
-        let &ScanOutcome {
-            full,
-            checksums,
-            refs,
-            skipped,
-            zeros,
-            ..
-        } = scan;
-
-        let page_msg = self.full_page_wire_size();
-        self.rec_many(
-            forward,
-            "forward",
-            TrafficCategory::FullPages,
-            full,
-            page_msg,
-        );
-        self.rec_many(
-            forward,
-            "forward",
-            TrafficCategory::Checksums,
-            checksums,
-            wire::checksum_msg(),
-        );
-        self.rec_many(
-            forward,
-            "forward",
-            TrafficCategory::DedupRefs,
-            refs,
-            wire::dedup_ref_msg(),
-        );
-        self.rec_many(
-            forward,
-            "forward",
-            TrafficCategory::ZeroMarkers,
-            zeros,
-            wire::zero_page_msg(),
-        );
-        self.rec(
-            forward,
-            "forward",
-            TrafficCategory::Control,
-            Bytes::new(wire::MSG_HEADER),
-        );
-        // Miyakodori ships the page-reuse bitmap so the destination knows
-        // which checkpoint pages stand (1 bit per page).
-        if skipped > 0 {
-            self.rec(
-                forward,
-                "forward",
-                TrafficCategory::Control,
-                Bytes::new(n.div_ceil(8) + wire::MSG_HEADER),
-            );
-        }
-
-        let mut query_time = SimDuration::ZERO;
-        if strategy.needs_exchange() {
-            if let ExchangeProtocol::PerPage { pipeline_depth } = self.exchange {
-                // Every scanned page costs a query/reply pair; queries
-                // pipeline `pipeline_depth` deep.
-                self.rec_many(
-                    forward,
-                    "forward",
-                    TrafficCategory::Checksums,
-                    n,
-                    wire::page_query(),
-                );
-                self.rec_many(
-                    reverse,
-                    "reverse",
-                    TrafficCategory::Control,
-                    n,
-                    wire::page_query_reply(),
-                );
-                let rtts = n.div_ceil(u64::from(pipeline_depth.max(1)));
-                query_time =
-                    SimDuration::from_secs_f64(link.round_trip().as_secs_f64() * rtts as f64);
-            }
-        }
-
-        let bytes = forward.total();
-        let network = link.transfer_time(bytes);
-        // §3.4: with reuse, the checksum rate bounds the round from
-        // below; checksums for all n pages are computed during round 1.
-        let checksum_cost = if strategy.computes_checksums() {
-            self.cpu.checksum_time(self.algorithm, Bytes::from_pages(n))
-        } else {
-            SimDuration::ZERO
-        };
-        let compress_cost = match self.compression {
-            Some(c) => c.time(Bytes::from_pages(full)),
-            None => SimDuration::ZERO,
-        };
-        let duration = network
-            .max(checksum_cost)
-            .max(compress_cost)
-            .saturating_add(query_time);
-
-        RoundReport {
-            round: 1,
-            full_pages: PageCount::new(full),
-            checksum_pages: PageCount::new(checksums),
-            dedup_refs: PageCount::new(refs),
-            skipped_pages: PageCount::new(skipped),
-            zero_pages: PageCount::new(zeros),
-            bytes_sent: bytes,
-            duration,
-        }
-    }
-
-    /// The reference first-round scan: one pass in page order, dedup
-    /// cache consulted and updated inline. The parallel scan is defined
-    /// as "whatever this produces".
-    fn scan_sequential<M: MemoryImage>(
-        &self,
-        vm: &M,
-        strategy: &Strategy,
-        sent: &mut DedupIndex,
-        want_msgs: bool,
-    ) -> ScanOutcome {
-        let n = vm.page_count().as_u64();
-        let mut out = ScanOutcome::new(want_msgs);
-        for i in 0..n {
-            let idx = PageIndex::new(i);
-            let digest = vm.page_digest(idx);
-            let action = strategy.classify(idx, digest, sent);
-            // Zero suppression applies whenever a payload would be sent:
-            // a 13-byte marker beats both the full page and the 28-byte
-            // checksum message. Dirty-tracking skips stay skips.
-            if self.zero_suppression && digest.is_zero_page() && action != PageAction::Skip {
-                out.zeros += 1;
-                if let Some(t) = out.msgs.as_mut() {
-                    t.push(PageMsg::Zero { idx });
-                }
-                continue;
-            }
-            match action {
-                PageAction::SendFull => {
-                    out.full += 1;
-                    sent.insert_first(digest, idx);
-                    if let Some(t) = out.msgs.as_mut() {
-                        t.push(PageMsg::Full {
-                            idx,
-                            digest,
-                            bytes: vm.page_bytes(idx).map(|b| b.to_vec().into_boxed_slice()),
-                        });
-                    }
-                }
-                PageAction::SendChecksum => {
-                    out.checksums += 1;
-                    sent.insert_first(digest, idx);
-                    if let Some(t) = out.msgs.as_mut() {
-                        t.push(PageMsg::Checksum { idx, digest });
-                    }
-                }
-                PageAction::SendDedupRef(source) => {
-                    out.refs += 1;
-                    if let Some(t) = out.msgs.as_mut() {
-                        t.push(PageMsg::DedupRef { idx, source });
-                    }
-                }
-                PageAction::Skip => out.skipped += 1,
-            }
-        }
-        self.obs_pages(
-            "engine_scan_pages_total",
-            &[
-                ("full", out.full),
-                ("checksum", out.checksums),
-                ("dedup_ref", out.refs),
-                ("skipped", out.skipped),
-                ("zero", out.zeros),
-            ],
-        );
-        out
-    }
-
-    /// The parallel first-round scan — bit-identical to
-    /// [`MigrationEngine::scan_sequential`] for any thread count.
-    ///
-    /// The image splits into `threads` contiguous page ranges. Phase A
-    /// classifies each range concurrently with [`Strategy::preclassify`],
-    /// which depends only on `(idx, digest)` — never on what was sent
-    /// earlier — recording per-shard outcomes in page order plus a
-    /// per-shard first-occurrence map over the digests that would enter
-    /// the dedup cache. Phase B merges those maps in range order, so each
-    /// digest resolves to the *lowest* page index that inserts it — the
-    /// page the sequential scan would have inserted first. Phase C then
-    /// resolves `SendFull` candidates concurrently against the
-    /// pre-existing cache and the merged map, which is exactly the state
-    /// the sequential scan would have consulted: classification outcomes
-    /// partition digests into disjoint classes (index hits always send
-    /// checksums, dirty-tracking skips never insert, suppressed zeros
-    /// never insert), so no candidate can race a checksum insert.
-    fn scan_parallel<M: MemoryImage>(
-        &self,
-        vm: &M,
-        strategy: &Strategy,
-        sent: &mut DedupIndex,
-        want_msgs: bool,
-    ) -> ScanOutcome {
-        let n = vm.page_count().as_u64();
-        let shard_len = n.div_ceil(self.threads as u64).max(1);
-        let ranges: Vec<(u64, u64)> = (0..n)
-            .step_by(shard_len as usize)
-            .map(|lo| (lo, (lo + shard_len).min(n)))
-            .collect();
-
-        // Phase A: dedup-independent classification, one shard per thread.
-        let shards: Vec<ShardScan> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(lo, hi)| {
-                    scope.spawn(move |_| {
-                        let mut shard = ShardScan {
-                            skipped: 0,
-                            records: Vec::with_capacity((hi - lo) as usize),
-                            inserts: HashMap::new(),
-                        };
-                        for i in lo..hi {
-                            let idx = PageIndex::new(i);
-                            let digest = vm.page_digest(idx);
-                            let action = strategy.preclassify(idx, digest);
-                            if self.zero_suppression
-                                && digest.is_zero_page()
-                                && action != PageAction::Skip
-                            {
-                                shard.records.push(PreRecord::Zero(idx));
-                                continue;
-                            }
-                            match action {
-                                PageAction::SendFull => {
-                                    shard.inserts.entry(digest).or_insert(idx);
-                                    shard.records.push(PreRecord::Candidate(idx, digest));
-                                }
-                                PageAction::SendChecksum => {
-                                    shard.inserts.entry(digest).or_insert(idx);
-                                    shard.records.push(PreRecord::Checksum(idx, digest));
-                                }
-                                PageAction::Skip => shard.skipped += 1,
-                                PageAction::SendDedupRef(_) => {
-                                    unreachable!("preclassify never emits dedup refs")
-                                }
-                            }
-                        }
-                        shard
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
-                .collect()
-        })
-        .expect("scoped scan threads");
-
-        // Phase B: merge shard maps in page order — the earliest range
-        // holding a digest wins, which is the global minimum index.
-        let mut round_min: HashMap<PageDigest, PageIndex> = HashMap::new();
-        for shard in &shards {
-            for (&digest, &idx) in &shard.inserts {
-                round_min.entry(digest).or_insert(idx);
-            }
-        }
-
-        // Phase C: resolve candidates against the dedup state, again one
-        // shard per thread (both maps are now read-only).
-        let dedup = strategy.dedup_enabled();
-        let sent_view: &DedupIndex = sent;
-        let round_min_view = &round_min;
-        let resolved: Vec<(ScanOutcome, vecycle_obs::CounterShard)> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| {
-                        scope.spawn(move |_| {
-                            let mut out = ScanOutcome::new(want_msgs);
-                            let mut pages = vecycle_obs::CounterShard::default();
-                            out.skipped = shard.skipped;
-                            if shard.skipped > 0 {
-                                pages.inc(
-                                    "engine_scan_pages_total",
-                                    &[("class", "skipped")],
-                                    shard.skipped,
-                                );
-                            }
-                            for rec in &shard.records {
-                                match *rec {
-                                    PreRecord::Zero(idx) => {
-                                        out.zeros += 1;
-                                        pages.inc(
-                                            "engine_scan_pages_total",
-                                            &[("class", "zero")],
-                                            1,
-                                        );
-                                        if let Some(t) = out.msgs.as_mut() {
-                                            t.push(PageMsg::Zero { idx });
-                                        }
-                                    }
-                                    PreRecord::Checksum(idx, digest) => {
-                                        out.checksums += 1;
-                                        pages.inc(
-                                            "engine_scan_pages_total",
-                                            &[("class", "checksum")],
-                                            1,
-                                        );
-                                        if let Some(t) = out.msgs.as_mut() {
-                                            t.push(PageMsg::Checksum { idx, digest });
-                                        }
-                                    }
-                                    PreRecord::Candidate(idx, digest) => {
-                                        // A prior sender of this content
-                                        // (an earlier gang VM, or a lower
-                                        // page of this image) turns the
-                                        // candidate into a back-reference.
-                                        let source = if dedup {
-                                            sent_view.get(digest).or_else(|| {
-                                                let first = round_min_view[&digest];
-                                                (first < idx).then_some(first)
-                                            })
-                                        } else {
-                                            None
-                                        };
-                                        match source {
-                                            Some(source) => {
-                                                out.refs += 1;
-                                                pages.inc(
-                                                    "engine_scan_pages_total",
-                                                    &[("class", "dedup_ref")],
-                                                    1,
-                                                );
-                                                if let Some(t) = out.msgs.as_mut() {
-                                                    t.push(PageMsg::DedupRef { idx, source });
-                                                }
-                                            }
-                                            None => {
-                                                out.full += 1;
-                                                pages.inc(
-                                                    "engine_scan_pages_total",
-                                                    &[("class", "full")],
-                                                    1,
-                                                );
-                                                if let Some(t) = out.msgs.as_mut() {
-                                                    t.push(PageMsg::Full {
-                                                        idx,
-                                                        digest,
-                                                        bytes: vm
-                                                            .page_bytes(idx)
-                                                            .map(|b| b.to_vec().into_boxed_slice()),
-                                                    });
-                                                }
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            (out, pages)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("resolve worker panicked"))
-                    .collect()
-            })
-            .expect("scoped resolve threads");
-
-        // Phase D: concatenate shard outcomes in page order and commit
-        // this round's first-senders to the shared dedup cache (existing
-        // entries — earlier gang VMs — keep priority, as they did when
-        // the sequential scan inserted per page).
-        let mut out = ScanOutcome::new(want_msgs);
-        for (part, pages) in resolved {
-            out.merge(part);
-            // Counter addition commutes, so absorbing the per-worker
-            // shards in range order yields the same totals the sequential
-            // scan records — snapshots stay bit-identical across thread
-            // counts.
-            self.metrics.absorb(pages);
-        }
-        for (&digest, &idx) in &round_min {
-            sent.insert_first(digest, idx);
-        }
-        out
-    }
-
-    /// Wire size of one full-page message after optional compression.
-    fn full_page_wire_size(&self) -> Bytes {
-        match self.compression {
-            Some(c) => {
-                let payload = c.compress(Bytes::new(vecycle_types::PAGE_SIZE));
-                Bytes::new(wire::MSG_HEADER + wire::CHECKSUM_SIZE) + payload
-            }
-            None => wire::full_page_msg(),
-        }
-    }
-
-    /// Wire size of one *re-sent* full page (rounds ≥ 2 and the final
-    /// flush): XBZRLE delta-encodes against the cached previous version
-    /// when enabled, otherwise the (possibly compressed) full-page size.
-    fn resend_page_wire_size(&self) -> Bytes {
-        match self.xbzrle {
-            Some(x) => {
-                Bytes::new(wire::MSG_HEADER + wire::CHECKSUM_SIZE)
-                    + x.resend_bytes(Bytes::new(vecycle_types::PAGE_SIZE))
-            }
-            None => self.full_page_wire_size(),
-        }
-    }
-
-    fn stop_and_copy(
-        &self,
-        dirty_full: u64,
-        dirty_zeros: u64,
-        forward: &mut TrafficLedger,
-        link: LinkSpec,
-    ) -> SimDuration {
-        // The final flush re-sends pages already transferred once, so
-        // XBZRLE applies here as well; zero-page suppression does too —
-        // a guest that zeroes pages during the last round pays 13-byte
-        // markers, not full pages, exactly as in the copy rounds.
-        let page_msg = self.resend_page_wire_size();
-        self.rec_many(
-            forward,
-            "forward",
-            TrafficCategory::FullPages,
-            dirty_full,
-            page_msg,
-        );
-        self.rec_many(
-            forward,
-            "forward",
-            TrafficCategory::ZeroMarkers,
-            dirty_zeros,
-            wire::zero_page_msg(),
-        );
-        self.rec(
-            forward,
-            "forward",
-            TrafficCategory::Control,
-            Bytes::new(wire::MSG_HEADER),
-        );
-        self.obs_pages(
-            "engine_stop_copy_pages_total",
-            &[("full", dirty_full), ("zero", dirty_zeros)],
-        );
-        let bytes = page_msg * dirty_full + wire::zero_page_msg() * dirty_zeros;
-        // Pause, flush the residue, hand over execution: one transfer
-        // plus the resume handshake.
-        link.transfer_time(bytes).saturating_add(link.round_trip())
-    }
-
-    /// Records traffic in a ledger *and* in the engine-side
-    /// `engine_wire_*` counters in one step, so the two accountings
-    /// cannot drift apart at a call site. [`vecycle_net::observe_ledger`]
-    /// later exports the finished ledger into the independent `net_wire_*`
-    /// family; the invariant suite reconciles the two.
-    fn rec(
-        &self,
-        ledger: &mut TrafficLedger,
-        direction: &'static str,
-        category: TrafficCategory,
-        bytes: Bytes,
-    ) {
-        ledger.record(category, bytes);
-        self.obs_wire(direction, category, 1, bytes);
-    }
-
-    /// Bulk form of [`MigrationEngine::rec`]: `count` messages of `size`
-    /// bytes each.
-    fn rec_many(
-        &self,
-        ledger: &mut TrafficLedger,
-        direction: &'static str,
-        category: TrafficCategory,
-        count: u64,
-        size: Bytes,
-    ) {
-        ledger.record_many(category, count, size);
-        self.obs_wire(direction, category, count, size * count);
-    }
-
-    /// Bumps the engine-side wire counters; zero-message records are
-    /// skipped so the series set stays minimal (and matches the skip rule
-    /// of [`vecycle_net::observe_ledger`]).
-    fn obs_wire(&self, direction: &str, category: TrafficCategory, messages: u64, bytes: Bytes) {
-        if messages == 0 && bytes == Bytes::ZERO {
-            return;
-        }
-        let labels = [("direction", direction), ("kind", category.label())];
-        self.metrics
-            .inc("engine_wire_bytes_total", &labels, bytes.as_u64());
-        self.metrics
-            .inc("engine_wire_messages_total", &labels, messages);
-    }
-
-    /// Bumps one `{class}`-labelled page counter per nonzero class.
-    fn obs_pages(&self, name: &str, classes: &[(&str, u64)]) {
-        for &(class, count) in classes {
-            if count > 0 {
-                self.metrics.inc(name, &[("class", class)], count);
-            }
-        }
-    }
-
-    /// Opens the `migration` root span and counts the attempt.
-    fn obs_migration_start(&self, mode: &'static str, strategy: &Strategy) -> SpanId {
-        let name = strategy.name().to_string();
-        let labels = [("mode", mode), ("strategy", name.as_str())];
-        self.metrics.inc("engine_migrations_total", &labels, 1);
-        self.metrics.span_start("migration", &labels)
-    }
-
-    /// Closes the migration span with summary attributes, feeds the
-    /// per-migration histograms, and exports the completed ledgers to the
-    /// `net_wire_*` counter families — the second, independent accounting
-    /// of the same traffic.
-    fn obs_migration_end(&self, span: SpanId, report: &MigrationReport) {
-        vecycle_net::observe_ledger(&self.metrics, "forward", report.forward_ledger());
-        vecycle_net::observe_ledger(&self.metrics, "reverse", report.reverse_ledger());
-        self.metrics.observe(
-            "engine_migration_rounds",
-            &[],
-            layouts::ROUNDS,
-            report.rounds().len() as u64,
-        );
-        self.metrics.observe(
-            "engine_downtime_sim_millis",
-            &[],
-            layouts::SIM_MILLIS,
-            report.downtime().as_nanos() / 1_000_000,
-        );
-        self.metrics.span_end(
-            span,
-            &[
-                ("rounds", report.rounds().len() as u64),
-                ("forward_bytes", report.source_traffic().as_u64()),
-                ("downtime_ns", report.downtime().as_nanos()),
-            ],
-        );
-    }
-
-    /// Closes the migration span for an attempt a fault killed, leaving
-    /// an `engine_abort` event carrying the wreckage counts. The aborted
-    /// attempt's landed bytes stay in the `engine_wire_*` counters but
-    /// never reach `net_wire_*` (no completed ledger) — the difference
-    /// between the families is exactly the wasted wire traffic.
-    fn obs_abort(&self, span: SpanId, round: u32, wreck: &AbortedTransfer) {
-        self.metrics.inc("engine_aborts_total", &[], 1);
-        self.metrics.event(
-            "engine_abort",
-            &[
-                ("round", FieldValue::from(u64::from(round))),
-                (
-                    "landed_pages",
-                    FieldValue::from(wreck.landed_pages().as_u64()),
-                ),
-                ("traffic_bytes", FieldValue::from(wreck.traffic.as_u64())),
-            ],
-        );
-        self.metrics.span_end(span, &[("aborted", 1)]);
-    }
-
-    /// Counts a freshly drained dirty set.
-    fn obs_dirty(&self, dirty: &[PageIndex]) {
-        if !dirty.is_empty() {
-            self.metrics
-                .inc("engine_dirty_pages_total", &[], dirty.len() as u64);
-        }
-    }
-
-    /// Emits one completed round: a `round` span with one `page_class`
-    /// child span per nonzero class, plus the per-round histograms.
-    fn obs_round(&self, report: &RoundReport) {
-        let round = report.round.to_string();
-        let span = self
-            .metrics
-            .span_start("round", &[("round", round.as_str())]);
-        for (class, pages) in [
-            ("full", report.full_pages),
-            ("checksum", report.checksum_pages),
-            ("dedup_ref", report.dedup_refs),
-            ("skipped", report.skipped_pages),
-            ("zero", report.zero_pages),
-        ] {
-            if pages == PageCount::ZERO {
-                continue;
-            }
-            let child = self.metrics.span_start("page_class", &[("class", class)]);
-            self.metrics.span_end(child, &[("pages", pages.as_u64())]);
-        }
-        self.metrics.span_end(
-            span,
-            &[
-                ("bytes", report.bytes_sent.as_u64()),
-                ("sim_ns", report.duration.as_nanos()),
-            ],
-        );
-        self.metrics.observe(
-            "engine_round_bytes",
-            &[],
-            layouts::BYTES,
-            report.bytes_sent.as_u64(),
-        );
-        self.metrics.observe(
-            "engine_round_sim_millis",
-            &[],
-            layouts::SIM_MILLIS,
-            report.duration.as_nanos() / 1_000_000,
-        );
-    }
-
-    /// The link a given round experiences under the attempt's faults: a
-    /// `LinkDegrade` fault multiplies bandwidth by its factor from its
-    /// onset round onward. Clean attempts always see the engine's link.
-    fn link_for_round(&self, round: u32, faults: &AttemptFaults) -> LinkSpec {
-        match faults.degrade {
-            Some((factor, from_round)) if round >= from_round => self
-                .link
-                .with_bandwidth(BytesPerSec::new(self.link.bandwidth().as_f64() * factor)),
-            _ => self.link,
-        }
-    }
-}
-
-/// The workload-advance time for a round under a possible dirty-spike
-/// fault: from the spike's onset round the guest dirties memory as if
-/// `factor`× the round duration had elapsed. Clean attempts (and rounds
-/// before the onset) pass the duration through untouched, bit-exactly.
-fn spiked_duration(faults: &AttemptFaults, round: u32, duration: SimDuration) -> SimDuration {
-    match faults.dirty_spike {
-        Some((factor, from_round)) if round >= from_round && factor > 1.0 => {
-            SimDuration::from_secs_f64(duration.as_secs_f64() * factor)
-        }
-        _ => duration,
-    }
-}
-
-/// What one first-round scan produced: per-action page counts and, when
-/// a transcript was requested, the ordered message stream.
-struct ScanOutcome {
-    full: u64,
-    checksums: u64,
-    refs: u64,
-    skipped: u64,
-    zeros: u64,
-    msgs: Option<Vec<PageMsg>>,
-}
-
-impl ScanOutcome {
-    fn new(want_msgs: bool) -> Self {
-        ScanOutcome {
-            full: 0,
-            checksums: 0,
-            refs: 0,
-            skipped: 0,
-            zeros: 0,
-            msgs: want_msgs.then(Vec::new),
-        }
-    }
-
-    /// Appends a later shard's outcome (shards arrive in page order).
-    fn merge(&mut self, part: ScanOutcome) {
-        self.full += part.full;
-        self.checksums += part.checksums;
-        self.refs += part.refs;
-        self.skipped += part.skipped;
-        self.zeros += part.zeros;
-        if let (Some(acc), Some(msgs)) = (self.msgs.as_mut(), part.msgs) {
-            acc.extend(msgs);
-        }
-    }
-}
-
-/// Phase-A result for one contiguous page range of the parallel scan.
-struct ShardScan {
-    /// Dirty-tracking skips (count only; they emit nothing).
-    skipped: u64,
-    /// Non-skipped pages in range order, awaiting dedup resolution.
-    records: Vec<PreRecord>,
-    /// Digest → lowest in-range page that would insert it into the dedup
-    /// cache (both full-page candidates and checksum announcements).
-    inserts: HashMap<PageDigest, PageIndex>,
-}
-
-/// A page's dedup-independent classification, before `SendFull`
-/// candidates are resolved into full pages or back-references.
-enum PreRecord {
-    /// Suppressed all-zero page.
-    Zero(PageIndex),
-    /// Checkpoint-index hit: sends a checksum message unconditionally.
-    Checksum(PageIndex, PageDigest),
-    /// Would send in full; may become a dedup ref in phase C.
-    Candidate(PageIndex, PageDigest),
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use vecycle_mem::{
-        workload::{IdleWorkload, SilentWorkload},
-        DigestMemory, PageContent,
-    };
-
-    fn mem(mib: u64, seed: u64) -> DigestMemory {
-        DigestMemory::with_uniform_content(Bytes::from_mib(mib), seed).unwrap()
-    }
-
-    #[test]
-    fn full_migration_sends_whole_ram() {
-        let vm = mem(16, 1);
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let r = engine.migrate(&vm, Strategy::full()).unwrap();
-        assert_eq!(r.pages_sent_full(), vm.page_count());
-        // Traffic is RAM plus per-page framing.
-        assert!(r.source_traffic() > vm.ram_size());
-        let overhead = r.source_traffic().as_f64() / vm.ram_size().as_f64();
-        assert!(overhead < 1.01, "framing overhead too large: {overhead}");
-        assert_eq!(r.reverse_traffic(), Bytes::ZERO);
-    }
-
-    #[test]
-    fn identical_checkpoint_reduces_traffic_by_two_orders() {
-        let vm = mem(16, 1);
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let r = engine
-            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
-            .unwrap();
-        assert_eq!(r.pages_sent_full(), PageCount::ZERO);
-        assert_eq!(r.pages_reused(), vm.page_count());
-        // 28 bytes replace 4124: ~99% reduction (paper: 1 GB -> 15 MB).
-        let frac = r.traffic_fraction_of_ram().as_f64();
-        assert!(frac < 0.01, "fraction = {frac}");
-    }
-
-    #[test]
-    fn lan_times_match_figure_6() {
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        // Full migration of 1 GiB: "around 10 seconds".
-        let vm1 = mem(1024, 2);
-        let full = engine.migrate(&vm1, Strategy::full()).unwrap();
-        let t = full.total_time().as_secs_f64();
-        assert!(t > 8.0 && t < 11.0, "full 1 GiB took {t}");
-        // VeCycle on an idle VM: checksum-rate bound, ~3 s.
-        let re = engine
-            .migrate(&vm1, Strategy::vecycle(&vm1.snapshot()))
-            .unwrap();
-        let t = re.total_time().as_secs_f64();
-        assert!(t > 2.5 && t < 3.5, "vecycle 1 GiB took {t}");
-    }
-
-    #[test]
-    fn wan_reduction_is_dramatic() {
-        let engine = MigrationEngine::new(LinkSpec::wan_cloudnet());
-        let vm = mem(1024, 3);
-        let full = engine.migrate(&vm, Strategy::full()).unwrap();
-        let re = engine
-            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
-            .unwrap();
-        // Paper: 177 s -> 16 s for 1 GiB.
-        let tf = full.total_time().as_secs_f64();
-        let tr = re.total_time().as_secs_f64();
-        assert!(tf > 150.0, "full WAN took {tf}");
-        assert!(tr < 25.0, "vecycle WAN took {tr}");
-    }
-
-    #[test]
-    fn dedup_reduces_traffic_on_duplicated_memory() {
-        // Half the pages duplicate the other half.
-        let mut vm = mem(8, 4);
-        let n = vm.page_count().as_u64();
-        for i in 0..n / 2 {
-            vm.relocate_page(PageIndex::new(i), PageIndex::new(i + n / 2));
-        }
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let full = engine.migrate(&vm, Strategy::full()).unwrap();
-        let dedup = engine.migrate(&vm, Strategy::dedup()).unwrap();
-        assert!(dedup.source_traffic().as_f64() < full.source_traffic().as_f64() * 0.55);
-        let r = dedup.rounds()[0].dedup_refs;
-        assert_eq!(r, PageCount::new(n / 2));
-    }
-
-    #[test]
-    fn partial_overlap_scales_traffic() {
-        // 25% of pages changed since checkpoint: traffic ≈ 25% of full.
-        let vm0 = mem(16, 5);
-        let mut vm = vm0.snapshot();
-        let n = vm.page_count().as_u64();
-        for i in 0..n / 4 {
-            vm.write_page(PageIndex::new(i * 4), PageContent::ContentId(1 << 50 | i));
-        }
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let r = engine.migrate(&vm, Strategy::vecycle(&vm0)).unwrap();
-        let frac = r.traffic_fraction_of_ram().as_f64();
-        assert!((frac - 0.25).abs() < 0.02, "fraction = {frac}");
-    }
-
-    #[test]
-    fn live_migration_with_idle_workload_converges() {
-        let mut guest = Guest::new(mem(8, 6));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let mut wl = IdleWorkload::new(7, 50.0);
-        let r = engine
-            .migrate_live(&mut guest, &mut wl, Strategy::full())
-            .unwrap();
-        assert!(!r.rounds().is_empty());
-        assert!(r.downtime() <= SimDuration::from_millis(400));
-        // All of RAM went over plus the dirty residue.
-        assert!(r.pages_sent_full() >= guest.page_count());
-    }
-
-    #[test]
-    fn live_migration_silent_workload_is_single_round() {
-        let mut guest = Guest::new(mem(4, 8));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let r = engine
-            .migrate_live(&mut guest, &mut SilentWorkload, Strategy::full())
-            .unwrap();
-        assert_eq!(r.rounds().len(), 1);
-        assert_eq!(r.pages_sent_full(), guest.page_count());
-    }
-
-    #[test]
-    fn round_limit_bounds_busy_guests() {
-        let mut guest = Guest::new(mem(4, 9));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit()).with_max_rounds(3);
-        // Very hot workload that would never converge.
-        let mut wl = IdleWorkload::new(10, 200_000.0);
-        let r = engine
-            .migrate_live(&mut guest, &mut wl, Strategy::full())
-            .unwrap();
-        assert!(r.rounds().len() <= 3);
-        assert!(r.downtime() > SimDuration::ZERO);
-    }
-
-    #[test]
-    fn per_page_protocol_is_slower_but_skips_bulk_exchange() {
-        let vm = mem(16, 11);
-        let cp = vm.snapshot();
-        let bulk = MigrationEngine::new(LinkSpec::wan_cloudnet());
-        let perpage = MigrationEngine::new(LinkSpec::wan_cloudnet())
-            .with_exchange(ExchangeProtocol::PerPage { pipeline_depth: 16 });
-        let rb = bulk.migrate(&vm, Strategy::vecycle(&cp)).unwrap();
-        let rp = perpage.migrate(&vm, Strategy::vecycle(&cp)).unwrap();
-        assert!(rp.total_time() > rb.total_time() * 5);
-        assert!(!rb.setup().exchange_bytes.is_zero());
-        assert!(rp.setup().exchange_bytes.is_zero());
-    }
-
-    #[test]
-    fn xbzrle_shrinks_resend_rounds() {
-        let run = |engine: MigrationEngine| {
-            let mut guest = Guest::new(mem(8, 40));
-            let mut wl = IdleWorkload::new(41, 30_000.0);
-            engine
-                .migrate_live(&mut guest, &mut wl, Strategy::full())
-                .unwrap()
-        };
-        // A 1 ms downtime target forces genuine re-send rounds.
-        let plain = run(MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_max_rounds(4)
-            .with_max_downtime(SimDuration::from_millis(1)));
-        let xb = run(MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_max_rounds(4)
-            .with_max_downtime(SimDuration::from_millis(1))
-            .with_xbzrle(Xbzrle::new(0.9, 0.1)));
-        // Round 1 is identical; later rounds carry deltas instead of
-        // full pages.
-        assert!(xb.source_traffic() < plain.source_traffic());
-        assert_eq!(xb.rounds()[0].bytes_sent, plain.rounds()[0].bytes_sent);
-        if xb.rounds().len() > 1 && plain.rounds().len() > 1 {
-            let per_page_xb = xb.rounds()[1].bytes_sent.as_f64()
-                / xb.rounds()[1].full_pages.as_u64().max(1) as f64;
-            let per_page_plain = plain.rounds()[1].bytes_sent.as_f64()
-                / plain.rounds()[1].full_pages.as_u64().max(1) as f64;
-            assert!(per_page_xb < per_page_plain * 0.3);
-        }
-    }
-
-    #[test]
-    fn similarity_estimator_tracks_truth() {
-        let base = mem(16, 42);
-        let mut vm = base.snapshot();
-        let n = vm.page_count().as_u64();
-        for i in 0..n / 2 {
-            vm.write_page(PageIndex::new(i * 2), PageContent::ContentId((1 << 59) | i));
-        }
-        let index = vecycle_checkpoint::ChecksumIndex::build(base.digests());
-        let est = MigrationEngine::estimate_similarity(&vm, &index, 512).as_f64();
-        assert!((est - 0.5).abs() < 0.1, "estimate = {est}");
-        // Extremes.
-        assert_eq!(
-            MigrationEngine::estimate_similarity(&base, &index, 64).as_f64(),
-            1.0
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "xbzrle parameters")]
-    fn invalid_xbzrle_panics() {
-        let _ = Xbzrle::new(1.5, 0.1);
-    }
-
-    #[test]
-    fn gang_migration_dedups_across_vms() {
-        // Two VMs sharing most content (e.g. same guest OS image).
-        let a = mem(8, 30);
-        let mut b = a.snapshot();
-        let n = b.page_count().as_u64();
-        for i in 0..n / 10 {
-            b.write_page(PageIndex::new(i), PageContent::ContentId((1 << 55) | i));
-        }
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let gang = engine
-            .migrate_gang(&[&a, &b], &[Strategy::dedup(), Strategy::dedup()])
-            .unwrap();
-        let solo_b = engine.migrate(&b, Strategy::dedup()).unwrap();
-        // Solo, B sends nearly everything; in the gang, 90% of B's pages
-        // were already sent by A and collapse to references.
-        assert!(gang[1].source_traffic().as_f64() < solo_b.source_traffic().as_f64() * 0.2);
-        // A itself pays full price either way.
-        let solo_a = engine.migrate(&a, Strategy::dedup()).unwrap();
-        assert_eq!(gang[0].source_traffic(), solo_a.source_traffic());
-    }
-
-    #[test]
-    fn gang_without_dedup_gains_nothing() {
-        let a = mem(4, 31);
-        let b = a.snapshot();
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let gang = engine
-            .migrate_gang(&[&a, &b], &[Strategy::full(), Strategy::full()])
-            .unwrap();
-        let solo = engine.migrate(&b, Strategy::full()).unwrap();
-        assert_eq!(gang[1].source_traffic(), solo.source_traffic());
-    }
-
-    #[test]
-    fn gang_combines_per_vm_checkpoints_with_shared_dedup() {
-        // Each VM has its own checkpoint at the destination *and* the
-        // gang shares a dedup cache: novel-but-shared content crosses
-        // once.
-        let a0 = mem(4, 33);
-        let mut a1 = a0.snapshot();
-        let b0 = mem(4, 34);
-        let mut b1 = b0.snapshot();
-        let n = a1.page_count().as_u64();
-        // Both VMs gain the *same* novel content (e.g. a software
-        // update applied to both).
-        for i in 0..n / 4 {
-            let content = PageContent::ContentId((1 << 53) | i);
-            a1.write_page(PageIndex::new(i), content);
-            b1.write_page(PageIndex::new(i), content);
-        }
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let strategies = vec![
-            Strategy::vecycle(&a0).with_dedup(),
-            Strategy::vecycle(&b0).with_dedup(),
-        ];
-        let gang = engine.migrate_gang(&[&a1, &b1], &strategies).unwrap();
-        // VM a pays for the novel quarter once...
-        assert_eq!(gang[0].pages_sent_full(), PageCount::new(n / 4));
-        // ...and VM b references it all: zero full pages.
-        assert_eq!(gang[1].pages_sent_full(), PageCount::ZERO);
-        assert_eq!(gang[1].rounds()[0].dedup_refs, PageCount::new(n / 4));
-    }
-
-    #[test]
-    fn gang_validates_inputs() {
-        let a = mem(4, 32);
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        assert!(engine.migrate_gang::<DigestMemory>(&[], &[]).is_err());
-        assert!(engine.migrate_gang(&[&a], &[]).is_err());
-    }
-
-    #[test]
-    fn empty_image_is_rejected() {
-        let vm = DigestMemory::zeroed(PageCount::ZERO);
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        assert!(engine.migrate(&vm, Strategy::full()).is_err());
-    }
-
-    #[test]
-    fn zero_pages_are_suppressed_by_default() {
-        // A freshly booted guest is mostly zeros; QEMU (and thus the
-        // baseline) ships markers, not pages.
-        let vm = DigestMemory::zeroed(PageCount::new(1024));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let r = engine.migrate(&vm, Strategy::full()).unwrap();
-        assert_eq!(r.pages_sent_full(), PageCount::ZERO);
-        assert_eq!(r.zero_pages(), PageCount::new(1024));
-        assert!(r.source_traffic() < Bytes::from_kib(16));
-    }
-
-    #[test]
-    fn zero_suppression_can_be_disabled() {
-        let vm = DigestMemory::zeroed(PageCount::new(256));
-        let engine =
-            MigrationEngine::new(LinkSpec::lan_gigabit()).with_zero_page_suppression(false);
-        let r = engine.migrate(&vm, Strategy::full()).unwrap();
-        assert_eq!(r.pages_sent_full(), PageCount::new(256));
-        assert_eq!(r.zero_pages(), PageCount::ZERO);
-    }
-
-    #[test]
-    fn zero_marker_beats_checksum_message_under_vecycle() {
-        // Zero pages present in the checkpoint could go as 28-byte
-        // checksum messages; the 13-byte marker wins instead.
-        let vm = DigestMemory::zeroed(PageCount::new(128));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let r = engine
-            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
-            .unwrap();
-        assert_eq!(r.zero_pages(), PageCount::new(128));
-        assert_eq!(r.pages_reused(), PageCount::ZERO);
-    }
-
-    #[test]
-    fn compression_shrinks_traffic() {
-        let vm = mem(16, 20);
-        let plain = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let compressed = MigrationEngine::new(LinkSpec::lan_gigabit()).with_compression(
-            DeltaCompression::new(0.5, vecycle_types::BytesPerSec::from_mib_per_sec(800)),
-        );
-        let rp = plain.migrate(&vm, Strategy::full()).unwrap();
-        let rc = compressed.migrate(&vm, Strategy::full()).unwrap();
-        assert!(rc.source_traffic().as_f64() < rp.source_traffic().as_f64() * 0.55);
-        assert_eq!(rc.pages_sent_full(), rp.pages_sent_full());
-    }
-
-    #[test]
-    fn slow_compressor_becomes_the_bottleneck() {
-        let vm = mem(64, 21);
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit()).with_compression(
-            DeltaCompression::new(0.9, vecycle_types::BytesPerSec::from_mib_per_sec(30)),
-        );
-        let r = engine.migrate(&vm, Strategy::full()).unwrap();
-        // 64 MiB at 30 MiB/s ≈ 2.1 s of compression vs ~0.5 s of wire.
-        assert!(r.total_time().as_secs_f64() > 2.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "compression ratio")]
-    fn invalid_compression_ratio_panics() {
-        let _ = DeltaCompression::new(0.0, vecycle_types::BytesPerSec::from_mib_per_sec(100));
-    }
-
-    #[test]
-    fn setup_is_excluded_from_migration_time() {
-        let vm = mem(64, 12);
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let r = engine
-            .migrate(&vm, Strategy::vecycle(&vm.snapshot()))
-            .unwrap();
-        assert!(r.setup().total() > SimDuration::ZERO);
-        assert!(r.setup().checkpoint_read > SimDuration::ZERO);
-        // total_time must not include the setup term.
-        let rounds_plus_down: SimDuration =
-            r.rounds().iter().map(|x| x.duration).sum::<SimDuration>() + r.downtime();
-        assert_eq!(r.total_time(), rounds_plus_down);
-    }
-
-    /// Rewrites pages `0..k` with *fixed* content ids every advance: the
-    /// pages are dirtied, but their digests never change.
-    struct RewriteSameContent {
-        k: u64,
-    }
-
-    impl<M: MutableMemory> GuestWorkload<M> for RewriteSameContent {
-        fn advance(&mut self, guest: &mut Guest<M>, _dur: SimDuration) {
-            for i in 0..self.k {
-                let idx = PageIndex::new(i);
-                guest.write_page(idx, PageContent::ContentId(1_000 + i));
-            }
-        }
-    }
-
-    #[test]
-    fn live_vecycle_resends_known_content_as_checksums() {
-        // Pin pages 0..100 to known content, checkpoint, then keep
-        // rewriting those pages with the *same* content during the
-        // migration. The destination's checkpoint holds every re-dirtied
-        // page, so rounds ≥ 2 must collapse to 28-byte checksum
-        // messages — not full pages.
-        let mut image = mem(8, 60);
-        for i in 0..100 {
-            image.write_page(PageIndex::new(i), PageContent::ContentId(1_000 + i));
-        }
-        let cp = image.snapshot();
-        let mut guest = Guest::new(image);
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_max_rounds(3)
-            .with_max_downtime(SimDuration::from_millis(1));
-        let mut wl = RewriteSameContent { k: 100 };
-        let r = engine
-            .migrate_live(&mut guest, &mut wl, Strategy::vecycle(&cp))
-            .unwrap();
-        assert!(r.rounds().len() >= 2, "workload must force resend rounds");
-        for round in &r.rounds()[1..] {
-            assert_eq!(round.full_pages, PageCount::ZERO, "round {}", round.round);
-            assert_eq!(
-                round.checksum_pages,
-                PageCount::new(100),
-                "round {}",
-                round.round
-            );
-            // 100 × 28-byte checksum messages, nothing else.
-            assert_eq!(round.bytes_sent, wire::checksum_msg() * 100);
-        }
-    }
-
-    /// Zeroes pages `0..k` on every advance.
-    struct ZeroingWorkload {
-        k: u64,
-    }
-
-    impl<M: MutableMemory> GuestWorkload<M> for ZeroingWorkload {
-        fn advance(&mut self, guest: &mut Guest<M>, _dur: SimDuration) {
-            for i in 0..self.k {
-                guest.write_page(PageIndex::new(i), PageContent::ContentId(0));
-            }
-        }
-    }
-
-    #[test]
-    fn stop_and_copy_suppresses_zero_residue() {
-        // The guest zeroes 512 pages during round 1; with a single round
-        // allowed, that residue goes through stop-and-copy. Suppressed,
-        // it is 512 × 13-byte markers; unsuppressed it would be
-        // 512 × 4 KiB pages — more than two milliseconds on gigabit.
-        let run = |suppress: bool| {
-            let mut guest = Guest::new(mem(8, 61));
-            let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
-                .with_max_rounds(1)
-                .with_zero_page_suppression(suppress);
-            engine
-                .migrate_live(
-                    &mut guest,
-                    &mut ZeroingWorkload { k: 512 },
-                    Strategy::full(),
-                )
-                .unwrap()
-        };
-        let suppressed = run(true);
-        let unsuppressed = run(false);
-        assert!(suppressed.downtime() < unsuppressed.downtime());
-        // Residue bytes: 512 markers ≪ one full page.
-        let marker_bytes = wire::zero_page_msg() * 512;
-        let budget = LinkSpec::lan_gigabit()
-            .transfer_time(marker_bytes + wire::full_page_msg())
-            .saturating_add(LinkSpec::lan_gigabit().round_trip());
-        assert!(
-            suppressed.downtime() <= budget,
-            "downtime {:?} exceeds zero-marker budget {:?}",
-            suppressed.downtime(),
-            budget
-        );
-    }
-
-    /// Dirties exactly `k` fresh-content pages per advance, independent
-    /// of round duration.
-    struct FixedDirtier {
-        k: u64,
-        next: u64,
-    }
-
-    impl<M: MutableMemory> GuestWorkload<M> for FixedDirtier {
-        fn advance(&mut self, guest: &mut Guest<M>, _dur: SimDuration) {
-            for i in 0..self.k {
-                let idx = PageIndex::new(i);
-                guest.write_page(idx, PageContent::ContentId((1 << 62) | self.next));
-                self.next += 1;
-            }
-        }
-    }
-
-    #[test]
-    fn downtime_budget_uses_actual_resend_size() {
-        // 1 ms on gigabit fits ~30 uncompressed full-page messages but
-        // hundreds of XBZRLE deltas. A constant 100-page dirty set
-        // therefore never converges with plain resends, yet fits the
-        // final round immediately once deltas shrink the residue — the
-        // budget division must use the active per-page wire size, not
-        // the uncompressed one.
-        let run = |engine: MigrationEngine| {
-            let mut guest = Guest::new(mem(8, 62));
-            let mut wl = FixedDirtier { k: 100, next: 0 };
-            engine
-                .migrate_live(&mut guest, &mut wl, Strategy::full())
-                .unwrap()
-        };
-        let base = MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_max_rounds(6)
-            .with_max_downtime(SimDuration::from_millis(1));
-        let plain = run(base.clone());
-        let xb = run(base.with_xbzrle(Xbzrle::new(0.95, 0.02)));
-        assert_eq!(plain.rounds().len(), 6, "plain resends can never fit 1 ms");
-        assert_eq!(
-            xb.rounds().len(),
-            1,
-            "100 deltas fit the downtime budget without extra rounds"
-        );
-        assert!(xb.downtime() <= SimDuration::from_millis(1));
-    }
-
-    #[test]
-    fn parallel_scan_is_bit_identical_to_sequential() {
-        // A workload mixing every message class: checkpoint hits
-        // (checksums), fresh content (full pages), duplicated fresh
-        // content (dedup refs), and zero pages.
-        let base = mem(8, 63);
-        let mut vm = base.snapshot();
-        let n = vm.page_count().as_u64();
-        for i in 0..n / 4 {
-            vm.write_page(
-                PageIndex::new(i * 2),
-                PageContent::ContentId((1 << 48) | (i % 64)),
-            );
-        }
-        for i in 0..n / 16 {
-            vm.write_page(PageIndex::new(i * 16 + 1), PageContent::ContentId(0));
-        }
-        let strategies: Vec<Strategy> = vec![
-            Strategy::full(),
-            Strategy::dedup(),
-            Strategy::vecycle(&base),
-            Strategy::vecycle(&base).with_dedup(),
-        ];
-        for strategy in &strategies {
-            let seq_engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-            let (seq_report, seq_transcript) = seq_engine
-                .migrate_with_transcript(&vm, strategy.clone())
-                .unwrap();
-            for threads in [2, 3, 4, 8] {
-                let par_engine =
-                    MigrationEngine::new(LinkSpec::lan_gigabit()).with_threads(threads);
-                let (par_report, par_transcript) = par_engine
-                    .migrate_with_transcript(&vm, strategy.clone())
-                    .unwrap();
-                assert_eq!(
-                    par_report,
-                    seq_report,
-                    "strategy {} threads {threads}",
-                    strategy.name()
-                );
-                assert_eq!(
-                    par_transcript,
-                    seq_transcript,
-                    "strategy {} threads {threads}",
-                    strategy.name()
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn parallel_gang_migration_matches_sequential() {
-        // Gang migrations share the dedup cache across VMs; the parallel
-        // scan must hand identical cross-VM back-references out.
-        let a = mem(4, 64);
-        let mut b = a.snapshot();
-        let n = b.page_count().as_u64();
-        for i in 0..n / 8 {
-            b.write_page(PageIndex::new(i), PageContent::ContentId((1 << 52) | i));
-        }
-        let strategies = [Strategy::dedup(), Strategy::dedup()];
-        let seq = MigrationEngine::new(LinkSpec::lan_gigabit())
-            .migrate_gang(&[&a, &b], &strategies)
-            .unwrap();
-        for threads in [2, 4] {
-            let par = MigrationEngine::new(LinkSpec::lan_gigabit())
-                .with_threads(threads)
-                .migrate_gang(&[&a, &b], &strategies)
-                .unwrap();
-            assert_eq!(par, seq, "threads {threads}");
-        }
-    }
-
-    #[test]
-    fn parallel_scan_handles_images_smaller_than_thread_count() {
-        let vm = DigestMemory::with_distinct_content(PageCount::new(3), 9);
-        let seq = MigrationEngine::new(LinkSpec::lan_gigabit())
-            .migrate(&vm, Strategy::full())
-            .unwrap();
-        let par = MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_threads(16)
-            .migrate(&vm, Strategy::full())
-            .unwrap();
-        assert_eq!(par, seq);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one scan thread")]
-    fn zero_threads_panics() {
-        let _ = MigrationEngine::new(LinkSpec::lan_gigabit()).with_threads(0);
-    }
-
-    // ---- fault injection ----
-
-    use vecycle_faults::DropPoint;
-
-    #[test]
-    fn clean_faulted_path_is_bit_identical_to_migrate_live() {
-        // migrate_live delegates to the faulted path; a *separate* call
-        // with AttemptFaults::none() must reproduce it exactly.
-        let run = |faulted: bool| {
-            let mut guest = Guest::new(mem(8, 70));
-            let mut wl = IdleWorkload::new(71, 5_000.0);
-            let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-            if faulted {
-                match engine
-                    .migrate_live_faulted(
-                        &mut guest,
-                        &mut wl,
-                        Strategy::full(),
-                        &AttemptFaults::none(),
-                    )
-                    .unwrap()
-                {
-                    LiveOutcome::Completed(r) => r,
-                    LiveOutcome::Aborted(_) => panic!("clean attempt aborted"),
-                }
-            } else {
-                engine
-                    .migrate_live(&mut guest, &mut wl, Strategy::full())
-                    .unwrap()
-            }
-        };
-        assert_eq!(run(true), run(false));
-    }
-
-    #[test]
-    fn link_cut_in_round_one_lands_a_strict_prefix() {
-        let mut guest = Guest::new(mem(8, 72));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let faults = AttemptFaults {
-            cut_after: Some(DropPoint::RamFraction(0.25)),
-            ..AttemptFaults::none()
-        };
-        let outcome = engine
-            .migrate_live_faulted(&mut guest, &mut SilentWorkload, Strategy::full(), &faults)
-            .unwrap();
-        let aborted = match outcome {
-            LiveOutcome::Aborted(a) => a,
-            LiveOutcome::Completed(_) => panic!("cut at 25% of RAM must abort"),
-        };
-        assert_eq!(aborted.cause, FaultCause::LinkFailure);
-        let landed = aborted.landed_pages().as_u64();
-        let total = guest.page_count().as_u64();
-        assert!(landed > 0 && landed < total, "landed {landed}/{total}");
-        // Landed pages form the prefix the wire walk reached.
-        for (i, d) in aborted.landed.iter().enumerate() {
-            assert_eq!(d.is_some(), (i as u64) < landed, "page {i}");
-        }
-        // The aborted attempt cost real traffic and time, but less than
-        // a completed full migration would have.
-        let clean = engine
-            .migrate_live(
-                &mut Guest::new(mem(8, 72)),
-                &mut SilentWorkload,
-                Strategy::full(),
-            )
-            .unwrap();
-        assert!(aborted.traffic > Bytes::ZERO);
-        assert!(aborted.traffic < clean.source_traffic());
-        assert!(aborted.elapsed > SimDuration::ZERO);
-        assert!(aborted.elapsed < clean.total_time());
-    }
-
-    #[test]
-    fn landed_digests_match_guest_content() {
-        let mut guest = Guest::new(mem(4, 73));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        let faults = AttemptFaults {
-            cut_after: Some(DropPoint::RamFraction(0.5)),
-            ..AttemptFaults::none()
-        };
-        let outcome = engine
-            .migrate_live_faulted(&mut guest, &mut SilentWorkload, Strategy::full(), &faults)
-            .unwrap();
-        let LiveOutcome::Aborted(aborted) = outcome else {
-            panic!("expected abort");
-        };
-        for (i, d) in aborted.landed.iter().enumerate() {
-            if let Some(d) = d {
-                assert_eq!(*d, guest.page_digest(PageIndex::new(i as u64)));
-            }
-        }
-    }
-
-    #[test]
-    fn cut_past_total_traffic_lets_the_migration_complete() {
-        let mut guest = Guest::new(mem(4, 74));
-        let engine = MigrationEngine::new(LinkSpec::lan_gigabit());
-        // RamFraction clamps at 1.0, and framing pushes traffic past
-        // RAM — pick an absolute byte cut far beyond any transfer.
-        let faults = AttemptFaults {
-            cut_after: Some(DropPoint::Bytes(Bytes::from_mib(64))),
-            ..AttemptFaults::none()
-        };
-        let outcome = engine
-            .migrate_live_faulted(&mut guest, &mut SilentWorkload, Strategy::full(), &faults)
-            .unwrap();
-        let LiveOutcome::Completed(with_cut) = outcome else {
-            panic!("cut beyond total traffic must not trigger");
-        };
-        // And the surviving run is bit-identical to the clean one.
-        let clean = engine
-            .migrate_live(
-                &mut Guest::new(mem(4, 74)),
-                &mut SilentWorkload,
-                Strategy::full(),
-            )
-            .unwrap();
-        assert_eq!(with_cut, clean);
-    }
-
-    #[test]
-    fn link_degrade_slows_later_rounds_only() {
-        let run = |degrade: Option<(f64, u32)>| {
-            let mut guest = Guest::new(mem(8, 75));
-            let mut wl = IdleWorkload::new(76, 30_000.0);
-            let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
-                .with_max_rounds(4)
-                .with_max_downtime(SimDuration::from_millis(1));
-            let faults = AttemptFaults {
-                degrade,
-                ..AttemptFaults::none()
-            };
-            match engine
-                .migrate_live_faulted(&mut guest, &mut wl, Strategy::full(), &faults)
-                .unwrap()
-            {
-                LiveOutcome::Completed(r) => r,
-                LiveOutcome::Aborted(_) => panic!("degrade never aborts"),
-            }
-        };
-        let clean = run(None);
-        let degraded = run(Some((0.25, 2)));
-        // Round 1 ran at full speed either way.
-        assert_eq!(degraded.rounds()[0], clean.rounds()[0]);
-        // The degraded run took longer overall.
-        assert!(degraded.total_time() > clean.total_time());
-    }
-
-    #[test]
-    fn dirty_spike_increases_resent_traffic() {
-        let run = |spike: Option<(f64, u32)>| {
-            let mut guest = Guest::new(mem(8, 77));
-            let mut wl = IdleWorkload::new(78, 20_000.0);
-            let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
-                .with_max_rounds(5)
-                .with_max_downtime(SimDuration::from_millis(1));
-            let faults = AttemptFaults {
-                dirty_spike: spike,
-                ..AttemptFaults::none()
-            };
-            match engine
-                .migrate_live_faulted(&mut guest, &mut wl, Strategy::full(), &faults)
-                .unwrap()
-            {
-                LiveOutcome::Completed(r) => r,
-                LiveOutcome::Aborted(_) => panic!("spike never aborts"),
-            }
-        };
-        let clean = run(None);
-        let spiked = run(Some((8.0, 2)));
-        assert!(spiked.source_traffic() > clean.source_traffic());
-    }
-
-    #[test]
-    fn precopy_time_budget_forces_early_handover() {
-        let run = |engine: MigrationEngine| {
-            let mut guest = Guest::new(mem(8, 79));
-            let mut wl = IdleWorkload::new(80, 200_000.0);
-            engine
-                .migrate_live(&mut guest, &mut wl, Strategy::full())
-                .unwrap()
-        };
-        // A very hot guest and a 1 ms downtime target: without the guard
-        // pre-copy burns all 30 rounds without ever converging.
-        let unguarded = run(MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_max_downtime(SimDuration::from_millis(1)));
-        let guarded = run(MigrationEngine::new(LinkSpec::lan_gigabit())
-            .with_max_downtime(SimDuration::from_millis(1))
-            .with_precopy_time_budget(SimDuration::from_millis(500)));
-        assert!(guarded.rounds().len() < unguarded.rounds().len());
-        assert!(!guarded.converged(), "guard must report non-convergence");
-        // Pre-copy stops soon after the budget: the round that crosses
-        // the budget is the last one.
-        let precopy: SimDuration = guarded.rounds().iter().map(|r| r.duration).sum();
-        let before_last: SimDuration = guarded.rounds()[..guarded.rounds().len() - 1]
-            .iter()
-            .map(|r| r.duration)
-            .sum();
-        assert!(before_last < SimDuration::from_millis(500), "{before_last}");
-        assert!(precopy >= SimDuration::from_millis(500) || guarded.rounds().len() == 30);
-    }
-
-    #[test]
-    fn converged_run_reports_convergence() {
-        let mut guest = Guest::new(mem(4, 81));
-        let r = MigrationEngine::new(LinkSpec::lan_gigabit())
-            .migrate_live(&mut guest, &mut SilentWorkload, Strategy::full())
-            .unwrap();
-        assert!(r.converged());
-        assert_eq!(r.outcome(), crate::MigrationOutcome::Completed);
+            converged,
+        )))
     }
 }

@@ -3,14 +3,17 @@
 //! Operators deciding *whether* to migrate need the cost before running
 //! anything. The engine's behaviour is simple enough to predict in
 //! closed form from four quantities — RAM, checkpoint similarity, link,
-//! checksum rate — and this module does so. The estimator is validated
-//! against the real engine in its tests: predictions land within a few
-//! percent, which is also a regression net for accidental engine
-//! changes.
+//! checksum rate — and this module does so. Pages are priced through the
+//! same [`WireCosts`] table the transfer pipeline charges against, so
+//! the estimator cannot drift from the engine. It is also validated
+//! end-to-end in its tests: predictions land within a few percent, which
+//! doubles as a regression net for accidental engine changes.
 
 use vecycle_host::CpuSpec;
-use vecycle_net::{wire, LinkSpec};
+use vecycle_net::LinkSpec;
 use vecycle_types::{Bytes, Ratio, SimDuration};
+
+use crate::WireCosts;
 
 /// A predicted migration outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,9 +44,11 @@ pub fn estimate_full(ram: Bytes, zero_fraction: Ratio, link: LinkSpec) -> Migrat
     let pages = ram.pages_ceil().as_u64();
     let zeros = (pages as f64 * zero_fraction.as_f64()).round() as u64;
     let full = pages - zeros;
-    let traffic = wire::full_page_msg() * full
-        + wire::zero_page_msg() * zeros
-        + Bytes::new(2 * wire::MSG_HEADER);
+    let costs = WireCosts::uncompressed();
+    // One control trailer per round: the first round plus the empty
+    // stop-and-copy flush.
+    let traffic =
+        costs.full_page() * full + costs.zero_marker() * zeros + costs.control_trailer() * 2;
     // One transfer, plus the stop-and-copy handshake (an empty final
     // flush still costs one link latency, then the resume round trip).
     let time = link
@@ -78,10 +83,11 @@ pub fn estimate_vecycle(
     let reused = (nonzero as f64 * similarity.as_f64()).round() as u64;
     let novel = nonzero - reused;
 
-    let traffic = wire::full_page_msg() * novel
-        + wire::checksum_msg() * reused
-        + wire::zero_page_msg() * zeros
-        + Bytes::new(2 * wire::MSG_HEADER);
+    let costs = WireCosts::uncompressed();
+    let traffic = costs.full_page() * novel
+        + costs.checksum() * reused
+        + costs.zero_marker() * zeros
+        + costs.control_trailer() * 2;
     let network = link.transfer_time(traffic);
     // §3.4: the checksum pass over the whole image is the lower bound.
     let checksum = cpu.checksum_time(algorithm, ram);

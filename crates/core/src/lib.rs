@@ -53,15 +53,16 @@
 pub mod analytic;
 mod engine;
 pub mod estimate;
+mod pipeline;
 mod postcopy;
 mod report;
 pub mod session;
 mod strategy;
 mod transcript;
 
-pub use engine::{
-    AbortedTransfer, DeltaCompression, ExchangeProtocol, LiveOutcome, MigrationEngine, Xbzrle,
-};
+pub use engine::{ExchangeProtocol, MigrationEngine};
+pub use pipeline::rounds::{AbortedTransfer, LiveOutcome};
+pub use pipeline::wire_costs::{DeltaCompression, WireCosts, Xbzrle};
 pub use postcopy::PostCopyReport;
 pub use report::{MigrationOutcome, MigrationReport, RoundReport, SetupReport};
 pub use strategy::{PageAction, Strategy, StrategyName};

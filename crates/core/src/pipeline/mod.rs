@@ -1,0 +1,26 @@
+//! The transfer pipeline: one parameterized migration loop.
+//!
+//! Every migration the engine offers — static, gang, live, faulted,
+//! post-copy — is a thin driver over [`rounds::TransferLoop`], so fault
+//! handling, wire accounting and observability exist exactly once:
+//!
+//! * [`wire_costs`] — per-message byte costs, shared with `estimate.rs`.
+//! * [`scan`] — the first-round page scan (serial = parallel with one
+//!   shard).
+//! * [`rounds`] — the [`rounds::TransferLoop`] itself: first round,
+//!   resend rounds, abort tracking.
+//! * [`stopcopy`] — the final stop-and-copy flush and the downtime
+//!   budget.
+//! * [`obs`] — metrics/span emission, fused with ledger recording.
+//!
+//! Two invariants hold by construction. *Clean is faulted*: the clean
+//! path is the faulted path with [`vecycle_faults::AttemptFaults::none`],
+//! every fault check a no-op. *Serial is parallel*: one thread is the
+//! parallel scan with a single shard run inline. Both are pinned by the
+//! golden suite and `tests/parallel_props.rs`.
+
+pub(crate) mod obs;
+pub(crate) mod rounds;
+pub(crate) mod scan;
+pub(crate) mod stopcopy;
+pub(crate) mod wire_costs;

@@ -1,0 +1,750 @@
+//! [`TransferLoop`]: the one abortable transfer pipeline every
+//! migration flavor drives.
+//!
+//! A transfer is: setup, a first round, zero or more resend rounds, a
+//! stop-and-copy flush, completion. The loop owns the ledgers, the
+//! migration span, the elapsed clock and the (optional) link-cut
+//! tracker; the drivers in `engine.rs` own only the *policy* — when to
+//! stop iterating, what the workload dirties in between. The clean path
+//! is this loop with [`AttemptFaults::none`]: every fault check is a
+//! no-op and the results are bit-identical, a property pinned by the
+//! golden suite and `tests/parallel_props.rs`.
+
+use vecycle_checkpoint::{DedupIndex, PageLookup};
+use vecycle_faults::{AttemptFaults, FaultCause};
+use vecycle_mem::MemoryImage;
+use vecycle_net::{wire, LinkSpec, TrafficCategory, TrafficLedger};
+use vecycle_obs::SpanId;
+use vecycle_types::{Bytes, BytesPerSec, PageCount, PageDigest, PageIndex, SimDuration};
+
+use super::scan::ScanOutcome;
+use crate::strategy::PageAction;
+use crate::{
+    ExchangeProtocol, MigrationEngine, MigrationReport, PageMsg, RoundReport, SetupReport,
+    Strategy, Transcript,
+};
+
+/// What a (possibly faulted) live migration attempt produced.
+///
+/// Transient — matched and consumed immediately by the session, never
+/// stored in bulk, so the variant size gap is harmless.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum LiveOutcome {
+    /// The attempt ran to handover.
+    Completed(MigrationReport),
+    /// An injected fault killed the transfer mid-flight.
+    Aborted(AbortedTransfer),
+}
+
+/// The wreckage of an aborted migration attempt: what landed at the
+/// destination before the link died, and what the attempt cost.
+///
+/// The landed map is the raw material of a
+/// [`vecycle_checkpoint::PartialCheckpoint`]; the session layer wraps it
+/// (the engine does not know VM identities).
+#[derive(Debug, Clone)]
+pub struct AbortedTransfer {
+    /// Why the attempt died.
+    pub cause: FaultCause,
+    /// Per guest page, the digest of the content that reached the
+    /// destination before the cut (page order; `None` = never arrived).
+    pub landed: Vec<Option<PageDigest>>,
+    /// Source traffic spent on the attempt (all of it wasted).
+    pub traffic: Bytes,
+    /// Time spent on the attempt before it died.
+    pub elapsed: SimDuration,
+}
+
+impl AbortedTransfer {
+    /// Pages whose content reached the destination.
+    pub fn landed_pages(&self) -> PageCount {
+        PageCount::new(self.landed.iter().filter(|d| d.is_some()).count() as u64)
+    }
+}
+
+/// Tracks the forward-path byte cursor of a doomed transfer: messages
+/// land until the cumulative payload crosses the cut point, and each
+/// landed message deposits its page's digest at the destination.
+struct CutTracker {
+    limit: u64,
+    sent: u64,
+    landed: Vec<Option<PageDigest>>,
+}
+
+impl CutTracker {
+    fn new(limit: Bytes, pages: PageCount) -> Self {
+        CutTracker {
+            limit: limit.as_u64(),
+            sent: 0,
+            landed: vec![None; pages.as_u64() as usize],
+        }
+    }
+
+    /// Accounts one message for page `idx` carrying `digest`. Returns
+    /// false (and deposits nothing) if the link dies first.
+    fn land(&mut self, bytes: Bytes, idx: PageIndex, digest: PageDigest) -> bool {
+        let next = self.sent + bytes.as_u64();
+        if next > self.limit {
+            return false;
+        }
+        self.sent = next;
+        self.landed[idx.as_usize()] = Some(digest);
+        true
+    }
+}
+
+/// Per-category landed-message counts of a partially transferred round.
+#[derive(Default)]
+struct LandedCounts {
+    full: u64,
+    checksums: u64,
+    refs: u64,
+    zeros: u64,
+}
+
+/// How a [`TransferLoop`] handles the first round's message stream.
+pub(crate) enum RoundMode<'t> {
+    /// Count pages per class only — no per-message work.
+    Count,
+    /// Record every message into a replayable [`Transcript`].
+    Record(&'t mut Transcript),
+    /// Walk every message against the armed link cut.
+    Walk,
+}
+
+/// One in-flight transfer: ledgers, span, rounds, elapsed pre-copy time
+/// and the optional link-cut tracker, advanced by the driver one round
+/// at a time.
+pub(crate) struct TransferLoop<'e> {
+    engine: &'e MigrationEngine,
+    faults: &'e AttemptFaults,
+    span: SpanId,
+    setup: SetupReport,
+    forward: TrafficLedger,
+    reverse: TrafficLedger,
+    rounds: Vec<RoundReport>,
+    cut: Option<CutTracker>,
+    elapsed: SimDuration,
+}
+
+impl<'e> TransferLoop<'e> {
+    /// Opens the migration span, runs the setup phase and arms the link
+    /// cut (if the faults carry one).
+    pub(crate) fn start(
+        engine: &'e MigrationEngine,
+        mode: &'static str,
+        strategy: &Strategy,
+        ram: Bytes,
+        pages: PageCount,
+        faults: &'e AttemptFaults,
+    ) -> Self {
+        let span = engine.obs_migration_start(mode, strategy);
+        let forward = TrafficLedger::new();
+        let mut reverse = TrafficLedger::new();
+        let setup = engine.setup_phase(strategy, ram, &mut reverse);
+        let cut = faults
+            .cut_after
+            .map(|point| CutTracker::new(point.resolve(ram), pages));
+        TransferLoop {
+            engine,
+            faults,
+            span,
+            setup,
+            forward,
+            reverse,
+            rounds: Vec::new(),
+            cut,
+            elapsed: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether a link cut is armed (drivers pick [`RoundMode::Walk`]
+    /// when it is).
+    pub(crate) fn cut_armed(&self) -> bool {
+        self.cut.is_some()
+    }
+
+    /// Rounds completed so far.
+    pub(crate) fn rounds_len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Cumulative pre-copy time.
+    pub(crate) fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Duration of the most recent round.
+    pub(crate) fn last_round_duration(&self) -> SimDuration {
+        self.rounds.last().map_or(SimDuration::ZERO, |r| r.duration)
+    }
+
+    /// The workload-advance time for a round under a possible
+    /// dirty-spike fault.
+    pub(crate) fn spiked(&self, round: u32, duration: SimDuration) -> SimDuration {
+        spiked_duration(self.faults, round, duration)
+    }
+
+    /// Runs round 1: scan, handle the message stream per `mode`, record
+    /// the round. An armed cut can kill the round mid-walk; the `Err`
+    /// carries the wreckage (already counted and span-closed).
+    pub(crate) fn first_round<M: MemoryImage>(
+        &mut self,
+        vm: &M,
+        strategy: &Strategy,
+        sent: &mut DedupIndex,
+        mode: RoundMode<'_>,
+    ) -> Result<(), AbortedTransfer> {
+        let engine = self.engine;
+        let link = engine.link_for_round(1, self.faults);
+        let want_msgs = !matches!(mode, RoundMode::Count);
+        let mut scan = engine.scan(vm, strategy, sent, want_msgs);
+        match mode {
+            RoundMode::Count => {}
+            RoundMode::Record(transcript) => {
+                if let Some(msgs) = scan.msgs.take() {
+                    transcript.extend(msgs);
+                }
+            }
+            RoundMode::Walk => {
+                // Walk the message stream against the cut point. If the
+                // round survives it is recorded identically to the
+                // untracked path; if the link dies mid-round, only landed
+                // messages are recorded (the control trailer never made
+                // it out).
+                let page_msg = engine.wire_costs().full_page();
+                let tracker = self.cut.as_mut().expect("walk mode requires an armed cut");
+                let mut landed = LandedCounts::default();
+                let mut aborted = false;
+                for msg in scan.msgs.as_deref().expect("tracked scan records messages") {
+                    let (idx, size) = match msg {
+                        PageMsg::Full { idx, .. } => (*idx, page_msg),
+                        PageMsg::Checksum { idx, .. } => (*idx, wire::checksum_msg()),
+                        PageMsg::DedupRef { idx, .. } => (*idx, wire::dedup_ref_msg()),
+                        PageMsg::Zero { idx } => (*idx, wire::zero_page_msg()),
+                    };
+                    if !tracker.land(size, idx, vm.page_digest(idx)) {
+                        aborted = true;
+                        break;
+                    }
+                    match msg {
+                        PageMsg::Full { .. } => landed.full += 1,
+                        PageMsg::Checksum { .. } => landed.checksums += 1,
+                        PageMsg::DedupRef { .. } => landed.refs += 1,
+                        PageMsg::Zero { .. } => landed.zeros += 1,
+                    }
+                }
+                if aborted {
+                    engine.rec_many(
+                        &mut self.forward,
+                        "forward",
+                        TrafficCategory::FullPages,
+                        landed.full,
+                        page_msg,
+                    );
+                    engine.rec_many(
+                        &mut self.forward,
+                        "forward",
+                        TrafficCategory::Checksums,
+                        landed.checksums,
+                        wire::checksum_msg(),
+                    );
+                    engine.rec_many(
+                        &mut self.forward,
+                        "forward",
+                        TrafficCategory::DedupRefs,
+                        landed.refs,
+                        wire::dedup_ref_msg(),
+                    );
+                    engine.rec_many(
+                        &mut self.forward,
+                        "forward",
+                        TrafficCategory::ZeroMarkers,
+                        landed.zeros,
+                        wire::zero_page_msg(),
+                    );
+                    let wreck = AbortedTransfer {
+                        cause: FaultCause::LinkFailure,
+                        landed: std::mem::take(
+                            &mut self.cut.as_mut().expect("cut tracker armed").landed,
+                        ),
+                        traffic: self.forward.total(),
+                        elapsed: link.transfer_time(self.forward.total()),
+                    };
+                    engine.obs_abort(self.span, 1, &wreck);
+                    return Err(wreck);
+                }
+            }
+        }
+        let round = self.finish_first_round(vm.page_count().as_u64(), &scan, strategy, link);
+        engine.obs_round(&round);
+        self.elapsed = self.elapsed.saturating_add(round.duration);
+        self.rounds.push(round);
+        Ok(())
+    }
+
+    /// Records a completed round-1 scan into the ledgers and computes its
+    /// [`RoundReport`] — shared between the clean and cut-tracked paths,
+    /// so a surviving faulted round is accounted bit-identically to a
+    /// fault-free one.
+    fn finish_first_round(
+        &mut self,
+        n: u64,
+        scan: &ScanOutcome,
+        strategy: &Strategy,
+        link: LinkSpec,
+    ) -> RoundReport {
+        let engine = self.engine;
+        let &ScanOutcome {
+            full,
+            checksums,
+            refs,
+            skipped,
+            zeros,
+            ..
+        } = scan;
+
+        let page_msg = engine.wire_costs().full_page();
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::FullPages,
+            full,
+            page_msg,
+        );
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::Checksums,
+            checksums,
+            wire::checksum_msg(),
+        );
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::DedupRefs,
+            refs,
+            wire::dedup_ref_msg(),
+        );
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::ZeroMarkers,
+            zeros,
+            wire::zero_page_msg(),
+        );
+        engine.rec(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::Control,
+            Bytes::new(wire::MSG_HEADER),
+        );
+        // Miyakodori ships the page-reuse bitmap so the destination knows
+        // which checkpoint pages stand (1 bit per page).
+        if skipped > 0 {
+            engine.rec(
+                &mut self.forward,
+                "forward",
+                TrafficCategory::Control,
+                Bytes::new(n.div_ceil(8) + wire::MSG_HEADER),
+            );
+        }
+
+        let mut query_time = SimDuration::ZERO;
+        if strategy.needs_exchange() {
+            if let ExchangeProtocol::PerPage { pipeline_depth } = engine.exchange {
+                // Every scanned page costs a query/reply pair; queries
+                // pipeline `pipeline_depth` deep.
+                engine.rec_many(
+                    &mut self.forward,
+                    "forward",
+                    TrafficCategory::Checksums,
+                    n,
+                    wire::page_query(),
+                );
+                engine.rec_many(
+                    &mut self.reverse,
+                    "reverse",
+                    TrafficCategory::Control,
+                    n,
+                    wire::page_query_reply(),
+                );
+                let rtts = n.div_ceil(u64::from(pipeline_depth.max(1)));
+                query_time =
+                    SimDuration::from_secs_f64(link.round_trip().as_secs_f64() * rtts as f64);
+            }
+        }
+
+        let bytes = self.forward.total();
+        let network = link.transfer_time(bytes);
+        // §3.4: with reuse, the checksum rate bounds the round from
+        // below; checksums for all n pages are computed during round 1.
+        let checksum_cost = if strategy.computes_checksums() {
+            engine
+                .cpu
+                .checksum_time(engine.algorithm, Bytes::from_pages(n))
+        } else {
+            SimDuration::ZERO
+        };
+        let compress_cost = match engine.compression {
+            Some(c) => c.time(Bytes::from_pages(full)),
+            None => SimDuration::ZERO,
+        };
+        let duration = network
+            .max(checksum_cost)
+            .max(compress_cost)
+            .saturating_add(query_time);
+
+        RoundReport {
+            round: 1,
+            full_pages: PageCount::new(full),
+            checksum_pages: PageCount::new(checksums),
+            dedup_refs: PageCount::new(refs),
+            skipped_pages: PageCount::new(skipped),
+            zero_pages: PageCount::new(zeros),
+            bytes_sent: bytes,
+            duration,
+        }
+    }
+
+    /// Runs one resend round over the drained dirty set. Every resend
+    /// goes back through the strategy: a guest that rewrites a page with
+    /// content the destination's checkpoint already holds costs a 28-byte
+    /// checksum message, not a full page (§3.1 — the re-dirtied page is
+    /// classified exactly like a first-round page, minus the stale
+    /// reusable-set check). Returns the round's duration, or the
+    /// wreckage if the armed cut struck mid-round.
+    pub(crate) fn resend_round<M: MemoryImage>(
+        &mut self,
+        vm: &M,
+        dirty: &[PageIndex],
+        strategy: &Strategy,
+        sent: &mut DedupIndex,
+    ) -> Result<SimDuration, AbortedTransfer> {
+        let engine = self.engine;
+        let round_no = self.rounds.len() as u32 + 1;
+        let link = engine.link_for_round(round_no, self.faults);
+        let page_msg = engine.wire_costs().resend_page();
+        let mut full = 0u64;
+        let mut checksums = 0u64;
+        let mut refs = 0u64;
+        let mut zeros = 0u64;
+        let mut aborted = false;
+        // The dirty set arrives in ascending page order, so dedup cache
+        // updates stay deterministic across runs.
+        for &idx in dirty {
+            let digest = vm.page_digest(idx);
+            if engine.zero_suppression && digest.is_zero_page() {
+                if let Some(tracker) = self.cut.as_mut() {
+                    if !tracker.land(wire::zero_page_msg(), idx, digest) {
+                        aborted = true;
+                        break;
+                    }
+                }
+                zeros += 1;
+                continue;
+            }
+            let action = strategy.classify_resend(digest, sent);
+            if let Some(tracker) = self.cut.as_mut() {
+                let size = match action {
+                    PageAction::SendFull => page_msg,
+                    PageAction::SendChecksum => wire::checksum_msg(),
+                    PageAction::SendDedupRef(_) => wire::dedup_ref_msg(),
+                    PageAction::Skip => unreachable!("classify_resend never skips"),
+                };
+                if !tracker.land(size, idx, digest) {
+                    aborted = true;
+                    break;
+                }
+            }
+            match action {
+                PageAction::SendFull => {
+                    full += 1;
+                    sent.insert_first(digest, idx);
+                }
+                PageAction::SendChecksum => {
+                    checksums += 1;
+                    sent.insert_first(digest, idx);
+                }
+                PageAction::SendDedupRef(_) => refs += 1,
+                PageAction::Skip => unreachable!("classify_resend never skips"),
+            }
+        }
+        let bytes = page_msg * full
+            + wire::checksum_msg() * checksums
+            + wire::dedup_ref_msg() * refs
+            + wire::zero_page_msg() * zeros;
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::FullPages,
+            full,
+            page_msg,
+        );
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::Checksums,
+            checksums,
+            wire::checksum_msg(),
+        );
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::DedupRefs,
+            refs,
+            wire::dedup_ref_msg(),
+        );
+        engine.rec_many(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::ZeroMarkers,
+            zeros,
+            wire::zero_page_msg(),
+        );
+        engine.obs_pages(
+            "engine_resend_pages_total",
+            &[
+                ("full", full),
+                ("checksum", checksums),
+                ("dedup_ref", refs),
+                ("zero", zeros),
+            ],
+        );
+        if aborted {
+            // Landed messages are accounted above; the control trailer
+            // never made it out.
+            let wreck = AbortedTransfer {
+                cause: FaultCause::LinkFailure,
+                landed: std::mem::take(&mut self.cut.as_mut().expect("cut tracker armed").landed),
+                traffic: self.forward.total(),
+                elapsed: self.elapsed.saturating_add(link.transfer_time(bytes)),
+            };
+            engine.obs_abort(self.span, round_no, &wreck);
+            return Err(wreck);
+        }
+        engine.rec(
+            &mut self.forward,
+            "forward",
+            TrafficCategory::Control,
+            Bytes::new(wire::MSG_HEADER),
+        );
+        // Re-dirtied pages must be re-hashed before the index lookup.
+        let checksum_cost = if strategy.computes_checksums() {
+            engine
+                .cpu
+                .checksum_time(engine.algorithm, Bytes::from_pages(dirty.len() as u64))
+        } else {
+            SimDuration::ZERO
+        };
+        let compress_cost = match engine.compression {
+            Some(c) => c.time(Bytes::from_pages(full)),
+            None => SimDuration::ZERO,
+        };
+        let duration = link
+            .transfer_time(bytes)
+            .max(checksum_cost)
+            .max(compress_cost);
+        self.rounds.push(RoundReport {
+            round: round_no,
+            full_pages: PageCount::new(full),
+            checksum_pages: PageCount::new(checksums),
+            dedup_refs: PageCount::new(refs),
+            skipped_pages: PageCount::ZERO,
+            zero_pages: PageCount::new(zeros),
+            bytes_sent: bytes,
+            duration,
+        });
+        engine.obs_round(self.rounds.last().expect("just pushed"));
+        self.elapsed = self.elapsed.saturating_add(duration);
+        Ok(duration)
+    }
+
+    /// Runs the final stop-and-copy flush over the residual dirty set
+    /// and returns the downtime. The armed cut can strike this flush
+    /// too; the `Err` carries the wreckage.
+    pub(crate) fn stop_copy<M: MemoryImage>(
+        &mut self,
+        vm: &M,
+        dirty: &[PageIndex],
+    ) -> Result<SimDuration, AbortedTransfer> {
+        let engine = self.engine;
+        let final_round = self.rounds.len() as u32 + 1;
+        let link_final = engine.link_for_round(final_round, self.faults);
+        if let Some(tracker) = self.cut.as_mut() {
+            let page_msg = engine.wire_costs().resend_page();
+            let mut landed_full = 0u64;
+            let mut landed_zeros = 0u64;
+            let mut aborted = false;
+            for &idx in dirty {
+                let digest = vm.page_digest(idx);
+                let (size, zero) = if engine.zero_suppression && digest.is_zero_page() {
+                    (wire::zero_page_msg(), true)
+                } else {
+                    (page_msg, false)
+                };
+                if !tracker.land(size, idx, digest) {
+                    aborted = true;
+                    break;
+                }
+                if zero {
+                    landed_zeros += 1;
+                } else {
+                    landed_full += 1;
+                }
+            }
+            if aborted {
+                engine.rec_many(
+                    &mut self.forward,
+                    "forward",
+                    TrafficCategory::FullPages,
+                    landed_full,
+                    page_msg,
+                );
+                engine.rec_many(
+                    &mut self.forward,
+                    "forward",
+                    TrafficCategory::ZeroMarkers,
+                    landed_zeros,
+                    wire::zero_page_msg(),
+                );
+                let bytes = page_msg * landed_full + wire::zero_page_msg() * landed_zeros;
+                let wreck = AbortedTransfer {
+                    cause: FaultCause::LinkFailure,
+                    landed: std::mem::take(
+                        &mut self.cut.as_mut().expect("cut tracker armed").landed,
+                    ),
+                    traffic: self.forward.total(),
+                    elapsed: self.elapsed.saturating_add(link_final.transfer_time(bytes)),
+                };
+                engine.obs_abort(self.span, final_round, &wreck);
+                return Err(wreck);
+            }
+        }
+        let (residue_full, residue_zeros) = engine.split_zero_pages(vm, dirty);
+        Ok(engine.stop_and_copy(residue_full, residue_zeros, &mut self.forward, link_final))
+    }
+
+    /// Seals the transfer into a [`MigrationReport`], exporting the
+    /// ledgers and closing the migration span.
+    pub(crate) fn complete(
+        self,
+        strategy: &Strategy,
+        ram: Bytes,
+        downtime: SimDuration,
+        converged: bool,
+    ) -> MigrationReport {
+        let mut report = MigrationReport::new(
+            strategy.name(),
+            ram,
+            self.rounds,
+            downtime,
+            self.setup,
+            self.forward,
+            self.reverse,
+        );
+        report.set_converged(converged);
+        self.engine.obs_migration_end(self.span, &report);
+        report
+    }
+
+    /// Records one forward-path message outside the round structure
+    /// (post-copy streams its traffic directly).
+    pub(crate) fn record_forward(&mut self, category: TrafficCategory, bytes: Bytes) {
+        self.engine
+            .rec(&mut self.forward, "forward", category, bytes);
+    }
+
+    /// Bulk form of [`TransferLoop::record_forward`].
+    pub(crate) fn record_forward_many(
+        &mut self,
+        category: TrafficCategory,
+        count: u64,
+        size: Bytes,
+    ) {
+        self.engine
+            .rec_many(&mut self.forward, "forward", category, count, size);
+    }
+
+    /// Forward-path bytes recorded so far.
+    pub(crate) fn forward_total(&self) -> Bytes {
+        self.forward.total()
+    }
+
+    /// Seals a round-less transfer (post-copy): exports both ledgers to
+    /// `net_wire_*`, closes the migration span with `attrs`, and hands
+    /// the forward ledger back for the caller's report.
+    pub(crate) fn finish_observed(self, attrs: &[(&str, u64)]) -> TrafficLedger {
+        vecycle_net::observe_ledger(&self.engine.metrics, "forward", &self.forward);
+        vecycle_net::observe_ledger(&self.engine.metrics, "reverse", &self.reverse);
+        self.engine.metrics.span_end(self.span, attrs);
+        self.forward
+    }
+}
+
+impl MigrationEngine {
+    /// Runs the destination's setup phase: checkpoint read + index build,
+    /// plus the bulk checksum exchange when that protocol is active.
+    pub(crate) fn setup_phase(
+        &self,
+        strategy: &Strategy,
+        ram: Bytes,
+        reverse: &mut TrafficLedger,
+    ) -> SetupReport {
+        let Some(index) = strategy.index() else {
+            return SetupReport::default();
+        };
+        // Destination: sequential checkpoint read, hashing each block as
+        // it streams past (§3.3); the slower of disk and hash rate wins.
+        let read = self
+            .dest_disk
+            .sequential_time(ram)
+            .max(self.cpu.checksum_time(self.algorithm, ram));
+        // Sorting ~n log n digest comparisons; ~20 ns per element-move is
+        // generous for 16-byte keys.
+        let entries = index.distinct() as u64;
+        let index_build = SimDuration::from_nanos(
+            entries.max(1) * (64 - entries.max(2).leading_zeros() as u64) * 20,
+        );
+        let mut setup = SetupReport {
+            checkpoint_read: read,
+            checkpoint_write: SimDuration::ZERO,
+            index_build,
+            exchange_bytes: Bytes::ZERO,
+            exchange_time: SimDuration::ZERO,
+        };
+        if matches!(self.exchange, ExchangeProtocol::Bulk) {
+            let bytes = wire::bulk_exchange(entries);
+            self.rec(reverse, "reverse", TrafficCategory::BulkExchange, bytes);
+            setup.exchange_bytes = bytes;
+            setup.exchange_time = self.link.transfer_time(bytes);
+        }
+        setup
+    }
+
+    /// The link a given round experiences under the attempt's faults: a
+    /// `LinkDegrade` fault multiplies bandwidth by its factor from its
+    /// onset round onward. Clean attempts always see the engine's link.
+    pub(crate) fn link_for_round(&self, round: u32, faults: &AttemptFaults) -> LinkSpec {
+        match faults.degrade {
+            Some((factor, from_round)) if round >= from_round => self
+                .link
+                .with_bandwidth(BytesPerSec::new(self.link.bandwidth().as_f64() * factor)),
+            _ => self.link,
+        }
+    }
+}
+
+/// The workload-advance time for a round under a possible dirty-spike
+/// fault: from the spike's onset round the guest dirties memory as if
+/// `factor`× the round duration had elapsed. Clean attempts (and rounds
+/// before the onset) pass the duration through untouched, bit-exactly.
+fn spiked_duration(faults: &AttemptFaults, round: u32, duration: SimDuration) -> SimDuration {
+    match faults.dirty_spike {
+        Some((factor, from_round)) if round >= from_round && factor > 1.0 => {
+            SimDuration::from_secs_f64(duration.as_secs_f64() * factor)
+        }
+        _ => duration,
+    }
+}

@@ -1,0 +1,80 @@
+//! The final stop-and-copy flush and the downtime budget it must fit.
+
+use vecycle_mem::MemoryImage;
+use vecycle_net::{wire, LinkSpec, TrafficCategory, TrafficLedger};
+use vecycle_types::{Bytes, PageIndex, SimDuration};
+
+use crate::MigrationEngine;
+
+impl MigrationEngine {
+    /// Pauses the guest, flushes the residual dirty set and hands over
+    /// execution: one transfer plus the resume handshake.
+    pub(crate) fn stop_and_copy(
+        &self,
+        dirty_full: u64,
+        dirty_zeros: u64,
+        forward: &mut TrafficLedger,
+        link: LinkSpec,
+    ) -> SimDuration {
+        // The final flush re-sends pages already transferred once, so
+        // XBZRLE applies here as well; zero-page suppression does too —
+        // a guest that zeroes pages during the last round pays 13-byte
+        // markers, not full pages, exactly as in the copy rounds.
+        let page_msg = self.wire_costs().resend_page();
+        self.rec_many(
+            forward,
+            "forward",
+            TrafficCategory::FullPages,
+            dirty_full,
+            page_msg,
+        );
+        self.rec_many(
+            forward,
+            "forward",
+            TrafficCategory::ZeroMarkers,
+            dirty_zeros,
+            wire::zero_page_msg(),
+        );
+        self.rec(
+            forward,
+            "forward",
+            TrafficCategory::Control,
+            Bytes::new(wire::MSG_HEADER),
+        );
+        self.obs_pages(
+            "engine_stop_copy_pages_total",
+            &[("full", dirty_full), ("zero", dirty_zeros)],
+        );
+        let bytes = page_msg * dirty_full + wire::zero_page_msg() * dirty_zeros;
+        link.transfer_time(bytes).saturating_add(link.round_trip())
+    }
+
+    /// Splits a dirty set into (full, zero) page counts under the
+    /// current zero-suppression setting.
+    pub(crate) fn split_zero_pages<M: MemoryImage>(
+        &self,
+        vm: &M,
+        dirty: &[PageIndex],
+    ) -> (u64, u64) {
+        if !self.zero_suppression {
+            return (dirty.len() as u64, 0);
+        }
+        let zeros = dirty
+            .iter()
+            .filter(|idx| vm.page_digest(**idx).is_zero_page())
+            .count() as u64;
+        (dirty.len() as u64 - zeros, zeros)
+    }
+
+    /// Pages the final round may still carry within the downtime target.
+    ///
+    /// Divides the downtime byte budget by the wire size a resent page
+    /// *actually* occupies: XBZRLE deltas and compressed payloads shrink
+    /// resends, so more residual pages fit the same pause — using the
+    /// uncompressed size here would stop iterating too early and then
+    /// overshoot the downtime target it was meant to respect.
+    pub(crate) fn downtime_budget_pages(&self) -> u64 {
+        let budget = self.link.effective_bandwidth().bytes_in(self.max_downtime);
+        budget.as_u64() / self.wire_costs().resend_page().as_u64()
+    }
+}

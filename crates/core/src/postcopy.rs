@@ -14,10 +14,12 @@
 use std::collections::HashSet;
 
 use vecycle_checkpoint::PageLookup;
+use vecycle_faults::AttemptFaults;
 use vecycle_mem::MemoryImage;
 use vecycle_net::{wire, TrafficCategory, TrafficLedger};
 use vecycle_types::{Bytes, PageCount, PageIndex, SimDuration};
 
+use crate::pipeline::rounds::TransferLoop;
 use crate::{MigrationEngine, Strategy};
 
 /// Outcome of a post-copy migration.
@@ -94,31 +96,38 @@ impl MigrationEngine {
             }
         }
 
-        let mut forward = TrafficLedger::new();
+        let faults = AttemptFaults::none();
+        let mut tl = TransferLoop::start(
+            self,
+            "postcopy",
+            &strategy,
+            vm.ram_size(),
+            vm.page_count(),
+            &faults,
+        );
         // Handover: vCPU + device state, a few MiB in practice.
         let device_state = Bytes::from_mib(4);
-        forward.record(TrafficCategory::Control, device_state);
+        tl.record_forward(TrafficCategory::Control, device_state);
         let downtime = self.link().transfer_time(device_state);
 
         // Checksum stream tells the destination which checkpoint pages
         // stand; network pages follow as full pages (prepaging).
-        forward.record_many(
+        tl.record_forward_many(
             TrafficCategory::Checksums,
             from_checkpoint,
             wire::checksum_msg(),
         );
-        forward.record_many(
+        tl.record_forward_many(
             TrafficCategory::FullPages,
             from_network,
             wire::full_page_msg(),
         );
         let completion_time =
             self.link()
-                .transfer_time(forward.total())
+                .transfer_time(tl.forward_total())
                 .max(if strategy.computes_checksums() {
                     // Source hashes the whole image to produce the stream.
-                    vecycle_host::CpuSpec::phenom_ii()
-                        .checksum_time(vecycle_hash::ChecksumAlgorithm::Md5, vm.ram_size())
+                    self.cpu.checksum_time(self.algorithm, vm.ram_size())
                 } else {
                     SimDuration::ZERO
                 });
@@ -136,6 +145,11 @@ impl MigrationEngine {
             .saturating_add(self.link().transfer_time(wire::full_page_msg()));
         let stall_time = SimDuration::from_secs_f64(per_fault.as_secs_f64() * demand_faults as f64);
 
+        let forward = tl.finish_observed(&[
+            ("pages_from_checkpoint", from_checkpoint),
+            ("pages_from_network", from_network),
+            ("demand_faults", demand_faults),
+        ]);
         Ok(PostCopyReport {
             downtime,
             completion_time,

@@ -1,0 +1,244 @@
+//! The session's reporting surface: incident transcripts and schedule
+//! aggregates.
+//!
+//! Everything here is *derived* data — the session records incidents and
+//! outcomes as it runs (each [`SessionEvent`] push also bumps the
+//! matching `session_events_total` counter), and these types present
+//! them to callers without influencing a single migration decision.
+
+use vecycle_faults::FaultCause;
+use vecycle_types::{HostId, PageCount, SimDuration, VmId};
+
+use crate::{MigrationOutcome, MigrationReport};
+
+/// Aggregate statistics over the reports of a schedule run.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_core::session::ScheduleSummary;
+///
+/// let summary = ScheduleSummary::of(&[]);
+/// assert_eq!(summary.migrations, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleSummary {
+    /// Number of migrations aggregated.
+    pub migrations: usize,
+    /// Total source → destination traffic.
+    pub total_traffic: vecycle_types::Bytes,
+    /// Mean migration time.
+    pub mean_time: vecycle_types::SimDuration,
+    /// Worst stop-and-copy downtime observed.
+    pub max_downtime: vecycle_types::SimDuration,
+    /// Migrations that recycled a checkpoint (vecycle strategies).
+    pub recycled: usize,
+    /// Migrations that only completed after at least one retry.
+    pub retried: usize,
+    /// Migrations that degraded to a full (dedup-only) transfer because
+    /// the checkpoint was unusable.
+    pub fell_back: usize,
+    /// Migrations that exhausted every attempt; the VM stayed put.
+    pub failed: usize,
+    /// Traffic spent on failed attempts across all migrations.
+    pub wasted_traffic: vecycle_types::Bytes,
+}
+
+impl ScheduleSummary {
+    /// Aggregates a report list (e.g. from
+    /// [`VeCycleSession::run_schedule`](super::VeCycleSession::run_schedule)).
+    pub fn of(reports: &[crate::MigrationReport]) -> ScheduleSummary {
+        use crate::StrategyName;
+        let total_traffic = reports.iter().map(|r| r.source_traffic()).sum();
+        let total_time: vecycle_types::SimDuration = reports.iter().map(|r| r.total_time()).sum();
+        let mean_time = if reports.is_empty() {
+            vecycle_types::SimDuration::ZERO
+        } else {
+            vecycle_types::SimDuration::from_nanos(total_time.as_nanos() / reports.len() as u64)
+        };
+        let max_downtime = reports
+            .iter()
+            .map(|r| r.downtime())
+            .fold(vecycle_types::SimDuration::ZERO, |a, b| a.max(b));
+        let recycled = reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.strategy(),
+                    StrategyName::VeCycle | StrategyName::VeCycleDedup
+                )
+            })
+            .count();
+        let mut retried = 0;
+        let mut fell_back = 0;
+        let mut failed = 0;
+        for r in reports {
+            match r.outcome() {
+                MigrationOutcome::Completed => {}
+                MigrationOutcome::CompletedAfterRetries { .. } => retried += 1,
+                MigrationOutcome::FellBackToFull { .. } => fell_back += 1,
+                MigrationOutcome::Failed { .. } => failed += 1,
+            }
+        }
+        let wasted_traffic = reports.iter().map(|r| r.wasted_traffic()).sum();
+        ScheduleSummary {
+            migrations: reports.len(),
+            total_traffic,
+            mean_time,
+            max_downtime,
+            recycled,
+            retried,
+            fell_back,
+            failed,
+            wasted_traffic,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} migrations ({} recycled): {} total, mean time {}, worst downtime {}",
+            self.migrations, self.recycled, self.total_traffic, self.mean_time, self.max_downtime,
+        )?;
+        if self.retried + self.fell_back + self.failed > 0 {
+            write!(
+                f,
+                " [{} retried, {} fell back, {} failed, {} wasted]",
+                self.retried, self.fell_back, self.failed, self.wasted_traffic,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A notable incident during a faulted migration, in occurrence order —
+/// the session's transcript of what went wrong and how it recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// A migration attempt died mid-transfer.
+    AttemptAborted {
+        /// The migrating VM.
+        vm: VmId,
+        /// Which attempt died (1-based).
+        attempt: u32,
+        /// Why it died.
+        cause: FaultCause,
+        /// Pages that reached the destination before the cut.
+        landed: PageCount,
+    },
+    /// The session backed off before the next attempt.
+    RetryScheduled {
+        /// The migrating VM.
+        vm: VmId,
+        /// The upcoming attempt number.
+        attempt: u32,
+        /// Simulated wait before it starts.
+        backoff: SimDuration,
+    },
+    /// A retry recycled the aborted attempt's landed pages as a
+    /// [`PartialCheckpoint`](vecycle_checkpoint::PartialCheckpoint) — VeCycle's idea applied to its own failure.
+    ResumedFromPartial {
+        /// The migrating VM.
+        vm: VmId,
+        /// The attempt doing the resuming.
+        attempt: u32,
+        /// Landed pages available for recycling.
+        landed: PageCount,
+    },
+    /// A stored checkpoint failed validation and was discarded; the
+    /// migration continues without recycling.
+    CorruptCheckpointDiscarded {
+        /// The VM whose checkpoint was unusable.
+        vm: VmId,
+        /// The host holding the bad checkpoint.
+        host: HostId,
+    },
+    /// The source host crashed while persisting the post-migration
+    /// checkpoint: the fresh capture is lost, the previous on-disk
+    /// checkpoint survives (guaranteed by the fsync + rename protocol).
+    CheckpointSaveLost {
+        /// The VM whose new checkpoint was lost.
+        vm: VmId,
+        /// The crashing host.
+        host: HostId,
+    },
+    /// Every attempt failed; the VM stays at the source.
+    MigrationFailed {
+        /// The VM that could not be moved.
+        vm: VmId,
+        /// The fault that killed the final attempt.
+        cause: FaultCause,
+    },
+}
+
+impl SessionEvent {
+    /// Stable snake_case label for metrics (`session_events_total{event=…}`).
+    ///
+    /// Every event the session pushes also bumps the matching counter
+    /// (see `VeCycleSession::record_event`), so transcript prose and the
+    /// metrics layer can never disagree about how often something
+    /// happened.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionEvent::AttemptAborted { .. } => "attempt_aborted",
+            SessionEvent::RetryScheduled { .. } => "retry_scheduled",
+            SessionEvent::ResumedFromPartial { .. } => "resumed_from_partial",
+            SessionEvent::CorruptCheckpointDiscarded { .. } => "corrupt_checkpoint_discarded",
+            SessionEvent::CheckpointSaveLost { .. } => "checkpoint_save_lost",
+            SessionEvent::MigrationFailed { .. } => "migration_failed",
+        }
+    }
+}
+
+impl std::fmt::Display for SessionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionEvent::AttemptAborted {
+                vm,
+                attempt,
+                cause,
+                landed,
+            } => write!(
+                f,
+                "{vm}: attempt {attempt} aborted ({cause}), {landed} landed"
+            ),
+            SessionEvent::RetryScheduled {
+                vm,
+                attempt,
+                backoff,
+            } => write!(
+                f,
+                "{vm}: retrying (attempt {attempt}) after {backoff} backoff"
+            ),
+            SessionEvent::ResumedFromPartial {
+                vm,
+                attempt,
+                landed,
+            } => write!(f, "{vm}: attempt {attempt} resumes from {landed} landed"),
+            SessionEvent::CorruptCheckpointDiscarded { vm, host } => {
+                write!(f, "{vm}: corrupt checkpoint discarded at {host}")
+            }
+            SessionEvent::CheckpointSaveLost { vm, host } => {
+                write!(
+                    f,
+                    "{vm}: {host} crashed during checkpoint save; old checkpoint survives"
+                )
+            }
+            SessionEvent::MigrationFailed { vm, cause } => {
+                write!(f, "{vm}: migration failed ({cause}), VM stays at source")
+            }
+        }
+    }
+}
+
+/// The result of a schedule run under fault injection: the per-leg
+/// reports (skipped legs produce none) plus the ordered incident log.
+#[derive(Debug)]
+pub struct FaultedScheduleRun {
+    /// One report per executed migration, in schedule order.
+    pub reports: Vec<MigrationReport>,
+    /// Incidents, in occurrence order.
+    pub events: Vec<SessionEvent>,
+}

@@ -1,0 +1,694 @@
+//! [`VeCycleSession`]: the paper's deployment loop over hosts and
+//! checkpoints.
+//!
+//! §3 describes the operational cycle: *"On an outgoing migration, the
+//! source writes a checkpoint of the VM to its local disk. A subsequent
+//! incoming migration of the same VM reuses the local checkpoint to
+//! bootstrap the VM."* This module owns that cycle so callers only say
+//! "move this VM there now".
+
+use std::sync::Arc;
+
+use vecycle_checkpoint::{Checkpoint, ChecksumIndex, PartialCheckpoint};
+use vecycle_faults::{FaultCause, FaultKind, FaultPlan, RetryPolicy};
+use vecycle_host::{Cluster, Host, MigrationSchedule};
+use vecycle_mem::{workload::GuestWorkload, Guest, MutableMemory};
+use vecycle_net::TrafficLedger;
+use vecycle_obs::{layouts, MetricsRegistry};
+use vecycle_types::{Bytes, Error, HostId, SimDuration, SimTime, VmId};
+
+use crate::{
+    LiveOutcome, MigrationEngine, MigrationOutcome, MigrationReport, SetupReport, Strategy,
+};
+
+/// What first-round technique the session applies when a checkpoint is
+/// (or is not) available at the destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecyclePolicy {
+    /// Always full migrations (the QEMU baseline).
+    Baseline,
+    /// Sender-side dedup only.
+    DedupOnly,
+    /// VeCycle: recycle a destination checkpoint when present, falling
+    /// back to dedup when none exists (as §4.6 assumes: "VeCycle still
+    /// uses deduplication").
+    VeCycle,
+    /// Adaptive: probe a page sample against the destination checkpoint
+    /// and only recycle when the estimated similarity clears
+    /// `min_similarity` — busy VMs skip the checksum pass entirely
+    /// (§2.3: "an active VM with no idle intervals will only gain a
+    /// small benefit from a local checkpoint").
+    Adaptive {
+        /// Minimum estimated similarity to engage VeCycle.
+        min_similarity: f64,
+    },
+}
+
+mod events;
+
+pub use events::{FaultedScheduleRun, ScheduleSummary, SessionEvent};
+
+/// A placed VM: guest state plus its current host.
+#[derive(Debug)]
+pub struct VmInstance<M> {
+    id: VmId,
+    guest: Guest<M>,
+    location: HostId,
+}
+
+impl<M: MutableMemory> VmInstance<M> {
+    /// Places a guest on `host`.
+    pub fn new(id: VmId, guest: Guest<M>, host: HostId) -> Self {
+        VmInstance {
+            id,
+            guest,
+            location: host,
+        }
+    }
+
+    /// The VM's identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// Where the VM currently runs.
+    pub fn location(&self) -> HostId {
+        self.location
+    }
+
+    /// The guest state.
+    pub fn guest(&self) -> &Guest<M> {
+        &self.guest
+    }
+
+    /// Mutable guest state (for driving workloads between migrations).
+    pub fn guest_mut(&mut self) -> &mut Guest<M> {
+        &mut self.guest
+    }
+}
+
+/// What the session found when it went looking for a recyclable
+/// checkpoint at the destination.
+#[derive(Debug, Clone)]
+enum CheckpointFetch {
+    /// A validated checkpoint, from the warm in-memory store or loaded
+    /// off the durable one.
+    Usable(Arc<Checkpoint>),
+    /// No checkpoint anywhere: first visit (or it was discarded).
+    Missing,
+    /// A checkpoint existed but failed validation and was discarded.
+    Corrupt,
+}
+
+/// Drives checkpoint-recycled migrations across a [`Cluster`].
+#[derive(Debug)]
+pub struct VeCycleSession {
+    cluster: Cluster,
+    engine: MigrationEngine,
+    policy: RecyclePolicy,
+    retry: RetryPolicy,
+}
+
+impl VeCycleSession {
+    /// Creates a session over `cluster` with the VeCycle policy, an
+    /// engine configured from the cluster's link, and the default
+    /// [`RetryPolicy`].
+    pub fn new(cluster: Cluster) -> Self {
+        let engine = MigrationEngine::new(cluster.link());
+        VeCycleSession {
+            cluster,
+            engine,
+            policy: RecyclePolicy::VeCycle,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Overrides the policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RecyclePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: MigrationEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the retry policy for faulted migrations.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Shares a metrics registry with this session (and its engine).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.engine = self.engine.with_metrics(metrics);
+        self
+    }
+
+    /// The metrics registry (the engine's — session and engine always
+    /// share one, so wire counters and session counters land together).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.engine.metrics()
+    }
+
+    /// Appends a transcript event *and* bumps its typed counter in one
+    /// step — the only way session code records an incident, so the two
+    /// accountings cannot drift.
+    fn record_event(&self, events: &mut Vec<SessionEvent>, event: SessionEvent) {
+        self.metrics()
+            .inc("session_events_total", &[("event", event.kind())], 1);
+        events.push(event);
+    }
+
+    /// Observes a freshly built recycling index, passing it through.
+    fn obs_index(&self, source: &str, index: Arc<ChecksumIndex>) -> Arc<ChecksumIndex> {
+        vecycle_checkpoint::observe_index(self.metrics(), source, &index);
+        index
+    }
+
+    /// The cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Finds a recyclable checkpoint of `vm` at `dest`, handling the two
+    /// failure shapes: an injected validation failure (the fault plan
+    /// says the stored bytes are bad) and a genuinely corrupt file in the
+    /// durable store. Corrupt checkpoints are discarded — worst case
+    /// VeCycle behaves like plain dedup, never worse (§3's invariant that
+    /// recycling is an optimisation, not a dependency).
+    fn fetch_checkpoint(
+        &self,
+        vm: VmId,
+        dest: &Host,
+        inject_corrupt: bool,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<CheckpointFetch> {
+        if inject_corrupt {
+            let had_mem = dest.store().remove(vm) > 0;
+            let mut had_disk = false;
+            if let Some(ds) = dest.disk_store() {
+                had_disk = matches!(ds.load(vm), Ok(Some(_)) | Err(Error::Corrupt { .. }));
+                ds.remove(vm)?;
+            }
+            if had_mem || had_disk {
+                self.record_event(
+                    events,
+                    SessionEvent::CorruptCheckpointDiscarded {
+                        vm,
+                        host: dest.id(),
+                    },
+                );
+                return Ok(CheckpointFetch::Corrupt);
+            }
+            return Ok(CheckpointFetch::Missing);
+        }
+        if let Some(cp) = dest.store().latest(vm) {
+            return Ok(CheckpointFetch::Usable(cp));
+        }
+        // Cold in-memory store: fall back to the durable one (the
+        // host-restart scenario) and warm the memory store on success.
+        if let Some(ds) = dest.disk_store() {
+            match ds.load(vm) {
+                Ok(Some(cp)) => {
+                    dest.store().save(cp);
+                    if let Some(warm) = dest.store().latest(vm) {
+                        return Ok(CheckpointFetch::Usable(warm));
+                    }
+                }
+                Ok(None) => {}
+                Err(Error::Corrupt { .. }) => {
+                    ds.remove(vm)?;
+                    self.record_event(
+                        events,
+                        SessionEvent::CorruptCheckpointDiscarded {
+                            vm,
+                            host: dest.id(),
+                        },
+                    );
+                    return Ok(CheckpointFetch::Corrupt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(CheckpointFetch::Missing)
+    }
+
+    /// Picks the first-round strategy from what the destination holds: a
+    /// full checkpoint, a [`PartialCheckpoint`] from an aborted attempt,
+    /// both (their digests union into one index), or neither. Also
+    /// reports why recycling was skipped, if it was skipped for a
+    /// fault-shaped reason.
+    fn strategy_for<M: MutableMemory>(
+        &self,
+        vm: &VmInstance<M>,
+        fetch: &CheckpointFetch,
+        partial: Option<&PartialCheckpoint>,
+    ) -> (Strategy, Option<FaultCause>) {
+        let partial = partial
+            .filter(|p| p.page_count() == vm.guest.page_count() && p.landed_pages().as_u64() > 0);
+        let corrupt = matches!(fetch, CheckpointFetch::Corrupt);
+        let cause = corrupt.then_some(FaultCause::CorruptCheckpoint);
+        let cp = match fetch {
+            CheckpointFetch::Usable(cp) if cp.page_count() == vm.guest.page_count() => {
+                Some(Arc::clone(cp))
+            }
+            _ => None,
+        };
+        match self.policy {
+            RecyclePolicy::Baseline => (Strategy::full(), None),
+            RecyclePolicy::DedupOnly => match partial {
+                Some(p) => (
+                    Strategy::vecycle_with_index(
+                        self.obs_index("partial", Arc::new(p.build_index())),
+                    )
+                    .with_dedup(),
+                    None,
+                ),
+                None => (Strategy::dedup(), None),
+            },
+            RecyclePolicy::VeCycle => {
+                let strategy = match (&cp, partial) {
+                    (Some(cp), Some(p)) => Strategy::vecycle_with_index(
+                        self.obs_index("merged", Arc::new(p.build_index_with(&cp.digests()))),
+                    )
+                    .with_dedup(),
+                    (Some(cp), None) => Strategy::vecycle_with_index(
+                        self.obs_index("checkpoint", Arc::new(cp.build_index())),
+                    )
+                    .with_dedup(),
+                    (None, Some(p)) => Strategy::vecycle_with_index(
+                        self.obs_index("partial", Arc::new(p.build_index())),
+                    )
+                    .with_dedup(),
+                    (None, None) => Strategy::dedup(),
+                };
+                (strategy, cause)
+            }
+            RecyclePolicy::Adaptive { min_similarity } => match cp {
+                Some(cp) => {
+                    let index = self.obs_index("checkpoint", Arc::new(cp.build_index()));
+                    let estimate =
+                        MigrationEngine::estimate_similarity(vm.guest.memory(), &index, 256);
+                    let recycle = estimate.as_f64() >= min_similarity;
+                    self.metrics()
+                        .set_gauge("session_similarity_estimate", &[], estimate.as_f64());
+                    self.metrics().inc(
+                        "session_similarity_probe_total",
+                        &[("verdict", if recycle { "recycle" } else { "fallback" })],
+                        1,
+                    );
+                    if recycle {
+                        let strategy =
+                            match partial {
+                                Some(p) => Strategy::vecycle_with_index(self.obs_index(
+                                    "merged",
+                                    Arc::new(p.build_index_with(&cp.digests())),
+                                ))
+                                .with_dedup(),
+                                None => Strategy::vecycle_with_index(index).with_dedup(),
+                            };
+                        (strategy, None)
+                    } else {
+                        let strategy = match partial {
+                            Some(p) => Strategy::vecycle_with_index(
+                                self.obs_index("partial", Arc::new(p.build_index())),
+                            )
+                            .with_dedup(),
+                            None => Strategy::dedup(),
+                        };
+                        (strategy, Some(FaultCause::LowSimilarity))
+                    }
+                }
+                None => match partial {
+                    Some(p) => (
+                        Strategy::vecycle_with_index(
+                            self.obs_index("partial", Arc::new(p.build_index())),
+                        )
+                        .with_dedup(),
+                        cause,
+                    ),
+                    None => (Strategy::dedup(), cause),
+                },
+            },
+        }
+    }
+
+    /// Migrates `vm` to `to` at simulated instant `now`, running
+    /// `workload` inside the guest during the copy rounds.
+    ///
+    /// Implements the full cycle: pick a strategy from the destination's
+    /// checkpoint store, run the pre-copy engine, store a fresh
+    /// checkpoint of the *post-migration* state at the source (the host
+    /// being vacated), and update the VM's location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if `to` is not in the cluster or the
+    /// VM's current host is unknown, and propagates engine errors.
+    pub fn migrate<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        to: HostId,
+        now: SimTime,
+        workload: &mut W,
+    ) -> vecycle_types::Result<MigrationReport>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        self.migrate_with_faults(
+            vm,
+            to,
+            now,
+            workload,
+            &FaultPlan::none(),
+            0,
+            &mut Vec::new(),
+        )
+    }
+
+    /// Migrates `vm` to `to` under the faults `plan` assigns to leg
+    /// `leg`, retrying per the session's [`RetryPolicy`]. Incidents are
+    /// appended to `events` in occurrence order.
+    ///
+    /// Fault-induced failures are *data*, not errors: an attempt killed
+    /// by an injected link drop is retried (recycling the aborted
+    /// attempt's landed pages as a [`PartialCheckpoint`] when the policy
+    /// allows), and a migration that exhausts every attempt returns a
+    /// report with [`MigrationOutcome::Failed`] and the VM still at the
+    /// source. `Err` is reserved for real problems: unknown hosts,
+    /// filesystem failures, engine invariant violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if `to` is not in the cluster or the
+    /// VM's current host is unknown, and propagates engine and
+    /// durable-store errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate_with_faults<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        to: HostId,
+        now: SimTime,
+        workload: &mut W,
+        plan: &FaultPlan,
+        leg: usize,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<MigrationReport>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        let source = self
+            .cluster
+            .host(vm.location)
+            .ok_or_else(|| Error::NotFound {
+                what: format!("source host {}", vm.location),
+            })?
+            .clone();
+        let dest = self
+            .cluster
+            .host(to)
+            .ok_or_else(|| Error::NotFound {
+                what: format!("destination host {to}"),
+            })?
+            .clone();
+
+        let inject_corrupt = plan.has(leg, |f| matches!(f, FaultKind::CheckpointCorrupt));
+        let crash_on_save = plan.has(leg, |f| matches!(f, FaultKind::CrashDuringSave));
+        let fetch = self.fetch_checkpoint(vm.id, &dest, inject_corrupt, events)?;
+        let fetch_result = match &fetch {
+            CheckpointFetch::Usable(_) => "hit",
+            CheckpointFetch::Missing => "miss",
+            CheckpointFetch::Corrupt => "corrupt",
+        };
+        self.metrics().inc(
+            "session_checkpoint_fetch_total",
+            &[("result", fetch_result)],
+            1,
+        );
+        // The attempts this migration makes are *derived from the metrics
+        // layer*: the counter delta across the retry loop is the one
+        // source of truth the outcome reports (the transcript's
+        // `AttemptAborted`/`RetryScheduled` counts must reconcile with it
+        // — tested in `tests/metrics_golden.rs`).
+        let attempts_before = self.metrics().counter("session_attempts_total", &[]);
+
+        let mut partial: Option<PartialCheckpoint> = None;
+        let mut wasted_traffic = Bytes::ZERO;
+        let mut wasted_time = SimDuration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            self.metrics().inc("session_attempts_total", &[], 1);
+            let attempt_faults = plan.for_attempt(leg, attempt);
+            let (strategy, cause) = self.strategy_for(vm, &fetch, partial.as_ref());
+            let strategy_name = strategy.name();
+            match self.engine.migrate_live_faulted(
+                &mut vm.guest,
+                workload,
+                strategy,
+                &attempt_faults,
+            )? {
+                LiveOutcome::Completed(mut report) => {
+                    let attempts = (self.metrics().counter("session_attempts_total", &[])
+                        - attempts_before) as u32;
+                    let outcome = if attempts > 1 {
+                        MigrationOutcome::CompletedAfterRetries { attempts }
+                    } else if let Some(cause) = cause {
+                        MigrationOutcome::FellBackToFull { cause }
+                    } else {
+                        MigrationOutcome::Completed
+                    };
+                    self.metrics().inc(
+                        "session_outcomes_total",
+                        &[("outcome", outcome.label())],
+                        1,
+                    );
+                    report.set_outcome(outcome);
+                    report.add_waste(wasted_traffic, wasted_time);
+
+                    // "After the migration, the source writes a checkpoint
+                    // of the VM to its local disk" — the state that just
+                    // left. The write is off the critical path but its
+                    // cost is accounted in the setup report.
+                    if crash_on_save {
+                        // The host dies mid-write: the fsync + rename
+                        // protocol guarantees the *previous* checkpoint
+                        // survives intact, so only the fresh capture is
+                        // lost.
+                        self.metrics().inc(
+                            "session_checkpoint_saves_total",
+                            &[("result", "lost")],
+                            1,
+                        );
+                        self.record_event(
+                            events,
+                            SessionEvent::CheckpointSaveLost {
+                                vm: vm.id,
+                                host: source.id(),
+                            },
+                        );
+                    } else {
+                        let checkpoint = Checkpoint::capture(vm.id, now, vm.guest.memory());
+                        if let Some(ds) = source.disk_store() {
+                            ds.save(&checkpoint)?;
+                        }
+                        source.store().save(checkpoint);
+                        self.metrics().inc(
+                            "session_checkpoint_saves_total",
+                            &[("result", "saved")],
+                            1,
+                        );
+                        report.setup_mut().checkpoint_write =
+                            source.disk().sequential_time(vm.guest.ram_size());
+                    }
+                    vm.location = to;
+                    return Ok(report);
+                }
+                LiveOutcome::Aborted(aborted) => {
+                    wasted_traffic += aborted.traffic;
+                    wasted_time = wasted_time.saturating_add(aborted.elapsed);
+                    self.metrics().inc(
+                        "faults_observed_total",
+                        &[("cause", aborted.cause.label())],
+                        1,
+                    );
+                    self.record_event(
+                        events,
+                        SessionEvent::AttemptAborted {
+                            vm: vm.id,
+                            attempt,
+                            cause: aborted.cause,
+                            landed: aborted.landed_pages(),
+                        },
+                    );
+                    if attempt >= self.retry.max_attempts {
+                        self.metrics()
+                            .inc("session_outcomes_total", &[("outcome", "failed")], 1);
+                        self.record_event(
+                            events,
+                            SessionEvent::MigrationFailed {
+                                vm: vm.id,
+                                cause: aborted.cause,
+                            },
+                        );
+                        let mut report = MigrationReport::new(
+                            strategy_name,
+                            vm.guest.ram_size(),
+                            Vec::new(),
+                            SimDuration::ZERO,
+                            SetupReport::default(),
+                            TrafficLedger::new(),
+                            TrafficLedger::new(),
+                        );
+                        report.set_outcome(MigrationOutcome::Failed {
+                            cause: aborted.cause,
+                        });
+                        report.set_converged(false);
+                        report.add_waste(wasted_traffic, wasted_time);
+                        // The VM never left; no checkpoint is written and
+                        // its location does not change.
+                        return Ok(report);
+                    }
+                    let next = attempt + 1;
+                    let backoff = self.retry.backoff_before(next);
+                    self.metrics().inc("session_retries_total", &[], 1);
+                    self.metrics().observe(
+                        "session_backoff_sim_millis",
+                        &[],
+                        layouts::SIM_MILLIS,
+                        backoff.as_nanos() / 1_000_000,
+                    );
+                    self.record_event(
+                        events,
+                        SessionEvent::RetryScheduled {
+                            vm: vm.id,
+                            attempt: next,
+                            backoff,
+                        },
+                    );
+                    // The guest keeps running (and dirtying pages) at the
+                    // source while the session waits out the backoff.
+                    workload.advance(&mut vm.guest, backoff);
+                    wasted_time = wasted_time.saturating_add(backoff);
+                    if self.retry.resume_from_partial
+                        && !matches!(self.policy, RecyclePolicy::Baseline)
+                        && aborted.landed_pages().as_u64() > 0
+                    {
+                        self.record_event(
+                            events,
+                            SessionEvent::ResumedFromPartial {
+                                vm: vm.id,
+                                attempt: next,
+                                landed: aborted.landed_pages(),
+                            },
+                        );
+                        let resumed = PartialCheckpoint::new(vm.id, aborted.landed);
+                        vecycle_checkpoint::observe_partial(self.metrics(), &resumed);
+                        partial = Some(resumed);
+                    }
+                    attempt = next;
+                }
+            }
+        }
+    }
+
+    /// Runs a [`MigrationSchedule`], advancing `workload` through the
+    /// gaps between migrations so the guest keeps aging between moves.
+    ///
+    /// Returns one report per leg, in schedule order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first leg whose source host does not match the VM's
+    /// current location (an inconsistent schedule) or whose migration
+    /// fails.
+    pub fn run_schedule<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        schedule: &MigrationSchedule,
+        workload: &mut W,
+    ) -> vecycle_types::Result<Vec<MigrationReport>>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        let mut reports = Vec::with_capacity(schedule.len());
+        let mut clock = SimTime::EPOCH;
+        for leg in schedule {
+            if leg.from != vm.location {
+                return Err(Error::InvalidConfig {
+                    reason: format!(
+                        "schedule expects {} at {} but it is at {}",
+                        vm.id, leg.from, vm.location
+                    ),
+                });
+            }
+            let gap = leg.at.duration_since(clock);
+            workload.advance(&mut vm.guest, gap);
+            clock = leg.at;
+            reports.push(self.migrate(vm, leg.to, clock, workload)?);
+        }
+        Ok(reports)
+    }
+
+    /// Runs a [`MigrationSchedule`] under fault injection.
+    ///
+    /// Unlike [`VeCycleSession::run_schedule`], a failed migration does
+    /// not poison the run: the VM simply stays where it is, and later
+    /// legs adapt — a leg whose destination is the VM's current host is
+    /// skipped (the failure already "achieved" it), any other leg
+    /// migrates from the VM's *actual* location rather than the
+    /// scheduled one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates only non-fault errors (unknown hosts, filesystem
+    /// failures); injected faults never produce an `Err`.
+    pub fn run_schedule_with_faults<M, W>(
+        &self,
+        vm: &mut VmInstance<M>,
+        schedule: &MigrationSchedule,
+        workload: &mut W,
+        plan: &FaultPlan,
+    ) -> vecycle_types::Result<FaultedScheduleRun>
+    where
+        M: MutableMemory,
+        W: GuestWorkload<M>,
+    {
+        vecycle_faults::observe_plan(self.metrics(), plan);
+        let mut reports = Vec::with_capacity(schedule.len());
+        let mut events = Vec::new();
+        let mut clock = SimTime::EPOCH;
+        for (leg_idx, leg) in schedule.legs().iter().enumerate() {
+            let gap = leg.at.duration_since(clock);
+            workload.advance(&mut vm.guest, gap);
+            clock = leg.at;
+            if leg.to == vm.location {
+                continue;
+            }
+            reports.push(self.migrate_with_faults(
+                vm,
+                leg.to,
+                clock,
+                workload,
+                plan,
+                leg_idx,
+                &mut events,
+            )?);
+        }
+        Ok(FaultedScheduleRun { reports, events })
+    }
+}

@@ -40,7 +40,15 @@ impl FaultCause {
 /// Records every fault the plan has armed, by kind, into
 /// `faults_injected_total{kind=…}`, plus the armed-leg count in
 /// `faults_injected_legs_total`. Call once per schedule run.
+///
+/// An empty plan records *nothing* — not even zero-valued series — so a
+/// run under a null plan is observationally identical to a run that
+/// never had a plan at all (the session layer's clean-is-faulted
+/// symmetry depends on this).
 pub fn observe_plan(metrics: &MetricsRegistry, plan: &FaultPlan) {
+    if plan.is_empty() {
+        return;
+    }
     metrics.inc(
         "faults_injected_legs_total",
         &[],
@@ -94,6 +102,11 @@ mod tests {
         let m = MetricsRegistry::new();
         observe_plan(&m, &FaultPlan::none());
         assert_eq!(m.counter_total("faults_injected_total"), 0);
+        // No zero-valued series either: the snapshot is truly empty.
+        assert_eq!(
+            m.snapshot().to_canonical_json(),
+            MetricsRegistry::new().snapshot().to_canonical_json()
+        );
     }
 
     #[test]

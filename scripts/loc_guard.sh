@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Fails if any source file under crates/core/src grows past the cap.
+#
+# The pipeline refactor split the old monolithic engine.rs/session.rs
+# into focused modules; this guard keeps them focused. If a legitimate
+# change needs more room, split the module instead of raising the cap.
+set -euo pipefail
+
+CAP=800
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FAILED=0
+
+while IFS= read -r file; do
+    lines=$(wc -l <"$file")
+    if ((lines > CAP)); then
+        echo "FAIL: $file is $lines lines (cap: $CAP)" >&2
+        FAILED=1
+    fi
+done < <(find "$ROOT/crates/core/src" -name '*.rs' | sort)
+
+if ((FAILED)); then
+    echo "error: split oversized modules instead of growing them" >&2
+    exit 1
+fi
+echo "loc_guard: all crates/core/src files within $CAP lines"

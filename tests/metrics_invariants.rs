@@ -9,12 +9,15 @@
 use std::collections::BTreeMap;
 
 use vecycle::checkpoint::Checkpoint;
+use vecycle::core::session::{RecyclePolicy, VeCycleSession, VmInstance};
 use vecycle::core::{MigrationEngine, Strategy};
+use vecycle::faults::FaultPlan;
+use vecycle::host::{Cluster, MigrationSchedule};
 use vecycle::mem::workload::{GuestWorkload, IdleWorkload};
 use vecycle::mem::{ByteMemory, Guest};
 use vecycle::net::LinkSpec;
 use vecycle::obs::{MetricsRegistry, MetricsSnapshot};
-use vecycle::types::{PageCount, SimDuration, SimTime, VmId};
+use vecycle::types::{HostId, PageCount, SimDuration, SimTime, VmId};
 
 /// Folds one counter family into a `labels -> value` map so two
 /// families can be compared series-by-series.
@@ -121,6 +124,71 @@ fn clean_session_run_keeps_engine_and_net_in_lockstep() {
         family(&snap, "net_wire_messages_total"),
     );
     assert!(snap.counter_total("engine_wire_bytes_total") > 0);
+}
+
+/// Session-level *clean-is-faulted* symmetry: `run_schedule` is exactly
+/// `run_schedule_with_faults` with an empty [`FaultPlan`]. Both must
+/// leave byte-identical snapshots — the same `session_events_total` and
+/// `session_outcomes_total` series included, so the fault-capable path
+/// cannot tag events or outcomes differently when no fault ever fires.
+#[test]
+fn clean_and_null_plan_session_runs_are_indistinguishable() {
+    let run = |plan: Option<&FaultPlan>| {
+        let metrics = MetricsRegistry::new();
+        let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+        let engine = MigrationEngine::new(cluster.link()).with_metrics(metrics.clone());
+        let session = VeCycleSession::new(cluster)
+            .with_engine(engine)
+            .with_policy(RecyclePolicy::VeCycle)
+            .with_metrics(metrics.clone());
+        let mem = ByteMemory::with_distinct_content(PageCount::new(256), 99);
+        let mut vm = VmInstance::new(VmId::new(7), Guest::new(mem), HostId::new(0));
+        let schedule = MigrationSchedule::ping_pong(
+            VmId::new(7),
+            HostId::new(0),
+            HostId::new(1),
+            SimTime::EPOCH + SimDuration::from_hours(1),
+            SimDuration::from_hours(1),
+            3,
+        );
+        let mut workload = IdleWorkload::new(17, 0.02);
+        match plan {
+            Some(plan) => {
+                session
+                    .run_schedule_with_faults(&mut vm, &schedule, &mut workload, plan)
+                    .unwrap();
+            }
+            None => {
+                session
+                    .run_schedule(&mut vm, &schedule, &mut workload)
+                    .unwrap();
+            }
+        }
+        metrics.snapshot()
+    };
+    let clean = run(None);
+    let faulted = run(Some(&FaultPlan::none()));
+    assert_eq!(
+        family(&clean, "session_events_total"),
+        family(&faulted, "session_events_total"),
+        "event tagging forked between the clean and fault-capable paths"
+    );
+    assert_eq!(
+        family(&clean, "session_outcomes_total"),
+        family(&faulted, "session_outcomes_total"),
+        "outcome tagging forked between the clean and fault-capable paths"
+    );
+    assert_eq!(
+        clean.to_canonical_json(),
+        faulted.to_canonical_json(),
+        "a null fault plan must be observationally identical to no plan"
+    );
+    // Events are incident-driven, so a clean run records none — but the
+    // outcome series must prove both runs actually migrated.
+    assert_eq!(
+        clean.counter("session_outcomes_total", &[("outcome", "completed")]),
+        3
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use vecycle::core::{LiveOutcome, MigrationEngine, Strategy};
 use vecycle::faults::{AttemptFaults, DropPoint};
-use vecycle::mem::workload::SilentWorkload;
+use vecycle::mem::workload::{IdleWorkload, SilentWorkload};
 use vecycle::mem::{DigestMemory, Guest, MemoryImage, MutableMemory, PageContent};
 use vecycle::net::LinkSpec;
 use vecycle::obs::{MetricsRegistry, MetricsSnapshot};
@@ -150,6 +150,64 @@ proptest! {
                 }
                 _ => prop_assert!(false, "outcome kind diverged at threads {}", threads),
             }
+        }
+    }
+
+    /// The *clean-is-faulted* pipeline invariant: [`MigrationEngine::
+    /// migrate_live`] is exactly `migrate_live_faulted` with an empty
+    /// fault plan. Both entry points must produce an identical report
+    /// *and* an identical canonical metrics snapshot — same counters,
+    /// same spans, same outcome tags — across strategies, workload
+    /// seeds, and every thread count. Any fork between the two paths
+    /// (a clean-only shortcut, a faulted-only counter) fails here.
+    #[test]
+    fn clean_path_equals_faulted_path_with_empty_plan(
+        vm_ids in vec(0u64..24, 1..200),
+        cp_ids in vec(0u64..24, 1..200),
+        seed in any::<u64>(),
+        rate in 1.0f64..4000.0,
+        use_index in any::<bool>(),
+        use_dedup in any::<bool>(),
+    ) {
+        let cp = image(&cp_ids);
+        let base = if use_index {
+            Strategy::vecycle(&cp)
+        } else {
+            Strategy::full()
+        };
+        let strategy = if use_dedup { base.with_dedup() } else { base };
+        for threads in [1usize, 2, 4, 8] {
+            let run = |faulted: bool| {
+                let metrics = MetricsRegistry::new();
+                let mut guest = Guest::new(image(&vm_ids));
+                let mut workload = IdleWorkload::new(seed, rate);
+                let engine = MigrationEngine::new(LinkSpec::lan_gigabit())
+                    .with_threads(threads)
+                    .with_metrics(metrics.clone());
+                let report = if faulted {
+                    match engine
+                        .migrate_live_faulted(
+                            &mut guest,
+                            &mut workload,
+                            strategy.clone(),
+                            &AttemptFaults::none(),
+                        )
+                        .unwrap()
+                    {
+                        LiveOutcome::Completed(report) => report,
+                        LiveOutcome::Aborted(_) => unreachable!("no faults injected"),
+                    }
+                } else {
+                    engine
+                        .migrate_live(&mut guest, &mut workload, strategy.clone())
+                        .unwrap()
+                };
+                (report, metrics.snapshot().to_canonical_json())
+            };
+            let (clean_report, clean_snap) = run(false);
+            let (faulted_report, faulted_snap) = run(true);
+            prop_assert_eq!(&clean_report, &faulted_report, "threads {}", threads);
+            prop_assert_eq!(&clean_snap, &faulted_snap, "threads {}", threads);
         }
     }
 
