@@ -22,6 +22,8 @@ use vecycle_types::Bytes;
 
 pub use vecycle_analysis as analysis;
 
+pub mod soak;
+
 /// Parsed common CLI options.
 #[derive(Debug, Clone)]
 pub struct Options {

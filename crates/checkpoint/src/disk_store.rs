@@ -11,7 +11,27 @@ use std::path::{Path, PathBuf};
 
 use vecycle_types::{Error, VmId};
 
-use crate::Checkpoint;
+use crate::{wire, Checkpoint};
+
+/// What a [`DiskStore::scrub`] pass found: the checkpoints that passed
+/// re-verification and the VMs whose files were quarantined.
+#[derive(Debug, Default)]
+pub struct ScrubOutcome {
+    /// Checkpoints that re-verified clean, in VM-id order.
+    pub clean: Vec<Checkpoint>,
+    /// VMs whose files failed validation and were deleted.
+    pub quarantined: Vec<VmId>,
+    /// Estimated pages across quarantined files (from file length — the
+    /// corrupt payload itself is untrustworthy).
+    pub corrupt_pages: u64,
+}
+
+impl ScrubOutcome {
+    /// Pages across the checkpoints that re-verified clean.
+    pub fn clean_pages(&self) -> u64 {
+        self.clean.iter().map(|c| c.page_count().as_u64()).sum()
+    }
+}
 
 /// A directory of checkpoint files, one per VM.
 ///
@@ -138,6 +158,53 @@ impl DiskStore {
         }
     }
 
+    /// The VMs with a stored checkpoint file, in id order — the on-disk
+    /// catalog, for comparison against
+    /// [`CheckpointStore::vm_ids`](crate::CheckpointStore::vm_ids).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors.
+    pub fn vm_ids(&self) -> vecycle_types::Result<Vec<VmId>> {
+        self.list()
+    }
+
+    /// Re-verifies every checkpoint file against its wire trailer
+    /// checksum — what a host runs after restarting from a crash, when
+    /// it can no longer trust that disk matches memory.
+    ///
+    /// Files that fail validation are *quarantined*: deleted from disk
+    /// (never restored from) and reported in
+    /// [`ScrubOutcome::quarantined`]. Clean checkpoints are returned in
+    /// VM-id order so the caller can re-warm an in-memory catalog.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than validation failures
+    /// (those are quarantines, not errors).
+    pub fn scrub(&self) -> vecycle_types::Result<ScrubOutcome> {
+        let mut outcome = ScrubOutcome::default();
+        for vm in self.list()? {
+            match self.load(vm) {
+                Ok(Some(cp)) => outcome.clean.push(cp),
+                Ok(None) => {} // raced away; nothing to verify
+                Err(Error::Corrupt { .. }) => {
+                    // Estimate the page count from the file size (header
+                    // + 16-byte digests) before deleting — the payload
+                    // itself is untrustworthy.
+                    let len = std::fs::metadata(self.path_for(vm))
+                        .map(|m| m.len())
+                        .unwrap_or(0);
+                    outcome.corrupt_pages += len.saturating_sub(wire::HEADER_AND_TRAILER) / 16;
+                    self.remove(vm)?;
+                    outcome.quarantined.push(vm);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(outcome)
+    }
+
     /// Lists the VMs with a stored checkpoint file.
     ///
     /// # Errors
@@ -242,6 +309,34 @@ mod tests {
             store.list().unwrap(),
             vec![VmId::new(2), VmId::new(7), VmId::new(9)]
         );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_quarantines_corrupt_keeps_clean() {
+        let dir = tmpdir("scrub");
+        let store = DiskStore::open(&dir).unwrap();
+        store.save(&cp(1, 10)).unwrap();
+        store.save(&cp(2, 20)).unwrap();
+        store.save(&cp(3, 30)).unwrap();
+        // Rot vm-2's file.
+        let path = dir.join("vm-2.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, bytes).unwrap();
+
+        let outcome = store.scrub().unwrap();
+        assert_eq!(outcome.quarantined, vec![VmId::new(2)]);
+        assert_eq!(outcome.clean.len(), 2);
+        assert_eq!(outcome.clean_pages(), 32);
+        // corrupt_pages is estimated from the file length.
+        assert_eq!(outcome.corrupt_pages, 16);
+        // The quarantined file is gone; clean ones survive.
+        assert_eq!(store.vm_ids().unwrap(), vec![VmId::new(1), VmId::new(3)]);
+        // A second scrub finds nothing to quarantine.
+        let again = store.scrub().unwrap();
+        assert!(again.quarantined.is_empty());
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -26,6 +26,7 @@ mod checkpoint;
 mod dedup;
 mod disk_store;
 mod index;
+mod lifecycle;
 mod obs;
 mod partial;
 mod store;
@@ -33,8 +34,9 @@ mod wire;
 
 pub use checkpoint::{Checkpoint, CheckpointData};
 pub use dedup::DedupIndex;
-pub use disk_store::DiskStore;
+pub use disk_store::{DiskStore, ScrubOutcome};
 pub use index::{ChecksumIndex, HashChecksumIndex, PageLookup};
+pub use lifecycle::{EvictionPolicy, EvictionReason, EvictionRecord, GoneReason, SaveOutcome};
 pub use obs::{observe_index, observe_partial};
 pub use partial::PartialCheckpoint;
 pub use store::CheckpointStore;

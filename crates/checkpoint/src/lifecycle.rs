@@ -1,0 +1,163 @@
+//! Checkpoint lifecycle vocabulary: eviction policies, eviction
+//! records, and tombstones.
+//!
+//! "Local storage is cheap" (§2) but not infinite: once a host carries
+//! a byte budget, every save becomes an admission decision and *which*
+//! checkpoint gets evicted under pressure decides how much of the
+//! paper's traffic reduction survives. Workload-cycle studies (Baruchi
+//! et al.) show VMs return to hosts on predictable periods, so the
+//! cycle-aware [`EvictionPolicy::StalenessScore`] weighs a checkpoint's
+//! age against its VM's observed return period instead of treating all
+//! staleness alike.
+//!
+//! Everything here is deterministic: victim selection depends only on
+//! store contents and simulated time, never on wall clock or map
+//! iteration order.
+
+use vecycle_types::{Bytes, SimDuration, SimTime, VmId};
+
+/// How a [`CheckpointStore`](crate::CheckpointStore) picks eviction
+/// victims when a save pushes it over its byte quota.
+///
+/// All policies are deterministic; ties break towards the oldest
+/// checkpoint, then insertion order. The just-saved checkpoint is never
+/// a victim — admission already guaranteed it fits the quota alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Evict the checkpoint with the oldest capture time.
+    #[default]
+    OldestFirst,
+    /// Evict the checkpoint least recently recycled by a migration
+    /// (never-recycled checkpoints go first, oldest capture first).
+    LruByRecycle,
+    /// Evict the checkpoint occupying the most bytes.
+    LargestFirst,
+    /// Evict the checkpoint with the worst age-to-return-period ratio:
+    /// a checkpoint two return periods stale is deader than one half a
+    /// period stale, even if the latter is older in absolute terms.
+    /// VMs with no observed period yet assume
+    /// [`EvictionPolicy::DEFAULT_RETURN_PERIOD`].
+    StalenessScore,
+}
+
+impl EvictionPolicy {
+    /// Assumed return period for a VM the store has only seen once —
+    /// the paper's headline experiment revisits hosts on a daily cycle.
+    pub const DEFAULT_RETURN_PERIOD: SimDuration = SimDuration::from_hours(24);
+
+    /// Stable snake_case label for metrics
+    /// (`ckpt_evictions_total{policy=…}`) and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictionPolicy::OldestFirst => "oldest_first",
+            EvictionPolicy::LruByRecycle => "lru_by_recycle",
+            EvictionPolicy::LargestFirst => "largest_first",
+            EvictionPolicy::StalenessScore => "staleness_score",
+        }
+    }
+
+    /// Parses a CLI-flag spelling (`oldest`, `lru`, `largest`,
+    /// `staleness`, or any full label).
+    pub fn parse(s: &str) -> Option<EvictionPolicy> {
+        match s {
+            "oldest" | "oldest_first" => Some(EvictionPolicy::OldestFirst),
+            "lru" | "lru_by_recycle" => Some(EvictionPolicy::LruByRecycle),
+            "largest" | "largest_first" => Some(EvictionPolicy::LargestFirst),
+            "staleness" | "staleness_score" => Some(EvictionPolicy::StalenessScore),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a checkpoint left the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictionReason {
+    /// Pushed out of the per-VM version history by a newer save.
+    Version,
+    /// Evicted to bring the store back under its byte quota.
+    Quota,
+}
+
+impl EvictionReason {
+    /// Stable snake_case label for metrics
+    /// (`ckpt_evictions_total{reason=…}`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictionReason::Version => "version",
+            EvictionReason::Quota => "quota",
+        }
+    }
+}
+
+/// One checkpoint evicted during a save — enough for the host layer to
+/// mirror the eviction to disk and for the session to narrate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictionRecord {
+    /// The VM whose checkpoint was evicted.
+    pub vm: VmId,
+    /// When the evicted checkpoint was captured.
+    pub taken_at: SimTime,
+    /// Bytes freed.
+    pub size: Bytes,
+    /// Why it was evicted.
+    pub reason: EvictionReason,
+    /// True when this was the VM's last stored version — the host must
+    /// delete the VM's disk file, and the store leaves an
+    /// [`Evicted`](GoneReason::Evicted) tombstone.
+    pub last_version: bool,
+}
+
+/// Why a VM has *no* checkpoint where one used to be. Distinguishes "we
+/// chose to drop it" from "it rotted on disk" so a later migration can
+/// degrade with the right cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GoneReason {
+    /// Evicted under disk pressure.
+    Evicted,
+    /// Failed checksum verification during a scrub pass and was
+    /// quarantined (file deleted, never restored from).
+    Quarantined,
+}
+
+impl GoneReason {
+    /// Stable snake_case label for events and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GoneReason::Evicted => "evicted",
+            GoneReason::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// What a quota-governed save did: whether the checkpoint was admitted,
+/// and which victims were evicted to make room.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SaveOutcome {
+    /// False when the checkpoint alone exceeds the quota and admission
+    /// refused it outright (nothing was evicted for a refused save).
+    pub stored: bool,
+    /// Checkpoints evicted by this save, in eviction order.
+    pub evicted: Vec<EvictionRecord>,
+}
+
+impl SaveOutcome {
+    /// A refused admission: nothing stored, nothing evicted.
+    pub fn refused() -> SaveOutcome {
+        SaveOutcome {
+            stored: false,
+            evicted: Vec::new(),
+        }
+    }
+
+    /// VMs whose *last* version this save evicted — the set whose disk
+    /// files must be removed to keep disk ≡ catalog.
+    pub fn fully_evicted_vms(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.evicted.iter().filter(|r| r.last_version).map(|r| r.vm)
+    }
+}

@@ -1,12 +1,13 @@
 //! [`CheckpointStore`]: the per-host checkpoint collection.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use vecycle_types::{Bytes, SimTime, VmId};
 
+use crate::lifecycle::{EvictionPolicy, EvictionReason, EvictionRecord, GoneReason, SaveOutcome};
 use crate::Checkpoint;
 
 /// The checkpoints a host keeps on its local disk.
@@ -14,7 +15,15 @@ use crate::Checkpoint;
 /// The paper's scheme stores one checkpoint per VM per visited host and
 /// replaces it on every outgoing migration; we additionally keep a small
 /// version history (newest first) with byte-budget eviction, since "local
-/// storage is cheap" but not infinite.
+/// storage is cheap" but not infinite. An optional byte quota turns every
+/// save into an admission decision: victims are chosen by a deterministic
+/// [`EvictionPolicy`] and reported back so the host layer can mirror the
+/// eviction to its [`DiskStore`](crate::DiskStore).
+///
+/// A VM whose last checkpoint was evicted (or quarantined by a scrub
+/// pass) leaves a [`GoneReason`] tombstone, so a later migration can tell
+/// "never had one" from "had one and lost it" and degrade with the right
+/// cause.
 ///
 /// The store is internally synchronized — hosts are shared between the
 /// scenario driver and the migration engine.
@@ -38,16 +47,147 @@ pub struct CheckpointStore {
     inner: RwLock<Inner>,
 }
 
+/// One stored checkpoint plus the bookkeeping eviction policies need.
+#[derive(Debug)]
+struct Entry {
+    checkpoint: Arc<Checkpoint>,
+    /// Monotonic insertion sequence — the final, always-distinct
+    /// tie-breaker for every policy.
+    seq: u64,
+    /// Monotonic touch sequence of the last recycle hit (0 = never
+    /// recycled), driving [`EvictionPolicy::LruByRecycle`].
+    recycled: u64,
+}
+
+/// Running estimate of how often a VM's checkpoints land on this host —
+/// the "return period" of workload-cycle studies. A plain mean of
+/// save-to-save gaps in nanoseconds; deterministic because simulated
+/// time is.
+#[derive(Debug, Clone, Copy)]
+struct ReturnPeriod {
+    last_save: SimTime,
+    mean_nanos: f64,
+    gaps: u64,
+}
+
 #[derive(Debug)]
 struct Inner {
-    by_vm: HashMap<VmId, Vec<Arc<Checkpoint>>>,
+    // BTreeMaps keep every iteration (victim scans, catalog listings)
+    // in VmId order — eviction must be deterministic.
+    by_vm: BTreeMap<VmId, Vec<Entry>>,
     versions_per_vm: usize,
     used: Bytes,
+    quota: Option<Bytes>,
+    policy: EvictionPolicy,
+    gone: BTreeMap<VmId, GoneReason>,
+    periods: BTreeMap<VmId, ReturnPeriod>,
+    next_seq: u64,
+    next_touch: u64,
+}
+
+impl Inner {
+    /// Picks the next eviction victim under `policy`, excluding the
+    /// just-saved checkpoint (`protect_vm`'s newest entry). Returns the
+    /// owning VM and version index.
+    ///
+    /// Scores are built so that the *maximum* wins and ties break
+    /// deterministically: every comparison ends in the unique insertion
+    /// `seq`.
+    fn pick_victim(&self, protect_vm: VmId, now: SimTime) -> Option<(VmId, usize)> {
+        let mut best: Option<((u64, u64, u64), VmId, usize)> = None;
+        for (&vm, versions) in &self.by_vm {
+            for (idx, entry) in versions.iter().enumerate() {
+                if vm == protect_vm && idx == 0 {
+                    continue; // never evict what admission just let in
+                }
+                let key = self.victim_score(vm, entry, now);
+                if best.as_ref().is_none_or(|(b, _, _)| key > *b) {
+                    best = Some((key, vm, idx));
+                }
+            }
+        }
+        best.map(|(_, vm, idx)| (vm, idx))
+    }
+
+    /// Lexicographic score: higher evicts first. The last component is
+    /// "older insertion wins", encoded as `u64::MAX - seq` so it still
+    /// sorts under "maximum wins".
+    fn victim_score(&self, vm: VmId, entry: &Entry, now: SimTime) -> (u64, u64, u64) {
+        let age = now
+            .checked_duration_since(entry.checkpoint.taken_at())
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let older = u64::MAX - entry.seq;
+        match self.policy {
+            EvictionPolicy::OldestFirst => (age, older, 0),
+            // Never-recycled entries have recycled == 0, so
+            // `MAX - recycled` puts them first; among equals, oldest.
+            EvictionPolicy::LruByRecycle => (u64::MAX - entry.recycled, age, older),
+            EvictionPolicy::LargestFirst => (entry.checkpoint.storage_size().as_u64(), age, older),
+            EvictionPolicy::StalenessScore => {
+                let period = self
+                    .periods
+                    .get(&vm)
+                    .filter(|p| p.gaps > 0)
+                    .map(|p| p.mean_nanos)
+                    .unwrap_or(EvictionPolicy::DEFAULT_RETURN_PERIOD.as_nanos() as f64)
+                    .max(1.0);
+                // Fixed-point age/period ratio (millionths) keeps the
+                // score integral and totally ordered.
+                let score = (age as f64 / period * 1e6) as u64;
+                (score, age, older)
+            }
+        }
+    }
+
+    /// Removes version `idx` of `vm`, updating byte accounting and
+    /// leaving a tombstone when it was the last version.
+    fn evict_at(&mut self, vm: VmId, idx: usize, reason: EvictionReason) -> EvictionRecord {
+        let versions = self.by_vm.get_mut(&vm).expect("victim exists");
+        let entry = versions.remove(idx);
+        let size = entry.checkpoint.storage_size();
+        self.used = self.used.saturating_sub(size);
+        let last_version = versions.is_empty();
+        if last_version {
+            self.by_vm.remove(&vm);
+            self.gone.insert(vm, GoneReason::Evicted);
+        }
+        EvictionRecord {
+            vm,
+            taken_at: entry.checkpoint.taken_at(),
+            size,
+            reason,
+            last_version,
+        }
+    }
+
+    fn note_save_time(&mut self, vm: VmId, at: SimTime) {
+        match self.periods.get_mut(&vm) {
+            Some(p) => {
+                if let Some(gap) = at.checked_duration_since(p.last_save) {
+                    let gap = gap.as_nanos() as f64;
+                    p.gaps += 1;
+                    p.mean_nanos += (gap - p.mean_nanos) / p.gaps as f64;
+                }
+                p.last_save = at;
+            }
+            None => {
+                self.periods.insert(
+                    vm,
+                    ReturnPeriod {
+                        last_save: at,
+                        mean_nanos: 0.0,
+                        gaps: 0,
+                    },
+                );
+            }
+        }
+    }
 }
 
 impl CheckpointStore {
     /// Creates a store keeping one checkpoint version per VM (the
-    /// paper's behaviour).
+    /// paper's behaviour), with no byte quota.
     pub fn new() -> Self {
         CheckpointStore::with_versions(1)
     }
@@ -62,31 +202,111 @@ impl CheckpointStore {
         assert!(versions_per_vm > 0, "must keep at least one version");
         CheckpointStore {
             inner: RwLock::new(Inner {
-                by_vm: HashMap::new(),
+                by_vm: BTreeMap::new(),
                 versions_per_vm,
                 used: Bytes::ZERO,
+                quota: None,
+                policy: EvictionPolicy::default(),
+                gone: BTreeMap::new(),
+                periods: BTreeMap::new(),
+                next_seq: 0,
+                next_touch: 0,
             }),
         }
     }
 
+    /// Caps the store at `quota` bytes, evicting under `policy` when a
+    /// save would exceed it.
+    pub fn with_quota(self, quota: Bytes, policy: EvictionPolicy) -> Self {
+        {
+            let mut inner = self.inner.write();
+            inner.quota = Some(quota);
+            inner.policy = policy;
+        }
+        self
+    }
+
+    /// The configured byte quota, if any.
+    pub fn quota(&self) -> Option<Bytes> {
+        self.inner.read().quota
+    }
+
+    /// The eviction policy applied under quota pressure.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.inner.read().policy
+    }
+
     /// Saves a checkpoint, evicting the oldest version beyond the limit.
+    /// Convenience wrapper over [`CheckpointStore::save_with_outcome`]
+    /// for callers that don't track evictions.
     pub fn save(&self, checkpoint: Checkpoint) {
+        self.save_with_outcome(checkpoint);
+    }
+
+    /// Saves a checkpoint through admission + eviction.
+    ///
+    /// A checkpoint larger than the whole quota is refused outright
+    /// (`stored == false`, nothing evicted). Otherwise it is stored,
+    /// versions beyond the per-VM limit are dropped
+    /// ([`EvictionReason::Version`]), and then victims are evicted under
+    /// the configured [`EvictionPolicy`] until the store fits its quota
+    /// ([`EvictionReason::Quota`]) — never the checkpoint just saved.
+    /// Saving clears any tombstone for the VM.
+    pub fn save_with_outcome(&self, checkpoint: Checkpoint) -> SaveOutcome {
         let mut inner = self.inner.write();
         let size = checkpoint.storage_size();
+        let now = checkpoint.taken_at();
+        if inner.quota.is_some_and(|q| size > q) {
+            return SaveOutcome::refused();
+        }
+        let vm = checkpoint.vm();
+        inner.note_save_time(vm, now);
+        inner.gone.remove(&vm);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
         let cap = inner.versions_per_vm;
-        let versions = inner.by_vm.entry(checkpoint.vm()).or_default();
-        versions.insert(0, Arc::new(checkpoint));
+        let versions = inner.by_vm.entry(vm).or_default();
+        versions.insert(
+            0,
+            Entry {
+                checkpoint: Arc::new(checkpoint),
+                seq,
+                recycled: 0,
+            },
+        );
+        let mut evicted = Vec::new();
         let mut freed = Bytes::ZERO;
         while versions.len() > cap {
-            let evicted = versions.pop().expect("len > cap >= 1");
-            freed += evicted.storage_size();
+            let entry = versions.pop().expect("len > cap >= 1");
+            let dropped = entry.checkpoint.storage_size();
+            evicted.push(EvictionRecord {
+                vm,
+                taken_at: entry.checkpoint.taken_at(),
+                size: dropped,
+                reason: EvictionReason::Version,
+                // A newer version was just inserted above, so this can
+                // never be the last one.
+                last_version: false,
+            });
+            freed += dropped;
         }
         inner.used = (inner.used + size).saturating_sub(freed);
+        while inner.quota.is_some_and(|q| inner.used > q) {
+            let (victim_vm, idx) = inner
+                .pick_victim(vm, now)
+                .expect("admission guaranteed the new checkpoint fits alone");
+            evicted.push(inner.evict_at(victim_vm, idx, EvictionReason::Quota));
+        }
+        SaveOutcome {
+            stored: true,
+            evicted,
+        }
     }
 
     /// The most recent checkpoint for `vm`, if any.
     pub fn latest(&self, vm: VmId) -> Option<Arc<Checkpoint>> {
-        self.inner.read().by_vm.get(&vm)?.first().cloned()
+        let inner = self.inner.read();
+        Some(inner.by_vm.get(&vm)?.first()?.checkpoint.clone())
     }
 
     /// The most recent checkpoint for `vm` taken at or before `at`.
@@ -99,21 +319,68 @@ impl CheckpointStore {
             .by_vm
             .get(&vm)?
             .iter()
-            .find(|c| c.taken_at() <= at)
-            .cloned()
+            .find(|e| e.checkpoint.taken_at() <= at)
+            .map(|e| e.checkpoint.clone())
+    }
+
+    /// Marks `vm`'s newest checkpoint as just recycled by a migration,
+    /// feeding [`EvictionPolicy::LruByRecycle`]. A no-op for unknown VMs.
+    pub fn mark_recycled(&self, vm: VmId) {
+        let mut inner = self.inner.write();
+        inner.next_touch += 1;
+        let touch = inner.next_touch;
+        if let Some(entry) = inner.by_vm.get_mut(&vm).and_then(|v| v.first_mut()) {
+            entry.recycled = touch;
+        }
     }
 
     /// Removes all checkpoints for `vm`, returning how many were dropped.
+    /// Leaves no tombstone — this is administrative removal, not
+    /// pressure eviction.
     pub fn remove(&self, vm: VmId) -> usize {
         let mut inner = self.inner.write();
         match inner.by_vm.remove(&vm) {
             Some(versions) => {
-                let freed: Bytes = versions.iter().map(|c| c.storage_size()).sum();
+                let freed: Bytes = versions.iter().map(|e| e.checkpoint.storage_size()).sum();
                 inner.used = inner.used.saturating_sub(freed);
                 versions.len()
             }
             None => 0,
         }
+    }
+
+    /// Drops the entire in-memory catalog — what a host crash does to
+    /// RAM-resident state. Tombstones and return-period estimates die
+    /// with it; only the [`DiskStore`](crate::DiskStore) survives.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.by_vm.clear();
+        inner.gone.clear();
+        inner.periods.clear();
+        inner.used = Bytes::ZERO;
+    }
+
+    /// The tombstone for `vm`, if its last checkpoint was evicted or
+    /// quarantined since the last successful save.
+    pub fn gone(&self, vm: VmId) -> Option<GoneReason> {
+        self.inner.read().gone.get(&vm).copied()
+    }
+
+    /// Records that `vm`'s checkpoint was dropped under disk pressure
+    /// without ever being admitted (e.g. a re-warm after restart found
+    /// it no longer fits the quota): any in-memory versions are dropped
+    /// and a [`GoneReason::Evicted`] tombstone is left.
+    pub fn note_evicted(&self, vm: VmId) {
+        self.remove(vm);
+        self.inner.write().gone.insert(vm, GoneReason::Evicted);
+    }
+
+    /// Records that `vm`'s checkpoint was quarantined by a scrub pass
+    /// (corrupt on disk): any in-memory versions are dropped and a
+    /// [`GoneReason::Quarantined`] tombstone is left.
+    pub fn note_quarantined(&self, vm: VmId) {
+        self.remove(vm);
+        self.inner.write().gone.insert(vm, GoneReason::Quarantined);
     }
 
     /// Total bytes of checkpoint data currently stored.
@@ -124,6 +391,13 @@ impl CheckpointStore {
     /// Number of VMs with at least one checkpoint.
     pub fn vm_count(&self) -> usize {
         self.inner.read().by_vm.len()
+    }
+
+    /// The VMs with at least one checkpoint, in id order — the
+    /// in-memory catalog, for comparison against
+    /// [`DiskStore::vm_ids`](crate::DiskStore::vm_ids).
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.inner.read().by_vm.keys().copied().collect()
     }
 }
 
@@ -140,7 +414,11 @@ mod tests {
     use vecycle_types::{PageCount, SimDuration};
 
     fn cp(vm: u32, hour: u64, seed: u64) -> Checkpoint {
-        let mem = DigestMemory::with_distinct_content(PageCount::new(8), seed);
+        cp_pages(vm, hour, seed, 8)
+    }
+
+    fn cp_pages(vm: u32, hour: u64, seed: u64, pages: u64) -> Checkpoint {
+        let mem = DigestMemory::with_distinct_content(PageCount::new(pages), seed);
         Checkpoint::capture(
             VmId::new(vm),
             SimTime::EPOCH + SimDuration::from_hours(hour),
@@ -165,8 +443,12 @@ mod tests {
         let store = CheckpointStore::new(); // 1 version
         store.save(cp(1, 0, 10));
         let used_one = store.used();
-        store.save(cp(1, 5, 11));
+        let outcome = store.save_with_outcome(cp(1, 5, 11));
         assert_eq!(store.used(), used_one); // replaced, not accumulated
+        assert!(outcome.stored);
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(outcome.evicted[0].reason, EvictionReason::Version);
+        assert!(!outcome.evicted[0].last_version);
         let latest = store.latest(VmId::new(1)).unwrap();
         assert_eq!(
             latest.taken_at(),
@@ -211,5 +493,114 @@ mod tests {
     #[should_panic(expected = "at least one version")]
     fn zero_versions_panics() {
         let _ = CheckpointStore::with_versions(0);
+    }
+
+    /// Quota for exactly `n` eight-page digest checkpoints.
+    fn quota_for(n: u64) -> Bytes {
+        let one = cp(0, 0, 1).storage_size();
+        Bytes::new(one.as_u64() * n)
+    }
+
+    #[test]
+    fn quota_evicts_oldest_first() {
+        let store =
+            CheckpointStore::with_versions(4).with_quota(quota_for(2), EvictionPolicy::OldestFirst);
+        store.save(cp(1, 0, 10));
+        store.save(cp(2, 1, 20));
+        let outcome = store.save_with_outcome(cp(3, 2, 30));
+        assert!(outcome.stored);
+        assert_eq!(outcome.evicted.len(), 1);
+        let record = &outcome.evicted[0];
+        assert_eq!(record.vm, VmId::new(1));
+        assert_eq!(record.reason, EvictionReason::Quota);
+        assert!(record.last_version);
+        assert_eq!(store.gone(VmId::new(1)), Some(GoneReason::Evicted));
+        assert!(store.used() <= quota_for(2));
+        // A later save for vm 1 clears the tombstone.
+        store.save(cp(1, 3, 11));
+        assert_eq!(store.gone(VmId::new(1)), None);
+    }
+
+    #[test]
+    fn oversized_checkpoint_is_refused() {
+        let store = CheckpointStore::new().with_quota(Bytes::new(16), EvictionPolicy::OldestFirst);
+        store.save(cp(7, 0, 1)); // 8 pages * 16 bytes = 128 > 16
+        let outcome = store.save_with_outcome(cp(7, 1, 2));
+        assert!(!outcome.stored);
+        assert!(outcome.evicted.is_empty());
+        assert_eq!(store.vm_count(), 0);
+        assert_eq!(store.used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn lru_by_recycle_protects_the_hot_checkpoint() {
+        let store = CheckpointStore::with_versions(4)
+            .with_quota(quota_for(2), EvictionPolicy::LruByRecycle);
+        store.save(cp(1, 0, 10));
+        store.save(cp(2, 1, 20));
+        store.mark_recycled(VmId::new(1)); // vm 1 is hot, vm 2 is cold
+        let outcome = store.save_with_outcome(cp(3, 2, 30));
+        assert_eq!(outcome.evicted[0].vm, VmId::new(2));
+        assert!(store.latest(VmId::new(1)).is_some());
+    }
+
+    #[test]
+    fn largest_first_evicts_the_big_one() {
+        let big = cp_pages(1, 5, 10, 64);
+        let quota = Bytes::new(big.storage_size().as_u64() + 2 * quota_for(1).as_u64());
+        let store =
+            CheckpointStore::with_versions(4).with_quota(quota, EvictionPolicy::LargestFirst);
+        store.save(big);
+        store.save(cp(2, 6, 20));
+        store.save(cp(3, 7, 30));
+        // One more small save overflows; the big (and newest!) vm-1
+        // checkpoint goes first under LargestFirst.
+        let outcome = store.save_with_outcome(cp(4, 8, 40));
+        assert_eq!(outcome.evicted[0].vm, VmId::new(1));
+    }
+
+    #[test]
+    fn staleness_score_weighs_age_against_return_period() {
+        let store = CheckpointStore::with_versions(4)
+            .with_quota(quota_for(2), EvictionPolicy::StalenessScore);
+        // vm 1 returns hourly (period ~1h); vm 2 has no observed period
+        // (assumed 24h). At hour 30, vm 1's newest checkpoint is 2h ≈
+        // 2 periods stale; vm 2's is 25h ≈ 1.04 periods stale. The
+        // cycle-aware policy evicts vm 1 even though vm 2 is older.
+        for h in 0..=28 {
+            store.save(cp(1, h, h));
+        }
+        store.save(cp(2, 5, 99));
+        let outcome = store.save_with_outcome(cp(3, 30, 42));
+        assert_eq!(outcome.evicted[0].vm, VmId::new(1));
+        // OldestFirst would have picked vm 2's hour-5 checkpoint.
+    }
+
+    #[test]
+    fn quarantine_leaves_tombstone_and_frees_bytes() {
+        let store = CheckpointStore::new();
+        store.save(cp(4, 0, 1));
+        store.note_quarantined(VmId::new(4));
+        assert!(store.latest(VmId::new(4)).is_none());
+        assert_eq!(store.gone(VmId::new(4)), Some(GoneReason::Quarantined));
+        assert_eq!(store.used(), Bytes::ZERO);
+        // clear() wipes tombstones too — a crash loses that knowledge.
+        store.clear();
+        assert_eq!(store.gone(VmId::new(4)), None);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        let run = || {
+            let store = CheckpointStore::with_versions(4)
+                .with_quota(quota_for(3), EvictionPolicy::OldestFirst);
+            let mut order = Vec::new();
+            for i in 0..12u32 {
+                let outcome = store.save_with_outcome(cp(i % 5, i as u64, i as u64));
+                order.extend(outcome.evicted.iter().map(|r| (r.vm, r.taken_at)));
+            }
+            order
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -8,6 +8,11 @@ use vecycle_types::{Error, PageDigest, SimTime, VmId, PAGE_SIZE};
 use crate::{Checkpoint, CheckpointData};
 
 const MAGIC: &[u8; 8] = b"VECYCHK1";
+/// Fixed framing bytes around the payload: 32-byte header (magic,
+/// version, kind, reserved, vm, timestamp, page count) + 8-byte FNV
+/// trailer. Used to estimate page counts of corrupt files from their
+/// length alone.
+pub(crate) const HEADER_AND_TRAILER: u64 = 40;
 const VERSION: u16 = 1;
 const KIND_DIGESTS: u8 = 0;
 const KIND_PAGES: u8 = 1;

@@ -129,8 +129,10 @@ pub fn parse_duration(s: &str) -> Result<SimDuration, String> {
 /// Parses a fault-injection spec: comma-separated `key=value` pairs.
 ///
 /// Keys: `seed=<u64>` (plan seed, default 0) and per-fault probabilities
-/// in `[0, 1]` — `drop`, `degrade`, `corrupt`, `spike`, `crash`. Example:
-/// `seed=7,drop=0.3,corrupt=0.1`.
+/// in `[0, 1]` — `drop`, `degrade`, `corrupt`, `spike`, `crash` (source
+/// crash while saving), `hostcrash` (destination dies mid-transfer and
+/// restarts from a scrubbed disk store). Example:
+/// `seed=7,drop=0.3,corrupt=0.1,hostcrash=0.2`.
 ///
 /// # Errors
 ///
@@ -160,9 +162,10 @@ pub fn parse_faults(s: &str) -> Result<(u64, FaultRates), String> {
             "corrupt" => rates.corrupt_checkpoint = rate,
             "spike" => rates.dirty_spike = rate,
             "crash" => rates.crash_on_save = rate,
+            "hostcrash" => rates.host_crash = rate,
             other => {
                 return Err(format!(
-                    "unknown fault {other:?} (try drop, degrade, corrupt, spike, crash)"
+                    "unknown fault {other:?} (try drop, degrade, corrupt, spike, crash, hostcrash)"
                 ))
             }
         }
@@ -237,6 +240,8 @@ mod tests {
         assert_eq!(rates.crash_on_save, 1.0);
         assert_eq!(rates.dirty_spike, 0.5);
         assert_eq!(rates.link_degrade, 0.25);
+        let (_, rates) = parse_faults("hostcrash=0.4").unwrap();
+        assert_eq!(rates.host_crash, 0.4);
         assert!(parse_faults("drop").is_err());
         assert!(parse_faults("drop=2.0").is_err());
         assert!(parse_faults("meteor=0.1").is_err());

@@ -1,8 +1,11 @@
 //! Subcommand dispatch and implementations.
 
 use vecycle_analysis::Table;
-use vecycle_checkpoint::Checkpoint;
-use vecycle_core::session::{RecyclePolicy, ScheduleSummary, VeCycleSession, VmInstance};
+use vecycle_bench::soak::{fresh_soak_dir, run_soak, SoakOptions};
+use vecycle_checkpoint::{Checkpoint, EvictionPolicy};
+use vecycle_core::session::{
+    RecyclePolicy, ScheduleSummary, SessionEvent, VeCycleSession, VmInstance,
+};
 use vecycle_core::{estimate, MigrationEngine, MigrationReport, Strategy};
 use vecycle_faults::{FaultPlan, RetryPolicy};
 use vecycle_host::{Cluster, CpuSpec, MigrationSchedule};
@@ -10,8 +13,9 @@ use vecycle_mem::workload::{GuestWorkload, IdleWorkload};
 use vecycle_mem::{DigestMemory, Guest, MemoryImage, MutableMemory, PageContent};
 use vecycle_net::LinkSpec;
 use vecycle_obs::MetricsRegistry;
+use vecycle_sim::chaos::ChaosConfig;
 use vecycle_trace::{catalog, Trace, TraceGenerator, TraceStats};
-use vecycle_types::{HostId, PageIndex, Ratio, VmId};
+use vecycle_types::{Bytes, HostId, PageIndex, Ratio, VmId};
 
 use crate::args::{parse_duration, parse_faults, parse_link, parse_size, Args};
 
@@ -27,13 +31,23 @@ USAGE:
   vecycle simulate migrate --ram <size> --similarity <0..1> [--link ...] [--seed N]
   vecycle simulate vdi [--policy vecycle|dedup|baseline|adaptive] [--ram <size>]
   vecycle simulate pingpong [--ram <size>] [--gap 2h] [--count 10]
+  vecycle simulate chaos [--chaos seed=42,legs=100,crash=0.1,pressure=0.3]
   vecycle help
 
-`simulate vdi` and `simulate pingpong` also accept fault injection:
-  --faults seed=7,drop=0.3,degrade=0.2,corrupt=0.1,spike=0.2,crash=0.1
+`simulate vdi` and `simulate pingpong` also accept fault injection and
+checkpoint lifecycle pressure:
+  --faults seed=7,drop=0.3,degrade=0.2,corrupt=0.1,spike=0.2,crash=0.1,hostcrash=0.1
   --retry N              max attempts per migration (default 3)
+  --disk-quota <size>    per-host checkpoint byte budget (evictions and
+                         refused saves land in the incident log)
+  --evict-policy <name>  oldest | lru | largest | staleness (needs --disk-quota)
   --metrics-out <file>   write the run's metrics timeline as JSONL
                          (spans + events; see DESIGN.md §10)
+
+`simulate chaos` runs the seeded chaos soak (crashes, disk pressure,
+corruption, link drops, netem loss) and checks the survivability
+invariants after every leg; it also accepts --disk-quota, --evict-policy
+and --threads.
 
 Sizes look like 4GiB / 512MiB; machines are Table-1 names (try
 `vecycle trace list`).";
@@ -188,17 +202,56 @@ fn estimate_cmd(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--disk-quota` / `--evict-policy` pair into a per-host
+/// checkpoint budget. `--evict-policy` alone is rejected: a policy only
+/// means something once there is a quota to enforce.
+fn lifecycle_flags(args: &Args) -> Result<Option<(Bytes, EvictionPolicy)>, String> {
+    let Some(spec) = args.get("disk-quota") else {
+        if args.get("evict-policy").is_some() {
+            return Err("--evict-policy needs --disk-quota".into());
+        }
+        return Ok(None);
+    };
+    let quota = parse_size(spec)?;
+    let policy = match args.get("evict-policy") {
+        None => EvictionPolicy::OldestFirst,
+        Some(name) => EvictionPolicy::parse(name).ok_or_else(|| {
+            format!("unknown eviction policy {name:?} (oldest|lru|largest|staleness)")
+        })?,
+    };
+    Ok(Some((quota, policy)))
+}
+
+/// Counts the checkpoint-lifecycle incidents in a run's event stream;
+/// `None` when nothing lifecycle-related happened.
+fn lifecycle_summary(events: &[SessionEvent]) -> Option<String> {
+    let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+    let evicted = count("checkpoint_evicted");
+    let refused = count("checkpoint_save_refused");
+    let restarts = count("host_restarted");
+    let quarantined = count("checkpoint_quarantined");
+    if evicted + refused + restarts + quarantined == 0 {
+        return None;
+    }
+    Some(format!(
+        "lifecycle: {evicted} evictions, {refused} saves refused, {restarts} host restarts, \
+         {quarantined} quarantined"
+    ))
+}
+
 /// Runs `schedule` through `session`, injecting faults when `--faults`
-/// was given, and prints the incident log. With `--metrics-out <file>`
+/// was given, and prints the incident log. A `--disk-quota` run without
+/// faults still goes through the event-collecting path so evictions and
+/// refused saves reach the incident log. With `--metrics-out <file>`
 /// the run is instrumented and its timeline written as JSONL (one span
-/// or event per line). Returns the reports.
+/// or event per line). Returns the reports and the incident events.
 fn run_with_optional_faults<M, W>(
     args: &Args,
     session: VeCycleSession,
     vm: &mut VmInstance<M>,
     schedule: &MigrationSchedule,
     workload: &mut W,
-) -> Result<Vec<MigrationReport>, String>
+) -> Result<(Vec<MigrationReport>, Vec<SessionEvent>), String>
 where
     M: MutableMemory,
     W: GuestWorkload<M>,
@@ -209,31 +262,37 @@ where
     if let Some(m) = &metrics {
         session = session.with_metrics(m.clone());
     }
-    let reports = match args.get("faults") {
-        None => session
-            .run_schedule(vm, schedule, workload)
-            .map_err(|e| e.to_string())?,
-        Some(spec) => {
-            let (fault_seed, rates) = parse_faults(spec)?;
-            let plan = FaultPlan::seeded(fault_seed, &rates, schedule.len());
-            let run = session
-                .run_schedule_with_faults(vm, schedule, workload, &plan)
-                .map_err(|e| e.to_string())?;
-            if !run.events.is_empty() {
-                println!("incidents:");
-                for e in &run.events {
-                    println!("  {e}");
-                }
+    let fault_spec = args.get("faults");
+    let (reports, events) = if fault_spec.is_some() || args.get("disk-quota").is_some() {
+        let plan = match fault_spec {
+            Some(spec) => {
+                let (fault_seed, rates) = parse_faults(spec)?;
+                FaultPlan::seeded(fault_seed, &rates, schedule.len())
             }
-            run.reports
-        }
+            None => FaultPlan::none(),
+        };
+        let run = session
+            .run_schedule_with_faults(vm, schedule, workload, &plan)
+            .map_err(|e| e.to_string())?;
+        (run.reports, run.events)
+    } else {
+        let reports = session
+            .run_schedule(vm, schedule, workload)
+            .map_err(|e| e.to_string())?;
+        (reports, Vec::new())
     };
+    if !events.is_empty() {
+        println!("incidents:");
+        for e in &events {
+            println!("  {e}");
+        }
+    }
     if let Some(m) = &metrics {
         let path = args.get("metrics-out").expect("checked above");
         std::fs::write(path, m.snapshot().events_jsonl()).map_err(|e| e.to_string())?;
         println!("metrics timeline written to {path}");
     }
-    Ok(reports)
+    Ok((reports, events))
 }
 
 fn simulate_cmd(argv: &[String]) -> Result<(), String> {
@@ -292,7 +351,10 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             }
             let seed: u64 = args.get_parsed("seed", 3)?;
 
-            let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+            let mut cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+            if let Some((quota, evict)) = lifecycle_flags(&args)? {
+                cluster = cluster.with_checkpoint_quotas(quota, evict);
+            }
             let session = VeCycleSession::new(cluster).with_policy(policy);
             let mem = DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
             let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(1));
@@ -300,7 +362,7 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             // ~20% of pages touched per 8h working stretch.
             let rate = ram.pages_ceil().as_u64() as f64 * 0.2 / (8.0 * 3600.0);
             let mut workload = IdleWorkload::new(seed ^ 1, rate);
-            let reports =
+            let (reports, events) =
                 run_with_optional_faults(&args, session, &mut vm, &schedule, &mut workload)?;
 
             let mut t = Table::new(vec![
@@ -318,6 +380,9 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             }
             print!("{}", t.render());
             println!("{}", ScheduleSummary::of(&reports));
+            if let Some(line) = lifecycle_summary(&events) {
+                println!("{line}");
+            }
             Ok(())
         }
         "pingpong" => {
@@ -332,7 +397,10 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             }
             let seed: u64 = args.get_parsed("seed", 5)?;
 
-            let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+            let mut cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit());
+            if let Some((quota, evict)) = lifecycle_flags(&args)? {
+                cluster = cluster.with_checkpoint_quotas(quota, evict);
+            }
             let session = VeCycleSession::new(cluster);
             let mem = DigestMemory::with_uniform_content(ram, seed).map_err(|e| e.to_string())?;
             let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(0));
@@ -346,7 +414,7 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             );
             let rate = ram.pages_ceil().as_u64() as f64 * 0.05 / gap.as_secs_f64();
             let mut workload = IdleWorkload::new(seed ^ 1, rate);
-            let reports =
+            let (reports, events) =
                 run_with_optional_faults(&args, session, &mut vm, &schedule, &mut workload)?;
             let mut t = Table::new(vec!["#", "strategy", "outcome", "traffic", "time"]);
             for (i, r) in reports.iter().enumerate() {
@@ -360,6 +428,42 @@ fn simulate_cmd(argv: &[String]) -> Result<(), String> {
             }
             print!("{}", t.render());
             println!("{}", ScheduleSummary::of(&reports));
+            if let Some(line) = lifecycle_summary(&events) {
+                println!("{line}");
+            }
+            Ok(())
+        }
+        "chaos" => {
+            let config =
+                ChaosConfig::parse(args.get("chaos").unwrap_or("")).map_err(|e| e.to_string())?;
+            let mut opts = SoakOptions::new(config);
+            opts.disk_root = fresh_soak_dir(&format!("cli-{}", config.seed));
+            if let Some((quota, evict)) = lifecycle_flags(&args)? {
+                opts.quota = quota;
+                opts.policy = evict;
+            }
+            opts.threads = args.get_parsed("threads", opts.threads)?;
+            if opts.threads == 0 {
+                return Err("--threads must be positive".into());
+            }
+            println!(
+                "chaos soak — seed {}, {} legs across {} hosts, quota {} ({} eviction)",
+                config.seed, config.legs, config.hosts, opts.quota, opts.policy
+            );
+            let report = run_soak(&opts).map_err(|e| e.to_string())?;
+            if !report.events.is_empty() {
+                println!("incidents:");
+                for e in &report.events {
+                    println!("  {e}");
+                }
+            }
+            println!("{}", report.summary());
+            if !report.violations.is_empty() {
+                return Err(format!(
+                    "invariants violated:\n  {}",
+                    report.violations.join("\n  ")
+                ));
+            }
             Ok(())
         }
         other => Err(format!("unknown simulate subcommand {other:?}")),
@@ -557,6 +661,83 @@ mod tests {
             "simulate", "vdi", "--ram", "8MiB", "--faults", "drop=7",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn simulate_with_disk_quota_runs_and_reports_lifecycle() {
+        // A quota of one checkpoint (16 bytes per page for an 8 MiB
+        // digest VM = 32 KiB) forces the second host's save to evict or
+        // refuse — either way the lifecycle path is exercised.
+        run(&argv(&[
+            "simulate",
+            "pingpong",
+            "--ram",
+            "8MiB",
+            "--gap",
+            "1h",
+            "--count",
+            "6",
+            "--disk-quota",
+            "32KiB",
+            "--evict-policy",
+            "lru",
+        ]))
+        .unwrap();
+        // Quotas compose with fault injection, including host crashes.
+        run(&argv(&[
+            "simulate",
+            "vdi",
+            "--ram",
+            "8MiB",
+            "--disk-quota",
+            "16KiB",
+            "--faults",
+            "seed=11,drop=0.3,hostcrash=0.4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn lifecycle_flags_are_validated() {
+        let err = run(&argv(&[
+            "simulate",
+            "pingpong",
+            "--ram",
+            "8MiB",
+            "--evict-policy",
+            "lru",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--disk-quota"), "{err}");
+        let err = run(&argv(&[
+            "simulate",
+            "pingpong",
+            "--ram",
+            "8MiB",
+            "--disk-quota",
+            "32KiB",
+            "--evict-policy",
+            "roulette",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown eviction policy"), "{err}");
+    }
+
+    #[test]
+    fn simulate_chaos_runs_and_rejects_bad_specs() {
+        run(&argv(&[
+            "simulate",
+            "chaos",
+            "--chaos",
+            "seed=9,legs=25,hosts=2,crash=0.2,pressure=0.5,corrupt=0.1,drop=0.2",
+            "--disk-quota",
+            "640KiB",
+            "--evict-policy",
+            "staleness",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["simulate", "chaos", "--chaos", "meteor=1"])).is_err());
+        assert!(run(&argv(&["simulate", "chaos", "--chaos", "crash=2.0"])).is_err());
     }
 
     #[test]

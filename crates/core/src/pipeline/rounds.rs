@@ -265,7 +265,7 @@ impl<'e> TransferLoop<'e> {
                         wire::zero_page_msg(),
                     );
                     let wreck = AbortedTransfer {
-                        cause: FaultCause::LinkFailure,
+                        cause: self.faults.abort_cause(),
                         landed: std::mem::take(
                             &mut self.cut.as_mut().expect("cut tracker armed").landed,
                         ),
@@ -516,7 +516,7 @@ impl<'e> TransferLoop<'e> {
             // Landed messages are accounted above; the control trailer
             // never made it out.
             let wreck = AbortedTransfer {
-                cause: FaultCause::LinkFailure,
+                cause: self.faults.abort_cause(),
                 landed: std::mem::take(&mut self.cut.as_mut().expect("cut tracker armed").landed),
                 traffic: self.forward.total(),
                 elapsed: self.elapsed.saturating_add(link.transfer_time(bytes)),
@@ -611,7 +611,7 @@ impl<'e> TransferLoop<'e> {
                 );
                 let bytes = page_msg * landed_full + wire::zero_page_msg() * landed_zeros;
                 let wreck = AbortedTransfer {
-                    cause: FaultCause::LinkFailure,
+                    cause: self.faults.abort_cause(),
                     landed: std::mem::take(
                         &mut self.cut.as_mut().expect("cut tracker armed").landed,
                     ),

@@ -6,6 +6,7 @@
 //! matching `session_events_total` counter), and these types present
 //! them to callers without influencing a single migration decision.
 
+use vecycle_checkpoint::{EvictionPolicy, EvictionReason};
 use vecycle_faults::FaultCause;
 use vecycle_types::{HostId, PageCount, SimDuration, VmId};
 
@@ -171,6 +172,52 @@ pub enum SessionEvent {
         /// The fault that killed the final attempt.
         cause: FaultCause,
     },
+    /// Disk pressure pushed a checkpoint out of a host's store (and its
+    /// file off the host's disk).
+    CheckpointEvicted {
+        /// The VM whose checkpoint was evicted.
+        vm: VmId,
+        /// The host that evicted it.
+        host: HostId,
+        /// The policy that picked it.
+        policy: EvictionPolicy,
+        /// Why it went.
+        reason: EvictionReason,
+    },
+    /// A post-migration checkpoint was refused admission outright — it
+    /// alone exceeds the host's byte quota. Nothing was written.
+    CheckpointSaveRefused {
+        /// The VM whose checkpoint did not fit.
+        vm: VmId,
+        /// The host that refused it.
+        host: HostId,
+    },
+    /// The destination host died mid-transfer, taking its in-memory
+    /// checkpoint catalog with it.
+    HostCrashed {
+        /// The host that crashed.
+        host: HostId,
+    },
+    /// The crashed host came back: it re-opened its disk store and
+    /// scrubbed every checkpoint file against its wire trailer.
+    HostRestarted {
+        /// The host that restarted.
+        host: HostId,
+        /// Checkpoints that re-verified clean and were re-admitted.
+        verified: u64,
+        /// Checkpoint files that failed verification and were
+        /// quarantined.
+        quarantined: u64,
+    },
+    /// A scrub pass found a checkpoint file corrupt and quarantined it:
+    /// the file is deleted and the VM tombstoned — it will never be
+    /// restored from.
+    CheckpointQuarantined {
+        /// The VM whose checkpoint rotted.
+        vm: VmId,
+        /// The host that quarantined it.
+        host: HostId,
+    },
 }
 
 impl SessionEvent {
@@ -188,6 +235,11 @@ impl SessionEvent {
             SessionEvent::CorruptCheckpointDiscarded { .. } => "corrupt_checkpoint_discarded",
             SessionEvent::CheckpointSaveLost { .. } => "checkpoint_save_lost",
             SessionEvent::MigrationFailed { .. } => "migration_failed",
+            SessionEvent::CheckpointEvicted { .. } => "checkpoint_evicted",
+            SessionEvent::CheckpointSaveRefused { .. } => "checkpoint_save_refused",
+            SessionEvent::HostCrashed { .. } => "host_crashed",
+            SessionEvent::HostRestarted { .. } => "host_restarted",
+            SessionEvent::CheckpointQuarantined { .. } => "checkpoint_quarantined",
         }
     }
 }
@@ -228,6 +280,33 @@ impl std::fmt::Display for SessionEvent {
             }
             SessionEvent::MigrationFailed { vm, cause } => {
                 write!(f, "{vm}: migration failed ({cause}), VM stays at source")
+            }
+            SessionEvent::CheckpointEvicted {
+                vm,
+                host,
+                policy,
+                reason,
+            } => write!(
+                f,
+                "{vm}: checkpoint evicted at {host} ({policy} policy, {} pressure)",
+                reason.label()
+            ),
+            SessionEvent::CheckpointSaveRefused { vm, host } => {
+                write!(f, "{vm}: checkpoint refused at {host}, exceeds quota alone")
+            }
+            SessionEvent::HostCrashed { host } => {
+                write!(f, "{host}: crashed mid-transfer, in-memory catalog lost")
+            }
+            SessionEvent::HostRestarted {
+                host,
+                verified,
+                quarantined,
+            } => write!(
+                f,
+                "{host}: restarted, scrub verified {verified} checkpoint(s), quarantined {quarantined}"
+            ),
+            SessionEvent::CheckpointQuarantined { vm, host } => {
+                write!(f, "{vm}: checkpoint quarantined at {host} after failed scrub")
             }
         }
     }

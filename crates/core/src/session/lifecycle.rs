@@ -1,0 +1,388 @@
+//! The session's checkpoint-lifecycle half: finding a recyclable
+//! checkpoint at the destination, choosing a strategy from what it
+//! found, persisting the post-migration checkpoint through quota
+//! admission, and surviving destination-host crashes.
+//!
+//! Split from `session/mod.rs` so the retry loop reads as one page and
+//! the lifecycle rules as another; everything here is `pub(super)`
+//! plumbing for [`VeCycleSession`].
+
+use std::sync::Arc;
+
+use vecycle_checkpoint::{
+    Checkpoint, ChecksumIndex, EvictionReason, GoneReason, PartialCheckpoint, SaveOutcome,
+};
+use vecycle_faults::FaultCause;
+use vecycle_host::Host;
+use vecycle_mem::MutableMemory;
+use vecycle_types::{Error, SimTime, VmId};
+
+use crate::{MigrationEngine, MigrationReport, Strategy};
+
+use super::{RecyclePolicy, SessionEvent, VeCycleSession, VmInstance};
+
+/// What the session found when it went looking for a recyclable
+/// checkpoint at the destination.
+#[derive(Debug, Clone)]
+pub(super) enum CheckpointFetch {
+    /// A validated checkpoint, from the warm in-memory store or loaded
+    /// off the durable one.
+    Usable(Arc<Checkpoint>),
+    /// No checkpoint anywhere: first visit (or it was discarded).
+    Missing,
+    /// A checkpoint existed but failed validation and was discarded.
+    Corrupt,
+    /// The checkpoint this VM left behind was evicted under disk
+    /// pressure — the tombstone tells us recycling *would* have applied.
+    Evicted,
+    /// The checkpoint rotted on disk and a scrub pass quarantined it.
+    Quarantined,
+}
+
+impl CheckpointFetch {
+    /// Stable label for `session_checkpoint_fetch_total{result=…}`.
+    pub(super) fn label(&self) -> &'static str {
+        match self {
+            CheckpointFetch::Usable(_) => "hit",
+            CheckpointFetch::Missing => "miss",
+            CheckpointFetch::Corrupt => "corrupt",
+            CheckpointFetch::Evicted => "evicted",
+            CheckpointFetch::Quarantined => "quarantined",
+        }
+    }
+
+    /// The fault-shaped reason recycling is impossible, if any — what a
+    /// completed migration reports as its `FellBackToFull` cause.
+    pub(super) fn fallback_cause(&self) -> Option<FaultCause> {
+        match self {
+            CheckpointFetch::Usable(_) | CheckpointFetch::Missing => None,
+            // A quarantined checkpoint *is* a corrupt checkpoint — the
+            // scrub just found it before the load did.
+            CheckpointFetch::Corrupt | CheckpointFetch::Quarantined => {
+                Some(FaultCause::CorruptCheckpoint)
+            }
+            CheckpointFetch::Evicted => Some(FaultCause::CheckpointEvicted),
+        }
+    }
+}
+
+impl VeCycleSession {
+    /// Finds a recyclable checkpoint of `vm` at `dest`, handling the
+    /// failure shapes: an injected validation failure (the fault plan
+    /// says the stored bytes are bad), a genuinely corrupt file in the
+    /// durable store, and a tombstone left by eviction or quarantine.
+    /// Corrupt checkpoints are discarded — worst case VeCycle behaves
+    /// like plain dedup, never worse (§3's invariant that recycling is
+    /// an optimisation, not a dependency).
+    pub(super) fn fetch_checkpoint(
+        &self,
+        vm: VmId,
+        dest: &Host,
+        inject_corrupt: bool,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<CheckpointFetch> {
+        if inject_corrupt {
+            let had_mem = dest.store().remove(vm) > 0;
+            let mut had_disk = false;
+            if let Some(ds) = dest.disk_store() {
+                had_disk = matches!(ds.load(vm), Ok(Some(_)) | Err(Error::Corrupt { .. }));
+                ds.remove(vm)?;
+            }
+            if had_mem || had_disk {
+                self.record_event(
+                    events,
+                    SessionEvent::CorruptCheckpointDiscarded {
+                        vm,
+                        host: dest.id(),
+                    },
+                );
+                return Ok(CheckpointFetch::Corrupt);
+            }
+            return Ok(CheckpointFetch::Missing);
+        }
+        if let Some(cp) = dest.store().latest(vm) {
+            // Feed the LRU eviction policy: this checkpoint just proved
+            // its worth.
+            dest.store().mark_recycled(vm);
+            return Ok(CheckpointFetch::Usable(cp));
+        }
+        // A tombstone beats the disk fallback: eviction and quarantine
+        // both already deleted the file, and the tombstone remembers
+        // *why* there is nothing to recycle.
+        match dest.store().gone(vm) {
+            Some(GoneReason::Evicted) => return Ok(CheckpointFetch::Evicted),
+            Some(GoneReason::Quarantined) => return Ok(CheckpointFetch::Quarantined),
+            None => {}
+        }
+        // Cold in-memory store: fall back to the durable one (the
+        // host-restart scenario) and warm the memory store on success.
+        if let Some(ds) = dest.disk_store() {
+            match ds.load(vm) {
+                Ok(Some(cp)) => {
+                    // Warming goes through quota admission like any
+                    // save; under pressure it can itself evict.
+                    let outcome = dest.store().save_with_outcome(cp);
+                    self.note_save_outcome(dest, &outcome, events)?;
+                    if let Some(warm) = dest.store().latest(vm) {
+                        dest.store().mark_recycled(vm);
+                        return Ok(CheckpointFetch::Usable(warm));
+                    }
+                }
+                Ok(None) => {}
+                Err(Error::Corrupt { .. }) => {
+                    ds.remove(vm)?;
+                    self.record_event(
+                        events,
+                        SessionEvent::CorruptCheckpointDiscarded {
+                            vm,
+                            host: dest.id(),
+                        },
+                    );
+                    return Ok(CheckpointFetch::Corrupt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(CheckpointFetch::Missing)
+    }
+
+    /// Picks the first-round strategy from what the destination holds: a
+    /// full checkpoint, a [`PartialCheckpoint`] from an aborted attempt,
+    /// both (their digests union into one index), or neither. Also
+    /// reports why recycling was skipped, if it was skipped for a
+    /// fault-shaped reason.
+    pub(super) fn strategy_for<M: MutableMemory>(
+        &self,
+        vm: &VmInstance<M>,
+        fetch: &CheckpointFetch,
+        partial: Option<&PartialCheckpoint>,
+    ) -> (Strategy, Option<FaultCause>) {
+        let partial = partial
+            .filter(|p| p.page_count() == vm.guest().page_count() && p.landed_pages().as_u64() > 0);
+        let cause = fetch.fallback_cause();
+        let cp = match fetch {
+            CheckpointFetch::Usable(cp) if cp.page_count() == vm.guest().page_count() => {
+                Some(Arc::clone(cp))
+            }
+            _ => None,
+        };
+        match self.policy {
+            RecyclePolicy::Baseline => (Strategy::full(), None),
+            RecyclePolicy::DedupOnly => match partial {
+                Some(p) => (
+                    Strategy::vecycle_with_index(
+                        self.obs_index("partial", Arc::new(p.build_index())),
+                    )
+                    .with_dedup(),
+                    None,
+                ),
+                None => (Strategy::dedup(), None),
+            },
+            RecyclePolicy::VeCycle => {
+                let strategy = match (&cp, partial) {
+                    (Some(cp), Some(p)) => Strategy::vecycle_with_index(
+                        self.obs_index("merged", Arc::new(p.build_index_with(&cp.digests()))),
+                    )
+                    .with_dedup(),
+                    (Some(cp), None) => Strategy::vecycle_with_index(
+                        self.obs_index("checkpoint", Arc::new(cp.build_index())),
+                    )
+                    .with_dedup(),
+                    (None, Some(p)) => Strategy::vecycle_with_index(
+                        self.obs_index("partial", Arc::new(p.build_index())),
+                    )
+                    .with_dedup(),
+                    (None, None) => Strategy::dedup(),
+                };
+                (strategy, cause)
+            }
+            RecyclePolicy::Adaptive { min_similarity } => match cp {
+                Some(cp) => {
+                    let index = self.obs_index("checkpoint", Arc::new(cp.build_index()));
+                    let estimate =
+                        MigrationEngine::estimate_similarity(vm.guest().memory(), &index, 256);
+                    let recycle = estimate.as_f64() >= min_similarity;
+                    self.metrics()
+                        .set_gauge("session_similarity_estimate", &[], estimate.as_f64());
+                    self.metrics().inc(
+                        "session_similarity_probe_total",
+                        &[("verdict", if recycle { "recycle" } else { "fallback" })],
+                        1,
+                    );
+                    if recycle {
+                        let strategy =
+                            match partial {
+                                Some(p) => Strategy::vecycle_with_index(self.obs_index(
+                                    "merged",
+                                    Arc::new(p.build_index_with(&cp.digests())),
+                                ))
+                                .with_dedup(),
+                                None => Strategy::vecycle_with_index(index).with_dedup(),
+                            };
+                        (strategy, None)
+                    } else {
+                        let strategy = match partial {
+                            Some(p) => Strategy::vecycle_with_index(
+                                self.obs_index("partial", Arc::new(p.build_index())),
+                            )
+                            .with_dedup(),
+                            None => Strategy::dedup(),
+                        };
+                        (strategy, Some(FaultCause::LowSimilarity))
+                    }
+                }
+                None => match partial {
+                    Some(p) => (
+                        Strategy::vecycle_with_index(
+                            self.obs_index("partial", Arc::new(p.build_index())),
+                        )
+                        .with_dedup(),
+                        cause,
+                    ),
+                    None => (Strategy::dedup(), cause),
+                },
+            },
+        }
+    }
+
+    /// Records a [`SaveOutcome`]'s metrics and transcript events:
+    /// `ckpt_evictions_total` + the `store_bytes` gauge always, plus a
+    /// `CheckpointEvicted` event per *quota* eviction (routine version
+    /// replacement is not an incident). Removes disk files for VMs the
+    /// in-memory store fully evicted, keeping disk ≡ catalog even when
+    /// the save bypassed [`Host::save_checkpoint`].
+    pub(super) fn note_save_outcome(
+        &self,
+        host: &Host,
+        outcome: &SaveOutcome,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<()> {
+        if let Some(ds) = host.disk_store() {
+            for vm in outcome.fully_evicted_vms() {
+                ds.remove(vm)?;
+            }
+        }
+        vecycle_host::observe_save(self.metrics(), host, outcome);
+        let policy = host.store().policy();
+        for record in &outcome.evicted {
+            if record.reason == EvictionReason::Quota {
+                self.record_event(
+                    events,
+                    SessionEvent::CheckpointEvicted {
+                        vm: record.vm,
+                        host: host.id(),
+                        policy,
+                        reason: record.reason,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// "After the migration, the source writes a checkpoint of the VM to
+    /// its local disk" — the state that just left, pushed through quota
+    /// admission and mirrored to the durable store. The write is off the
+    /// critical path but its cost is accounted in the setup report.
+    pub(super) fn persist_checkpoint<M: MutableMemory>(
+        &self,
+        vm: &VmInstance<M>,
+        source: &Host,
+        now: SimTime,
+        crash_on_save: bool,
+        report: &mut MigrationReport,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<()> {
+        if crash_on_save {
+            // The host dies mid-write: the fsync + rename protocol
+            // guarantees the *previous* checkpoint survives intact, so
+            // only the fresh capture is lost.
+            self.metrics()
+                .inc("session_checkpoint_saves_total", &[("result", "lost")], 1);
+            self.record_event(
+                events,
+                SessionEvent::CheckpointSaveLost {
+                    vm: vm.id(),
+                    host: source.id(),
+                },
+            );
+            return Ok(());
+        }
+        let checkpoint = Checkpoint::capture(vm.id(), now, vm.guest().memory());
+        let outcome = source.save_checkpoint(checkpoint)?;
+        if !outcome.stored {
+            self.metrics().inc(
+                "session_checkpoint_saves_total",
+                &[("result", "refused")],
+                1,
+            );
+            self.record_event(
+                events,
+                SessionEvent::CheckpointSaveRefused {
+                    vm: vm.id(),
+                    host: source.id(),
+                },
+            );
+            vecycle_host::observe_store(self.metrics(), source);
+            return Ok(());
+        }
+        self.metrics()
+            .inc("session_checkpoint_saves_total", &[("result", "saved")], 1);
+        self.note_save_outcome(source, &outcome, events)?;
+        report.setup_mut().checkpoint_write = source.disk().sequential_time(vm.guest().ram_size());
+        Ok(())
+    }
+
+    /// Plays out a destination-host crash and restart: the in-memory
+    /// catalog dies with the host, the disk store survives, and the
+    /// restart scrubs every file — quarantining rot, re-admitting the
+    /// clean ones through quota admission.
+    pub(super) fn crash_and_restart(
+        &self,
+        dest: &Host,
+        events: &mut Vec<SessionEvent>,
+    ) -> vecycle_types::Result<()> {
+        dest.crash();
+        self.record_event(events, SessionEvent::HostCrashed { host: dest.id() });
+        let scrub = dest.restart()?;
+        for &vm in &scrub.quarantined {
+            self.record_event(
+                events,
+                SessionEvent::CheckpointQuarantined {
+                    vm,
+                    host: dest.id(),
+                },
+            );
+        }
+        let policy = dest.store().policy();
+        for record in &scrub.evicted {
+            if record.reason == EvictionReason::Quota {
+                self.record_event(
+                    events,
+                    SessionEvent::CheckpointEvicted {
+                        vm: record.vm,
+                        host: dest.id(),
+                        policy,
+                        reason: record.reason,
+                    },
+                );
+            }
+        }
+        self.record_event(
+            events,
+            SessionEvent::HostRestarted {
+                host: dest.id(),
+                verified: scrub.verified,
+                quarantined: scrub.quarantined.len() as u64,
+            },
+        );
+        vecycle_host::observe_restart(self.metrics(), dest, &scrub);
+        Ok(())
+    }
+
+    /// Observes a freshly built recycling index, passing it through.
+    pub(super) fn obs_index(&self, source: &str, index: Arc<ChecksumIndex>) -> Arc<ChecksumIndex> {
+        vecycle_checkpoint::observe_index(self.metrics(), source, &index);
+        index
+    }
+}

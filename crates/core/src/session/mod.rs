@@ -7,19 +7,15 @@
 //! bootstrap the VM."* This module owns that cycle so callers only say
 //! "move this VM there now".
 
-use std::sync::Arc;
-
-use vecycle_checkpoint::{Checkpoint, ChecksumIndex, PartialCheckpoint};
+use vecycle_checkpoint::PartialCheckpoint;
 use vecycle_faults::{FaultCause, FaultKind, FaultPlan, RetryPolicy};
-use vecycle_host::{Cluster, Host, MigrationSchedule};
+use vecycle_host::{Cluster, MigrationSchedule};
 use vecycle_mem::{workload::GuestWorkload, Guest, MutableMemory};
 use vecycle_net::TrafficLedger;
 use vecycle_obs::{layouts, MetricsRegistry};
 use vecycle_types::{Bytes, Error, HostId, SimDuration, SimTime, VmId};
 
-use crate::{
-    LiveOutcome, MigrationEngine, MigrationOutcome, MigrationReport, SetupReport, Strategy,
-};
+use crate::{LiveOutcome, MigrationEngine, MigrationOutcome, MigrationReport, SetupReport};
 
 /// What first-round technique the session applies when a checkpoint is
 /// (or is not) available at the destination.
@@ -45,6 +41,7 @@ pub enum RecyclePolicy {
 }
 
 mod events;
+mod lifecycle;
 
 pub use events::{FaultedScheduleRun, ScheduleSummary, SessionEvent};
 
@@ -85,19 +82,6 @@ impl<M: MutableMemory> VmInstance<M> {
     pub fn guest_mut(&mut self) -> &mut Guest<M> {
         &mut self.guest
     }
-}
-
-/// What the session found when it went looking for a recyclable
-/// checkpoint at the destination.
-#[derive(Debug, Clone)]
-enum CheckpointFetch {
-    /// A validated checkpoint, from the warm in-memory store or loaded
-    /// off the durable one.
-    Usable(Arc<Checkpoint>),
-    /// No checkpoint anywhere: first visit (or it was discarded).
-    Missing,
-    /// A checkpoint existed but failed validation and was discarded.
-    Corrupt,
 }
 
 /// Drives checkpoint-recycled migrations across a [`Cluster`].
@@ -171,178 +155,9 @@ impl VeCycleSession {
         events.push(event);
     }
 
-    /// Observes a freshly built recycling index, passing it through.
-    fn obs_index(&self, source: &str, index: Arc<ChecksumIndex>) -> Arc<ChecksumIndex> {
-        vecycle_checkpoint::observe_index(self.metrics(), source, &index);
-        index
-    }
-
     /// The cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
-    }
-
-    /// Finds a recyclable checkpoint of `vm` at `dest`, handling the two
-    /// failure shapes: an injected validation failure (the fault plan
-    /// says the stored bytes are bad) and a genuinely corrupt file in the
-    /// durable store. Corrupt checkpoints are discarded — worst case
-    /// VeCycle behaves like plain dedup, never worse (§3's invariant that
-    /// recycling is an optimisation, not a dependency).
-    fn fetch_checkpoint(
-        &self,
-        vm: VmId,
-        dest: &Host,
-        inject_corrupt: bool,
-        events: &mut Vec<SessionEvent>,
-    ) -> vecycle_types::Result<CheckpointFetch> {
-        if inject_corrupt {
-            let had_mem = dest.store().remove(vm) > 0;
-            let mut had_disk = false;
-            if let Some(ds) = dest.disk_store() {
-                had_disk = matches!(ds.load(vm), Ok(Some(_)) | Err(Error::Corrupt { .. }));
-                ds.remove(vm)?;
-            }
-            if had_mem || had_disk {
-                self.record_event(
-                    events,
-                    SessionEvent::CorruptCheckpointDiscarded {
-                        vm,
-                        host: dest.id(),
-                    },
-                );
-                return Ok(CheckpointFetch::Corrupt);
-            }
-            return Ok(CheckpointFetch::Missing);
-        }
-        if let Some(cp) = dest.store().latest(vm) {
-            return Ok(CheckpointFetch::Usable(cp));
-        }
-        // Cold in-memory store: fall back to the durable one (the
-        // host-restart scenario) and warm the memory store on success.
-        if let Some(ds) = dest.disk_store() {
-            match ds.load(vm) {
-                Ok(Some(cp)) => {
-                    dest.store().save(cp);
-                    if let Some(warm) = dest.store().latest(vm) {
-                        return Ok(CheckpointFetch::Usable(warm));
-                    }
-                }
-                Ok(None) => {}
-                Err(Error::Corrupt { .. }) => {
-                    ds.remove(vm)?;
-                    self.record_event(
-                        events,
-                        SessionEvent::CorruptCheckpointDiscarded {
-                            vm,
-                            host: dest.id(),
-                        },
-                    );
-                    return Ok(CheckpointFetch::Corrupt);
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(CheckpointFetch::Missing)
-    }
-
-    /// Picks the first-round strategy from what the destination holds: a
-    /// full checkpoint, a [`PartialCheckpoint`] from an aborted attempt,
-    /// both (their digests union into one index), or neither. Also
-    /// reports why recycling was skipped, if it was skipped for a
-    /// fault-shaped reason.
-    fn strategy_for<M: MutableMemory>(
-        &self,
-        vm: &VmInstance<M>,
-        fetch: &CheckpointFetch,
-        partial: Option<&PartialCheckpoint>,
-    ) -> (Strategy, Option<FaultCause>) {
-        let partial = partial
-            .filter(|p| p.page_count() == vm.guest.page_count() && p.landed_pages().as_u64() > 0);
-        let corrupt = matches!(fetch, CheckpointFetch::Corrupt);
-        let cause = corrupt.then_some(FaultCause::CorruptCheckpoint);
-        let cp = match fetch {
-            CheckpointFetch::Usable(cp) if cp.page_count() == vm.guest.page_count() => {
-                Some(Arc::clone(cp))
-            }
-            _ => None,
-        };
-        match self.policy {
-            RecyclePolicy::Baseline => (Strategy::full(), None),
-            RecyclePolicy::DedupOnly => match partial {
-                Some(p) => (
-                    Strategy::vecycle_with_index(
-                        self.obs_index("partial", Arc::new(p.build_index())),
-                    )
-                    .with_dedup(),
-                    None,
-                ),
-                None => (Strategy::dedup(), None),
-            },
-            RecyclePolicy::VeCycle => {
-                let strategy = match (&cp, partial) {
-                    (Some(cp), Some(p)) => Strategy::vecycle_with_index(
-                        self.obs_index("merged", Arc::new(p.build_index_with(&cp.digests()))),
-                    )
-                    .with_dedup(),
-                    (Some(cp), None) => Strategy::vecycle_with_index(
-                        self.obs_index("checkpoint", Arc::new(cp.build_index())),
-                    )
-                    .with_dedup(),
-                    (None, Some(p)) => Strategy::vecycle_with_index(
-                        self.obs_index("partial", Arc::new(p.build_index())),
-                    )
-                    .with_dedup(),
-                    (None, None) => Strategy::dedup(),
-                };
-                (strategy, cause)
-            }
-            RecyclePolicy::Adaptive { min_similarity } => match cp {
-                Some(cp) => {
-                    let index = self.obs_index("checkpoint", Arc::new(cp.build_index()));
-                    let estimate =
-                        MigrationEngine::estimate_similarity(vm.guest.memory(), &index, 256);
-                    let recycle = estimate.as_f64() >= min_similarity;
-                    self.metrics()
-                        .set_gauge("session_similarity_estimate", &[], estimate.as_f64());
-                    self.metrics().inc(
-                        "session_similarity_probe_total",
-                        &[("verdict", if recycle { "recycle" } else { "fallback" })],
-                        1,
-                    );
-                    if recycle {
-                        let strategy =
-                            match partial {
-                                Some(p) => Strategy::vecycle_with_index(self.obs_index(
-                                    "merged",
-                                    Arc::new(p.build_index_with(&cp.digests())),
-                                ))
-                                .with_dedup(),
-                                None => Strategy::vecycle_with_index(index).with_dedup(),
-                            };
-                        (strategy, None)
-                    } else {
-                        let strategy = match partial {
-                            Some(p) => Strategy::vecycle_with_index(
-                                self.obs_index("partial", Arc::new(p.build_index())),
-                            )
-                            .with_dedup(),
-                            None => Strategy::dedup(),
-                        };
-                        (strategy, Some(FaultCause::LowSimilarity))
-                    }
-                }
-                None => match partial {
-                    Some(p) => (
-                        Strategy::vecycle_with_index(
-                            self.obs_index("partial", Arc::new(p.build_index())),
-                        )
-                        .with_dedup(),
-                        cause,
-                    ),
-                    None => (Strategy::dedup(), cause),
-                },
-            },
-        }
     }
 
     /// Migrates `vm` to `to` at simulated instant `now`, running
@@ -428,15 +243,10 @@ impl VeCycleSession {
 
         let inject_corrupt = plan.has(leg, |f| matches!(f, FaultKind::CheckpointCorrupt));
         let crash_on_save = plan.has(leg, |f| matches!(f, FaultKind::CrashDuringSave));
-        let fetch = self.fetch_checkpoint(vm.id, &dest, inject_corrupt, events)?;
-        let fetch_result = match &fetch {
-            CheckpointFetch::Usable(_) => "hit",
-            CheckpointFetch::Missing => "miss",
-            CheckpointFetch::Corrupt => "corrupt",
-        };
+        let mut fetch = self.fetch_checkpoint(vm.id, &dest, inject_corrupt, events)?;
         self.metrics().inc(
             "session_checkpoint_fetch_total",
-            &[("result", fetch_result)],
+            &[("result", fetch.label())],
             1,
         );
         // The attempts this migration makes are *derived from the metrics
@@ -479,41 +289,7 @@ impl VeCycleSession {
                     report.set_outcome(outcome);
                     report.add_waste(wasted_traffic, wasted_time);
 
-                    // "After the migration, the source writes a checkpoint
-                    // of the VM to its local disk" — the state that just
-                    // left. The write is off the critical path but its
-                    // cost is accounted in the setup report.
-                    if crash_on_save {
-                        // The host dies mid-write: the fsync + rename
-                        // protocol guarantees the *previous* checkpoint
-                        // survives intact, so only the fresh capture is
-                        // lost.
-                        self.metrics().inc(
-                            "session_checkpoint_saves_total",
-                            &[("result", "lost")],
-                            1,
-                        );
-                        self.record_event(
-                            events,
-                            SessionEvent::CheckpointSaveLost {
-                                vm: vm.id,
-                                host: source.id(),
-                            },
-                        );
-                    } else {
-                        let checkpoint = Checkpoint::capture(vm.id, now, vm.guest.memory());
-                        if let Some(ds) = source.disk_store() {
-                            ds.save(&checkpoint)?;
-                        }
-                        source.store().save(checkpoint);
-                        self.metrics().inc(
-                            "session_checkpoint_saves_total",
-                            &[("result", "saved")],
-                            1,
-                        );
-                        report.setup_mut().checkpoint_write =
-                            source.disk().sequential_time(vm.guest.ram_size());
-                    }
+                    self.persist_checkpoint(vm, &source, now, crash_on_save, &mut report, events)?;
                     vm.location = to;
                     return Ok(report);
                 }
@@ -534,6 +310,15 @@ impl VeCycleSession {
                             landed: aborted.landed_pages(),
                         },
                     );
+                    if aborted.cause == FaultCause::HostCrash {
+                        // The destination died mid-transfer: its in-memory
+                        // catalog (and any landed pages) are gone. Play out
+                        // the restart — re-open the disk store, scrub it —
+                        // before deciding whether to retry, so even a
+                        // migration out of attempts leaves the cluster in
+                        // its post-restart state.
+                        self.crash_and_restart(&dest, events)?;
+                    }
                     if attempt >= self.retry.max_attempts {
                         self.metrics()
                             .inc("session_outcomes_total", &[("outcome", "failed")], 1);
@@ -583,7 +368,19 @@ impl VeCycleSession {
                     // source while the session waits out the backoff.
                     workload.advance(&mut vm.guest, backoff);
                     wasted_time = wasted_time.saturating_add(backoff);
-                    if self.retry.resume_from_partial
+                    if aborted.cause == FaultCause::HostCrash {
+                        // Landed pages died with the destination — there is
+                        // nothing to resume from. Re-fetch instead: the
+                        // restarted host's scrubbed disk store decides what
+                        // the next attempt can recycle.
+                        partial = None;
+                        fetch = self.fetch_checkpoint(vm.id, &dest, false, events)?;
+                        self.metrics().inc(
+                            "session_checkpoint_fetch_total",
+                            &[("result", fetch.label())],
+                            1,
+                        );
+                    } else if self.retry.resume_from_partial
                         && !matches!(self.policy, RecyclePolicy::Baseline)
                         && aborted.landed_pages().as_u64() > 0
                     {

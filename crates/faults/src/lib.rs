@@ -66,6 +66,12 @@ pub enum FaultCause {
     LowSimilarity,
     /// Pre-copy hit its round/time budget without converging.
     NonConvergence,
+    /// The destination host crashed mid-transfer and restarted from its
+    /// disk store.
+    HostCrash,
+    /// The checkpoint the destination would have recycled was evicted
+    /// under disk pressure before the migration arrived.
+    CheckpointEvicted,
 }
 
 impl fmt::Display for FaultCause {
@@ -75,6 +81,8 @@ impl fmt::Display for FaultCause {
             FaultCause::CorruptCheckpoint => "corrupt checkpoint",
             FaultCause::LowSimilarity => "low similarity",
             FaultCause::NonConvergence => "non-convergence",
+            FaultCause::HostCrash => "host crash",
+            FaultCause::CheckpointEvicted => "checkpoint evicted",
         };
         f.write_str(s)
     }

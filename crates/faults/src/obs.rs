@@ -21,6 +21,7 @@ impl FaultKind {
             FaultKind::CheckpointCorrupt => "checkpoint_corrupt",
             FaultKind::CrashDuringSave => "crash_during_save",
             FaultKind::DirtySpike { .. } => "dirty_spike",
+            FaultKind::HostCrash { .. } => "host_crash",
         }
     }
 }
@@ -33,6 +34,8 @@ impl FaultCause {
             FaultCause::CorruptCheckpoint => "corrupt_checkpoint",
             FaultCause::LowSimilarity => "low_similarity",
             FaultCause::NonConvergence => "non_convergence",
+            FaultCause::HostCrash => "host_crash",
+            FaultCause::CheckpointEvicted => "checkpoint_evicted",
         }
     }
 }

@@ -47,6 +47,12 @@ pub enum FaultKind {
     /// From pre-copy round `from_round` onwards the guest dirties pages
     /// `factor`× faster, typically defeating convergence.
     DirtySpike { factor: f64, from_round: u32 },
+    /// The *destination host* dies after [`DropPoint`] bytes have
+    /// landed: the transfer aborts like a link drop, but the host also
+    /// loses its in-memory checkpoint catalog and must restart from its
+    /// disk store (scrub pass included) before the retry. The first
+    /// `attempts` attempts are affected.
+    HostCrash { after: DropPoint, attempts: u32 },
 }
 
 /// Per-fault-type probabilities for [`FaultPlan::seeded`], each in
@@ -63,6 +69,9 @@ pub struct FaultRates {
     pub dirty_spike: f64,
     /// Probability the source crashes while saving the new checkpoint.
     pub crash_on_save: f64,
+    /// Probability the destination host crashes mid-transfer and has to
+    /// restart (with a disk scrub) before the retry.
+    pub host_crash: f64,
 }
 
 impl FaultRates {
@@ -71,7 +80,11 @@ impl FaultRates {
         FaultRates::default()
     }
 
-    /// A uniform rate `p` for every fault type.
+    /// A uniform rate `p` for every fault type [`FaultPlan::seeded`]'s
+    /// original draw stream covers. [`FaultRates::host_crash`] stays
+    /// zero — it rides a second, independent stream (see
+    /// [`FaultPlan::with_host_crashes`]) so historic seeded plans stay
+    /// byte-identical.
     pub fn uniform(p: f64) -> Self {
         FaultRates {
             link_drop: p,
@@ -79,6 +92,7 @@ impl FaultRates {
             corrupt_checkpoint: p,
             dirty_spike: p,
             crash_on_save: p,
+            host_crash: 0.0,
         }
     }
 }
@@ -180,7 +194,39 @@ impl FaultPlan {
                 plan = plan.inject(leg, FaultKind::CrashDuringSave);
             }
         }
+        // Host crashes ride a second, independent generator appended
+        // after the main loop: a plan seeded before host crashes
+        // existed reproduces byte-identically (rate 0 draws nothing
+        // from the old stream), and enabling them never perturbs the
+        // faults above.
+        if rates.host_crash > 0.0 {
+            plan = plan.with_host_crashes(seed, rates.host_crash, legs);
+        }
         plan
+    }
+
+    /// Adds seeded destination-host crashes on top of an existing plan,
+    /// using a generator stream independent of [`FaultPlan::seeded`]'s:
+    /// same `(seed, rate, legs)` → same crash set, and the faults
+    /// already in the plan are untouched.
+    #[must_use]
+    pub fn with_host_crashes(mut self, seed: u64, rate: f64, legs: usize) -> Self {
+        let mut rng = SplitXorshift::new(seed ^ 0x48c5_0000_c3a5_0001);
+        for leg in 0..legs {
+            // Fixed two draws per leg, fired or not.
+            let crash_p = rng.next_f64();
+            let crash_frac = 0.15 + 0.7 * rng.next_f64();
+            if crash_p < rate {
+                self = self.inject(
+                    leg,
+                    FaultKind::HostCrash {
+                        after: DropPoint::RamFraction(crash_frac),
+                        attempts: 1,
+                    },
+                );
+            }
+        }
+        self
     }
 
     /// Projects the leg's faults onto one numbered attempt (1-based),
@@ -191,10 +237,22 @@ impl FaultPlan {
         let mut out = AttemptFaults::none();
         for fault in self.faults(leg) {
             match *fault {
+                // A host crash subsumes a link drop armed on the same
+                // leg (the link to a dead host is down either way), so
+                // its cut point and cause win regardless of injection
+                // order.
                 FaultKind::LinkDrop { after, attempts } if attempt <= attempts => {
-                    out.cut_after = Some(after);
+                    if out.cut_cause != Some(crate::FaultCause::HostCrash) {
+                        out.cut_after = Some(after);
+                        out.cut_cause = Some(crate::FaultCause::LinkFailure);
+                    }
                 }
                 FaultKind::LinkDrop { .. } => {}
+                FaultKind::HostCrash { after, attempts } if attempt <= attempts => {
+                    out.cut_after = Some(after);
+                    out.cut_cause = Some(crate::FaultCause::HostCrash);
+                }
+                FaultKind::HostCrash { .. } => {}
                 FaultKind::LinkDegrade { factor, from_round } => {
                     out.degrade = Some((factor, from_round));
                 }
@@ -218,6 +276,12 @@ impl FaultPlan {
 pub struct AttemptFaults {
     /// Cut the forward transfer after this many payload bytes.
     pub cut_after: Option<DropPoint>,
+    /// What to blame when `cut_after` fires (defaults to
+    /// [`FaultCause::LinkFailure`](crate::FaultCause::LinkFailure); a
+    /// [`FaultKind::HostCrash`] sets
+    /// [`FaultCause::HostCrash`](crate::FaultCause::HostCrash) so the
+    /// session knows to crash/restart the destination).
+    pub cut_cause: Option<crate::FaultCause>,
     /// `(bandwidth factor, from_round)` link degradation.
     pub degrade: Option<(f64, u32)>,
     /// `(dirty-rate factor, from_round)` workload spike.
@@ -233,6 +297,11 @@ impl AttemptFaults {
     /// True if this attempt runs with a completely clean engine path.
     pub fn is_clean(&self) -> bool {
         self.cut_after.is_none() && self.degrade.is_none() && self.dirty_spike.is_none()
+    }
+
+    /// The cause to report when the armed cut fires.
+    pub fn abort_cause(&self) -> crate::FaultCause {
+        self.cut_cause.unwrap_or(crate::FaultCause::LinkFailure)
     }
 }
 
@@ -361,6 +430,65 @@ mod tests {
     #[test]
     fn zero_rates_yield_empty_plan() {
         assert!(FaultPlan::seeded(9, &FaultRates::none(), 100).is_empty());
+    }
+
+    #[test]
+    fn host_crash_stream_is_independent_of_the_legacy_stream() {
+        // Turning host crashes on must not perturb the faults the
+        // original five-type stream generated — every historical seeded
+        // plan keeps its exact fault set.
+        let base = FaultRates::uniform(0.4);
+        let with_crashes = FaultRates {
+            host_crash: 0.5,
+            ..base
+        };
+        let old = FaultPlan::seeded(21, &base, 40);
+        let new = FaultPlan::seeded(21, &with_crashes, 40);
+        for leg in 0..40 {
+            let old_faults = old.faults(leg);
+            let kept: Vec<_> = new
+                .faults(leg)
+                .iter()
+                .filter(|f| !matches!(f, FaultKind::HostCrash { .. }))
+                .copied()
+                .collect();
+            assert_eq!(old_faults, kept.as_slice(), "leg {leg}");
+        }
+        assert!(new
+            .iter()
+            .any(|(_, f)| matches!(f, FaultKind::HostCrash { .. })));
+    }
+
+    #[test]
+    fn host_crash_cut_carries_its_cause_and_wins_over_link_drop() {
+        let crash = FaultKind::HostCrash {
+            after: DropPoint::RamFraction(0.3),
+            attempts: 1,
+        };
+        let drop = FaultKind::LinkDrop {
+            after: DropPoint::Bytes(Bytes::from_mib(1)),
+            attempts: 2,
+        };
+        for plan in [
+            FaultPlan::none().inject(0, crash).inject(0, drop),
+            FaultPlan::none().inject(0, drop).inject(0, crash),
+        ] {
+            let f = plan.for_attempt(0, 1);
+            assert_eq!(f.cut_after, Some(DropPoint::RamFraction(0.3)));
+            assert_eq!(f.abort_cause(), crate::FaultCause::HostCrash);
+            // Attempt 2: the crash cleared, the 2-attempt drop remains.
+            let f2 = plan.for_attempt(0, 2);
+            assert_eq!(f2.cut_after, Some(DropPoint::Bytes(Bytes::from_mib(1))));
+            assert_eq!(f2.abort_cause(), crate::FaultCause::LinkFailure);
+        }
+    }
+
+    #[test]
+    fn plain_cut_defaults_to_link_failure_cause() {
+        assert_eq!(
+            AttemptFaults::none().abort_cause(),
+            crate::FaultCause::LinkFailure
+        );
     }
 
     #[test]

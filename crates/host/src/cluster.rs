@@ -2,11 +2,32 @@
 
 use std::sync::Arc;
 
-use vecycle_checkpoint::{CheckpointStore, DiskStore};
+use vecycle_checkpoint::{
+    Checkpoint, CheckpointStore, DiskStore, EvictionPolicy, EvictionRecord, SaveOutcome,
+};
 use vecycle_net::LinkSpec;
-use vecycle_types::HostId;
+use vecycle_types::{Bytes, HostId, VmId};
 
 use crate::{CpuSpec, DiskSpec};
+
+/// What a simulated host restart found while scrubbing its disk store —
+/// the input for re-warming the in-memory catalog and for the
+/// `host_restarts_total` / `scrub_pages_total` metrics.
+#[derive(Debug, Default)]
+pub struct ScrubReport {
+    /// Checkpoints that re-verified clean and were re-admitted.
+    pub verified: u64,
+    /// Pages across the clean checkpoints.
+    pub clean_pages: u64,
+    /// VMs whose checkpoint files failed the wire trailer check and
+    /// were quarantined (file deleted, tombstone left).
+    pub quarantined: Vec<VmId>,
+    /// Estimated pages across the quarantined files.
+    pub corrupt_pages: u64,
+    /// Checkpoints the re-warm pass itself evicted (the quota also
+    /// applies when reloading from disk).
+    pub evicted: Vec<EvictionRecord>,
+}
 
 /// A physical host: CPU, checkpoint disk and checkpoint store.
 ///
@@ -88,6 +109,106 @@ impl Host {
     pub fn disk_store(&self) -> Option<&Arc<DiskStore>> {
         self.disk_store.as_ref()
     }
+
+    /// Caps this host's checkpoint bytes at `quota`, evicting under
+    /// `policy` — the byte budget is clamped to the disk's nominal
+    /// capacity, since no budget can exceed the platter.
+    ///
+    /// Replaces the store, so apply before sharing the host.
+    #[must_use]
+    pub fn with_checkpoint_quota(mut self, quota: Bytes, policy: EvictionPolicy) -> Self {
+        let quota = quota.min(self.disk.capacity());
+        self.store = Arc::new(CheckpointStore::new().with_quota(quota, policy));
+        self
+    }
+
+    /// Saves a checkpoint through quota admission, mirroring the result
+    /// to the durable [`DiskStore`]: the file is written *before* the
+    /// in-memory insert (write-through), and every VM whose last version
+    /// was evicted has its file deleted — disk and memory never
+    /// disagree about which VMs have a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the disk store; the in-memory
+    /// catalog is untouched when the disk write fails.
+    pub fn save_checkpoint(&self, checkpoint: Checkpoint) -> vecycle_types::Result<SaveOutcome> {
+        if self
+            .store
+            .quota()
+            .is_some_and(|q| checkpoint.storage_size() > q)
+        {
+            return Ok(SaveOutcome::refused());
+        }
+        if let Some(ds) = &self.disk_store {
+            ds.save(&checkpoint)?;
+        }
+        let outcome = self.store.save_with_outcome(checkpoint);
+        if let Some(ds) = &self.disk_store {
+            for vm in outcome.fully_evicted_vms() {
+                ds.remove(vm)?;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Simulates a host crash: the in-memory checkpoint catalog (and
+    /// everything it knew — tombstones, return periods) is lost. The
+    /// durable [`DiskStore`], if any, survives untouched; call
+    /// [`Host::restart`] to recover from it.
+    pub fn crash(&self) {
+        self.store.clear();
+    }
+
+    /// Simulates the host coming back after a crash: re-opens the disk
+    /// store and runs a scrub pass — every checkpoint file is
+    /// re-verified against its wire trailer, corrupt ones are
+    /// quarantined (deleted, tombstoned), and clean ones re-warm the
+    /// in-memory catalog through normal quota admission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than corruption (corruption is
+    /// a quarantine, not an error).
+    pub fn restart(&self) -> vecycle_types::Result<ScrubReport> {
+        self.store.clear();
+        let mut report = ScrubReport::default();
+        let Some(ds) = &self.disk_store else {
+            return Ok(report);
+        };
+        let scrub = ds.scrub()?;
+        report.corrupt_pages = scrub.corrupt_pages;
+        for cp in scrub.clean {
+            report.verified += 1;
+            report.clean_pages += cp.page_count().as_u64();
+            let (vm, taken_at, size) = (cp.vm(), cp.taken_at(), cp.storage_size());
+            let outcome = self.store.save_with_outcome(cp);
+            if !outcome.stored {
+                // The quota shrank below this checkpoint since it was
+                // written: drop the file too, or disk and catalog would
+                // disagree.
+                ds.remove(vm)?;
+                self.store.note_evicted(vm);
+                report.evicted.push(EvictionRecord {
+                    vm,
+                    taken_at,
+                    size,
+                    reason: vecycle_checkpoint::EvictionReason::Quota,
+                    last_version: true,
+                });
+                continue;
+            }
+            for vm in outcome.fully_evicted_vms() {
+                ds.remove(vm)?;
+            }
+            report.evicted.extend(outcome.evicted);
+        }
+        for vm in scrub.quarantined {
+            self.store.note_quarantined(vm);
+            report.quarantined.push(vm);
+        }
+        Ok(report)
+    }
 }
 
 /// A set of hosts joined by a network.
@@ -160,6 +281,19 @@ impl Cluster {
         }
         Ok(self)
     }
+
+    /// Caps every host's checkpoint bytes at `quota` under `policy` —
+    /// the cluster-wide disk-pressure knob of the quota sweep. Replaces
+    /// each host's store, so apply before running migrations.
+    #[must_use]
+    pub fn with_checkpoint_quotas(mut self, quota: Bytes, policy: EvictionPolicy) -> Self {
+        self.hosts = self
+            .hosts
+            .into_iter()
+            .map(|h| h.with_checkpoint_quota(quota, policy))
+            .collect();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +350,83 @@ mod tests {
         use crate::disk::DiskKind;
         let h = Host::benchmark_default(HostId::new(0)).with_disk(DiskSpec::ssd_intel_330());
         assert_eq!(h.disk().kind(), DiskKind::Ssd);
+    }
+
+    fn lifecycle_cp(vm: u32, seed: u64) -> vecycle_checkpoint::Checkpoint {
+        use vecycle_mem::DigestMemory;
+        use vecycle_types::{PageCount, SimTime, VmId};
+        let mem = DigestMemory::with_distinct_content(PageCount::new(8), seed);
+        vecycle_checkpoint::Checkpoint::capture(VmId::new(vm), SimTime::EPOCH, &mem)
+    }
+
+    #[test]
+    fn save_checkpoint_mirrors_evictions_to_disk() {
+        use vecycle_types::VmId;
+        let dir =
+            std::env::temp_dir().join(format!("vecycle-host-evict-mirror-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let host = Host::benchmark_default(HostId::new(0))
+            .with_checkpoint_quota(Bytes::new(256), EvictionPolicy::OldestFirst)
+            .with_disk_store(Arc::new(DiskStore::open(&dir).unwrap()));
+        // 8-page digest checkpoints are 128 bytes: the quota holds two.
+        host.save_checkpoint(lifecycle_cp(1, 10)).unwrap();
+        host.save_checkpoint(lifecycle_cp(2, 20)).unwrap();
+        let outcome = host.save_checkpoint(lifecycle_cp(3, 30)).unwrap();
+        assert!(outcome.stored);
+        assert_eq!(outcome.evicted.len(), 1);
+        // Disk and catalog agree: vm-1's file is gone with its entry.
+        assert_eq!(
+            host.disk_store().unwrap().vm_ids().unwrap(),
+            host.store().vm_ids()
+        );
+        assert_eq!(
+            host.store().gone(VmId::new(1)),
+            Some(vecycle_checkpoint::GoneReason::Evicted)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_then_restart_scrubs_and_rewarms() {
+        use vecycle_types::VmId;
+        let dir =
+            std::env::temp_dir().join(format!("vecycle-host-crash-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let host = Host::benchmark_default(HostId::new(1))
+            .with_disk_store(Arc::new(DiskStore::open(&dir).unwrap()));
+        host.save_checkpoint(lifecycle_cp(1, 10)).unwrap();
+        host.save_checkpoint(lifecycle_cp(2, 20)).unwrap();
+        // Rot vm-2's file behind the host's back.
+        let path = dir.join("vm-2.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, bytes).unwrap();
+
+        host.crash();
+        assert_eq!(host.store().vm_count(), 0);
+        let report = host.restart().unwrap();
+        assert_eq!(report.verified, 1);
+        assert_eq!(report.quarantined, vec![VmId::new(2)]);
+        assert!(host.store().latest(VmId::new(1)).is_some());
+        assert_eq!(
+            host.store().gone(VmId::new(2)),
+            Some(vecycle_checkpoint::GoneReason::Quarantined)
+        );
+        // Disk matches catalog after the scrub deleted the corrupt file.
+        assert_eq!(
+            host.disk_store().unwrap().vm_ids().unwrap(),
+            host.store().vm_ids()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quota_is_clamped_to_disk_capacity() {
+        let tiny = DiskSpec::ssd_intel_330().with_capacity(Bytes::new(512));
+        let host = Host::new(HostId::new(0), CpuSpec::phenom_ii(), tiny)
+            .with_checkpoint_quota(Bytes::from_gib(1), EvictionPolicy::OldestFirst);
+        assert_eq!(host.store().quota(), Some(Bytes::new(512)));
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub struct DiskSpec {
     sequential: BytesPerSec,
     seek: SimDuration,
     label: DiskKind,
+    capacity: Bytes,
 }
 
 /// Which physical disk a spec models.
@@ -35,6 +36,7 @@ impl DiskSpec {
             sequential: BytesPerSec::from_mib_per_sec(130),
             seek: SimDuration::from_millis(12),
             label: DiskKind::Hdd,
+            capacity: Bytes::new(2_000_000_000_000), // 2 TB nominal
         }
     }
 
@@ -45,16 +47,31 @@ impl DiskSpec {
             sequential: BytesPerSec::from_mib_per_sec(250),
             seek: SimDuration::from_nanos(100_000),
             label: DiskKind::Ssd,
+            capacity: Bytes::new(128_000_000_000), // 128 GB nominal
         }
     }
 
-    /// Creates a custom disk model.
+    /// Creates a custom disk model with a 1 TiB nominal capacity.
     pub fn new(sequential: BytesPerSec, seek: SimDuration, label: DiskKind) -> Self {
         DiskSpec {
             sequential,
             seek,
             label,
+            capacity: Bytes::from_gib(1024),
         }
+    }
+
+    /// Overrides the nominal capacity — the hard ceiling on any
+    /// checkpoint byte budget carved out of this disk.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: Bytes) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Nominal capacity of the disk.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
     }
 
     /// Which kind of disk this is.
@@ -125,5 +142,12 @@ mod tests {
     fn kinds_are_reported() {
         assert_eq!(DiskSpec::hdd_samsung_hd204ui().kind(), DiskKind::Hdd);
         assert_eq!(DiskSpec::ssd_intel_330().kind(), DiskKind::Ssd);
+    }
+
+    #[test]
+    fn capacities_match_the_benchmark_hardware() {
+        assert!(DiskSpec::hdd_samsung_hd204ui().capacity() > DiskSpec::ssd_intel_330().capacity());
+        let small = DiskSpec::ssd_intel_330().with_capacity(Bytes::from_gib(4));
+        assert_eq!(small.capacity(), Bytes::from_gib(4));
     }
 }

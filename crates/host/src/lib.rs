@@ -13,9 +13,11 @@
 mod cluster;
 mod cpu;
 mod disk;
+mod obs;
 mod schedule;
 
-pub use cluster::{Cluster, Host};
+pub use cluster::{Cluster, Host, ScrubReport};
 pub use cpu::CpuSpec;
 pub use disk::DiskSpec;
+pub use obs::{observe_restart, observe_save, observe_store};
 pub use schedule::{MigrationLeg, MigrationSchedule};

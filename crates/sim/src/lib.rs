@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 

@@ -22,10 +22,11 @@ fn main() {
         .join("golden");
     std::fs::create_dir_all(&dir).expect("creating tests/golden");
 
-    let scenarios: [(&str, Scenario); 3] = [
+    let scenarios: [(&str, Scenario); 4] = [
         ("idle_vm", golden::idle_vm),
         ("update_rate_sweep", golden::update_rate_sweep),
         ("failure_sweep", golden::failure_sweep),
+        ("lifecycle", golden::lifecycle),
     ];
     for (name, run) in scenarios {
         let path = dir.join(format!("{name}.json"));

@@ -69,6 +69,12 @@ fn failure_sweep_matches_golden() {
     );
 }
 
+#[test]
+fn lifecycle_matches_golden() {
+    let snap = golden::lifecycle(golden::scan_threads());
+    assert_golden("lifecycle", include_str!("golden/lifecycle.json"), &snap);
+}
+
 /// The prose incident transcript and the typed counters are two views
 /// of the same history: per event kind, the number of `SessionEvent`s
 /// returned to the caller equals the `session_events_total` series —

@@ -282,16 +282,18 @@ proptest! {
     }
 }
 
-/// The three golden scenarios — including the faulted failure sweep —
-/// produce byte-identical snapshots when re-run with the same seed and
-/// when scanned with 2, 4 or 8 threads instead of 1.
+/// The golden scenarios — including the faulted failure sweep and the
+/// disk-pressure lifecycle run — produce byte-identical snapshots when
+/// re-run with the same seed and when scanned with 2, 4 or 8 threads
+/// instead of 1.
 #[test]
 fn golden_scenarios_are_thread_invariant_and_repeatable() {
     type Scenario = fn(usize) -> MetricsSnapshot;
-    let scenarios: [(&str, Scenario); 3] = [
+    let scenarios: [(&str, Scenario); 4] = [
         ("idle_vm", vecycle::golden::idle_vm),
         ("update_rate_sweep", vecycle::golden::update_rate_sweep),
         ("failure_sweep", vecycle::golden::failure_sweep),
+        ("lifecycle", vecycle::golden::lifecycle),
     ];
     for (name, run) in scenarios {
         let base = run(1).to_canonical_json();
@@ -305,6 +307,83 @@ fn golden_scenarios_are_thread_invariant_and_repeatable() {
                 run(threads).to_canonical_json(),
                 base,
                 "{name}: snapshot diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Checkpoint-lifecycle determinism: with a byte quota squeezing every
+/// host's store, the eviction order — read off the incident transcript —
+/// and the full metrics snapshot are identical across 1/2/4/8 scan
+/// threads for every eviction policy. The choice of victim must depend
+/// only on catalog state, never on scan scheduling.
+#[test]
+fn eviction_order_is_deterministic_across_thread_counts() {
+    use vecycle::checkpoint::{Checkpoint, EvictionPolicy};
+    use vecycle::core::session::{VeCycleSession, VmInstance};
+    use vecycle::faults::FaultPlan;
+    use vecycle::host::{Cluster, MigrationSchedule};
+    use vecycle::types::{Bytes, HostId, SimDuration, SimTime, VmId};
+
+    for policy in [
+        EvictionPolicy::OldestFirst,
+        EvictionPolicy::LruByRecycle,
+        EvictionPolicy::LargestFirst,
+        EvictionPolicy::StalenessScore,
+    ] {
+        let run = |threads: usize| {
+            let metrics = MetricsRegistry::new();
+            // A 4 MiB digest VM checkpoints into 16 KiB; the 40 KiB
+            // quota holds two and a half, so fillers + the VM's own
+            // checkpoint force evictions on every departure.
+            let cluster = Cluster::homogeneous(2, LinkSpec::lan_gigabit())
+                .with_checkpoint_quotas(Bytes::from_kib(40), policy);
+            let engine = MigrationEngine::new(cluster.link()).with_threads(threads);
+            let session = VeCycleSession::new(cluster)
+                .with_engine(engine)
+                .with_metrics(metrics.clone());
+            for host in session.cluster().hosts() {
+                for i in 0..2u32 {
+                    let ram = Bytes::from_mib(4 * u64::from(i + 1));
+                    let mem = DigestMemory::with_uniform_content(ram, 0x900 + u64::from(i))
+                        .expect("page-aligned filler");
+                    let cp = Checkpoint::capture(
+                        VmId::new(50 + i),
+                        SimTime::EPOCH + SimDuration::from_secs(u64::from(i)),
+                        &mem,
+                    );
+                    host.save_checkpoint(cp).expect("filler save");
+                }
+            }
+            let mem = DigestMemory::with_uniform_content(Bytes::from_mib(4), 0x7ec)
+                .expect("page-aligned VM");
+            let mut vm = VmInstance::new(VmId::new(0), Guest::new(mem), HostId::new(0));
+            let schedule = MigrationSchedule::ping_pong(
+                VmId::new(0),
+                HostId::new(0),
+                HostId::new(1),
+                SimTime::EPOCH + SimDuration::from_hours(1),
+                SimDuration::from_hours(1),
+                6,
+            );
+            let mut workload = IdleWorkload::new(1, 1024.0 * 0.02 / 3600.0);
+            let run = session
+                .run_schedule_with_faults(&mut vm, &schedule, &mut workload, &FaultPlan::none())
+                .expect("clean schedule");
+            let transcript: Vec<String> = run.events.iter().map(|e| e.to_string()).collect();
+            (transcript, metrics.snapshot().to_canonical_json())
+        };
+        let base = run(1);
+        assert!(
+            base.0.iter().any(|e| e.contains("evicted")),
+            "{policy}: the squeeze must actually evict"
+        );
+        assert_eq!(run(1), base, "{policy}: same-seed rerun diverged");
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                run(threads),
+                base,
+                "{policy}: eviction order or metrics diverged at {threads} threads"
             );
         }
     }

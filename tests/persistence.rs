@@ -1,12 +1,17 @@
 //! Failure-injection around persisted checkpoints: a deployment keeps
 //! checkpoints as files; corruption must degrade to a full/dedup
-//! migration, never to a wrong restore.
+//! migration, never to a wrong restore — and under a byte quota the
+//! durable directory must mirror the in-memory catalog through every
+//! eviction, version supersession, and crash-interrupted save.
 
-use vecycle::checkpoint::{Checkpoint, DiskStore};
+use std::sync::Arc;
+
+use vecycle::checkpoint::{Checkpoint, DiskStore, EvictionPolicy, GoneReason};
 use vecycle::core::{apply_transcript, MigrationEngine, Strategy};
-use vecycle::mem::{ByteMemory, MutableMemory, PageContent};
+use vecycle::host::Host;
+use vecycle::mem::{ByteMemory, DigestMemory, MutableMemory, PageContent};
 use vecycle::net::LinkSpec;
-use vecycle::types::{PageCount, PageIndex, SimTime, VmId};
+use vecycle::types::{Bytes, HostId, PageCount, PageIndex, SimDuration, SimTime, VmId};
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("vecycle-persist-{tag}-{}", std::process::id()));
@@ -94,6 +99,131 @@ fn interrupted_save_preserves_previous_checkpoint() {
     let loaded = store.load(vm_id).unwrap().unwrap();
     assert_eq!(loaded.page_count(), PageCount::new(32));
     assert!(loaded.restore_byte_memory().unwrap().content_equals(&old));
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// An 8-page digest checkpoint (128 bytes on the wire index) for `vm`,
+/// versioned by `taken_at` seconds after the epoch.
+fn small_cp(vm: u32, seed: u64, taken_at: u64) -> Checkpoint {
+    let mem = DigestMemory::with_distinct_content(PageCount::new(8), seed);
+    Checkpoint::capture(
+        VmId::new(vm),
+        SimTime::EPOCH + SimDuration::from_secs(taken_at),
+        &mem,
+    )
+}
+
+/// A quota-governed host whose durable store lives under a fresh
+/// directory; the caller removes `dir` when done.
+fn quota_host(tag: &str, quota: u64) -> (Host, std::path::PathBuf) {
+    let dir = tmpdir(tag);
+    let host = Host::benchmark_default(HostId::new(0))
+        .with_checkpoint_quota(Bytes::new(quota), EvictionPolicy::OldestFirst)
+        .with_disk_store(Arc::new(DiskStore::open(&dir).unwrap()));
+    (host, dir)
+}
+
+/// Sorted views of the durable directory and the in-memory catalog —
+/// these must agree after every lifecycle operation.
+fn disk_vs_catalog(host: &Host) -> (Vec<VmId>, Vec<VmId>) {
+    let mut on_disk = host.disk_store().unwrap().vm_ids().unwrap();
+    on_disk.sort();
+    let mut catalog = host.store().vm_ids();
+    catalog.sort();
+    (on_disk, catalog)
+}
+
+/// Regression for the eviction file leak: a churn of saves mixing quota
+/// evictions with version supersessions (the same VM re-saving a newer
+/// checkpoint) must keep the durable directory identical to the
+/// in-memory catalog after *every* save — a version-evicted checkpoint's
+/// file is overwritten in place, a quota-evicted VM's file is deleted.
+#[test]
+fn eviction_churn_keeps_disk_directory_equal_to_catalog() {
+    // The 256-byte quota holds exactly two 128-byte checkpoints.
+    let (host, dir) = quota_host("churn", 256);
+    let churn = [
+        (1u32, 10u64),
+        (2, 20),
+        (1, 30), // version supersession: vm-1's file is rewritten
+        (3, 40), // quota eviction: the oldest resident's file must go
+        (2, 50), // vm-2 re-saves (possibly after its own eviction)
+        (4, 60),
+        (3, 70),
+        (1, 80),
+    ];
+    for (step, &(vm, at)) in churn.iter().enumerate() {
+        let outcome = host
+            .save_checkpoint(small_cp(vm, u64::from(vm) * 100 + at, at))
+            .unwrap();
+        assert!(outcome.stored, "step {step}: save under quota must land");
+        let (on_disk, catalog) = disk_vs_catalog(&host);
+        assert_eq!(
+            on_disk, catalog,
+            "step {step}: durable directory diverged from the catalog"
+        );
+        assert!(
+            host.store().used().as_u64() <= 256,
+            "step {step}: quota overrun"
+        );
+    }
+    // The last save wins for every VM still resident: each surviving
+    // file must load as the newest version the catalog serves.
+    for vm in host.store().vm_ids() {
+        let on_disk = host.disk_store().unwrap().load(vm).unwrap().unwrap();
+        let in_mem = host.store().latest(vm).unwrap();
+        assert_eq!(on_disk.taken_at(), in_mem.taken_at(), "{vm} version skew");
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// A crash in the middle of a quota-pressured save must be invisible:
+/// the durable protocol stages into a temp file and renames, so the
+/// half-written attempt leaves the previous resident set — including
+/// the eviction victim the interrupted save *would* have chosen —
+/// fully intact, and the retried save then performs the eviction on
+/// both stores atomically.
+#[test]
+fn crash_during_save_under_quota_pressure_preserves_victim_and_agreement() {
+    let (host, dir) = quota_host("crash-save", 256);
+    host.save_checkpoint(small_cp(1, 11, 10)).unwrap();
+    host.save_checkpoint(small_cp(2, 22, 20)).unwrap();
+
+    // The writer dies after staging vm-3's temp file, before the rename
+    // and before quota admission ran: no eviction happened.
+    std::fs::write(dir.join(".vm-3.tmp"), b"half-written checkpoint").unwrap();
+    let (on_disk, catalog) = disk_vs_catalog(&host);
+    assert_eq!(
+        on_disk, catalog,
+        "temp files must not surface as checkpoints"
+    );
+    assert_eq!(catalog, vec![VmId::new(1), VmId::new(2)]);
+    assert!(
+        host.store().gone(VmId::new(1)).is_none(),
+        "the would-be victim must not be tombstoned by a save that never landed"
+    );
+    assert!(
+        host.disk_store()
+            .unwrap()
+            .load(VmId::new(1))
+            .unwrap()
+            .is_some(),
+        "the would-be victim's file must survive the interrupted save"
+    );
+
+    // The retry lands: vm-1 (oldest) is evicted from memory *and* disk,
+    // and the stale temp file is gone with the completed rename.
+    let outcome = host.save_checkpoint(small_cp(3, 33, 30)).unwrap();
+    assert!(outcome.stored);
+    assert_eq!(outcome.evicted.len(), 1);
+    let (on_disk, catalog) = disk_vs_catalog(&host);
+    assert_eq!(on_disk, catalog);
+    assert_eq!(catalog, vec![VmId::new(2), VmId::new(3)]);
+    assert_eq!(host.store().gone(VmId::new(1)), Some(GoneReason::Evicted));
+    assert!(
+        !dir.join(".vm-3.tmp").exists(),
+        "the completed save must consume (or replace) the staged temp file"
+    );
     std::fs::remove_dir_all(dir).unwrap();
 }
 
