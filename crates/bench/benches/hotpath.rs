@@ -1,0 +1,185 @@
+//! Single-core scan/digest hot-path microbench.
+//!
+//! Three components dominate a single-core first-round scan (§3.4's
+//! checksum bottleneck plus the dedup bookkeeping around it):
+//!
+//! 1. page digesting — multi-lane `digest_pages` vs the scalar per-page
+//!    path, in pages/s and GiB/s;
+//! 2. digest-keyed map lookups — the swiss-table [`DigestTable`] vs
+//!    `std::collections::HashMap` (SipHash) and the sorted-array binary
+//!    search, in lookups/s;
+//! 3. hex rendering of digests — the LUT `to_hex` (micro-asserted
+//!    against the `format!` reference it replaced).
+//!
+//! `hotpath_baseline` (a bin target) measures the same path without the
+//! criterion harness and records pages/s into
+//! `results/hotpath_baseline.json` for the CI regression gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashMap;
+use vecycle_checkpoint::{ChecksumIndex, DigestTable, HashChecksumIndex, PageLookup};
+use vecycle_hash::ChecksumAlgorithm;
+use vecycle_types::{PageDigest, PageIndex};
+
+/// Deterministic patterned pages: 1-in-8 zero (typical idle-guest mix).
+fn make_pages(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            if i % 8 == 0 {
+                vec![0u8; 4096]
+            } else {
+                let seed = (i as u8).wrapping_mul(37).wrapping_add(1);
+                (0..4096u32)
+                    .map(|j| seed.wrapping_mul((j % 251) as u8).wrapping_add(j as u8))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+fn digest_throughput(c: &mut Criterion) {
+    let pages = make_pages(512);
+    let views: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+
+    let mut group = c.benchmark_group("digest_pages");
+    group.throughput(Throughput::Bytes(4096 * views.len() as u64));
+    for algo in ChecksumAlgorithm::ALL {
+        group.bench_with_input(BenchmarkId::new("multilane", algo), &views, |b, views| {
+            b.iter(|| algo.digest_pages(std::hint::black_box(views)));
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", algo), &views, |b, views| {
+            b.iter(|| {
+                std::hint::black_box(views)
+                    .iter()
+                    .map(|p| algo.page_digest(p))
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn index_throughput(c: &mut Criterion) {
+    let n = 1u64 << 18;
+    let digests: Vec<PageDigest> = (0..n).map(|i| PageDigest::from_content_id(i + 1)).collect();
+    // Probe mix: half hits, half misses — the destination's per-message
+    // lookup profile.
+    let probes: Vec<PageDigest> = (0..4096u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                PageDigest::from_content_id(i % n + 1)
+            } else {
+                PageDigest::from_content_id(n + i)
+            }
+        })
+        .collect();
+
+    let swiss = HashChecksumIndex::build(digests.clone());
+    let sorted = ChecksumIndex::build(digests.clone());
+    let mut sip: HashMap<PageDigest, PageIndex> = HashMap::with_capacity(digests.len());
+    for (i, &d) in digests.iter().enumerate() {
+        sip.entry(d).or_insert_with(|| PageIndex::new(i as u64));
+    }
+
+    let mut group = c.benchmark_group("digest_lookup_262144_entries");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("swiss"),
+        &probes,
+        |b, probes| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|p| swiss.contains(std::hint::black_box(**p)))
+                    .count()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("siphash_hashmap"),
+        &probes,
+        |b, probes| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|p| sip.contains_key(std::hint::black_box(p)))
+                    .count()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sorted_checksum_index"),
+        &probes,
+        |b, probes| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|p| sorted.contains(std::hint::black_box(**p)))
+                    .count()
+            });
+        },
+    );
+    group.finish();
+
+    // Insert-heavy profile: the scan's per-page or_insert.
+    let mut group = c.benchmark_group("digest_insert_first");
+    group.throughput(Throughput::Elements(digests.len().min(65_536) as u64));
+    let slice = &digests[..digests.len().min(65_536)];
+    group.bench_function("swiss", |b| {
+        b.iter(|| {
+            let mut t: DigestTable<PageIndex> = DigestTable::new();
+            for (i, &d) in std::hint::black_box(slice).iter().enumerate() {
+                t.or_insert(d, PageIndex::new(i as u64));
+            }
+            t.len()
+        });
+    });
+    group.bench_function("siphash_hashmap", |b| {
+        b.iter(|| {
+            let mut t: HashMap<PageDigest, PageIndex> = HashMap::new();
+            for (i, &d) in std::hint::black_box(slice).iter().enumerate() {
+                t.entry(d).or_insert_with(|| PageIndex::new(i as u64));
+            }
+            t.len()
+        });
+    });
+    group.finish();
+}
+
+fn hex_rendering(c: &mut Criterion) {
+    let digests: Vec<[u8; 16]> = (0..256u64)
+        .map(|i| PageDigest::from_content_id(i + 1).into_bytes())
+        .collect();
+
+    // Micro-assert: the LUT rewrite renders identically to the
+    // format!-per-byte reference it replaced.
+    for d in &digests {
+        let reference: String = d.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(vecycle_hash::to_hex(d), reference);
+    }
+
+    let mut group = c.benchmark_group("to_hex");
+    group.throughput(Throughput::Elements(digests.len() as u64));
+    group.bench_function("lut", |b| {
+        b.iter(|| {
+            std::hint::black_box(&digests)
+                .iter()
+                .map(vecycle_hash::to_hex)
+                .map(|s| s.len())
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("format_per_byte", |b| {
+        b.iter(|| {
+            std::hint::black_box(&digests)
+                .iter()
+                .map(|d| d.iter().map(|b| format!("{b:02x}")).collect::<String>())
+                .map(|s| s.len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, digest_throughput, index_throughput, hex_rendering);
+criterion_main!(benches);

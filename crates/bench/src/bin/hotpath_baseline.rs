@@ -1,0 +1,283 @@
+//! Single-core hot-path throughput baseline: measure, record, gate.
+//!
+//! Measures the scan/digest hot path (batch page digesting + one
+//! digest-keyed index probe per page) in pages/s, alongside its
+//! components, and compares the current code against the *pre-optimisation*
+//! path kept inline here (per-byte zero walk, one scalar MD5 per page,
+//! SipHash `HashMap` probes).
+//!
+//! Modes:
+//!
+//! * default — measure and (over)write `results/hotpath_baseline.json`;
+//! * `--check` — measure and fail (exit 1) if the current hot path is
+//!   more than 20% slower than the recorded baseline, or if it is not
+//!   at least 2× the legacy path — the CI regression gate;
+//! * `--quick` — fewer pages/reps, for CI;
+//! * `--out <path>` — baseline file location.
+//!
+//! Numbers are machine-dependent: regenerate the baseline when moving
+//! to different hardware (`cargo run --release -p vecycle-bench --bin
+//! hotpath_baseline`).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use vecycle_checkpoint::DigestTable;
+use vecycle_hash::{Hasher, Md5};
+use vecycle_types::{PageDigest, PageIndex};
+
+/// Maximum tolerated slowdown vs the recorded baseline (CI gate).
+const REGRESSION_TOLERANCE: f64 = 0.80;
+
+/// Required speedup of the modern path over the legacy path.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+
+/// Deterministic patterned pages: 1-in-8 zero (typical idle-guest mix).
+fn make_pages(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            if i % 8 == 0 {
+                vec![0u8; 4096]
+            } else {
+                let seed = (i as u8).wrapping_mul(37).wrapping_add(1);
+                (0..4096u32)
+                    .map(|j| seed.wrapping_mul((j % 251) as u8).wrapping_add(j as u8))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+/// The pre-optimisation per-page digest: per-byte zero walk + scalar MD5.
+fn legacy_page_digest(page: &[u8]) -> PageDigest {
+    if page.iter().all(|&b| b == 0) {
+        return PageDigest::ZERO_PAGE;
+    }
+    PageDigest::new(Md5::digest(page))
+}
+
+/// Best-of-`reps` timing (seconds) of `work`, which must return a value
+/// to keep the optimizer honest.
+fn best_of<T>(reps: usize, mut work: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(work());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Measurement {
+    pages: usize,
+    reps: usize,
+    /// The acceptance metric: digest every page, then probe the index
+    /// once per page — pages/s end to end.
+    modern_pages_per_sec: f64,
+    legacy_pages_per_sec: f64,
+    speedup: f64,
+    /// Digest-only component.
+    digest_gib_per_sec: f64,
+    /// Lookup-only component (50/50 hit/miss probes).
+    swiss_lookups_per_sec: f64,
+    siphash_lookups_per_sec: f64,
+    /// Hex-rendering component.
+    lut_hex_mib_per_sec: f64,
+    format_hex_mib_per_sec: f64,
+}
+
+fn measure(quick: bool) -> Measurement {
+    let pages = if quick { 2_048 } else { 8_192 };
+    let reps = if quick { 3 } else { 8 };
+    let page_data = make_pages(pages);
+    let views: Vec<&[u8]> = page_data.iter().map(Vec::as_slice).collect();
+
+    // Index contents: half the page digests plus filler, so probes mix
+    // hits and misses like a real destination merge.
+    let digests = vecycle_hash::digest_pages(&views);
+    let mut swiss: DigestTable<PageIndex> = DigestTable::with_capacity(pages);
+    let mut sip: HashMap<PageDigest, PageIndex> = HashMap::with_capacity(pages);
+    for (i, &d) in digests.iter().enumerate() {
+        if i % 2 == 0 {
+            swiss.or_insert(d, PageIndex::new(i as u64));
+            sip.entry(d).or_insert_with(|| PageIndex::new(i as u64));
+        }
+    }
+
+    // The acceptance metric: digest + one probe per page.
+    let modern = best_of(reps, || {
+        let ds = vecycle_hash::digest_pages(&views);
+        ds.iter().filter(|d| swiss.contains(**d)).count()
+    });
+    let legacy = best_of(reps, || {
+        let ds: Vec<PageDigest> = views.iter().map(|p| legacy_page_digest(p)).collect();
+        ds.iter().filter(|d| sip.contains_key(d)).count()
+    });
+
+    // Digest-only throughput (GiB/s hashed).
+    let digest_time = best_of(reps, || vecycle_hash::digest_pages(&views));
+
+    // Lookup-only throughput.
+    let probes: Vec<PageDigest> = digests.clone();
+    let swiss_time = best_of(reps, || {
+        probes.iter().filter(|d| swiss.contains(**d)).count()
+    });
+    let sip_time = best_of(reps, || {
+        probes.iter().filter(|d| sip.contains_key(d)).count()
+    });
+
+    // Hex rendering: LUT vs the format!-per-byte path it replaced.
+    let hex_inputs: Vec<[u8; 16]> = digests.iter().map(|d| d.into_bytes()).collect();
+    let lut_time = best_of(reps, || {
+        hex_inputs
+            .iter()
+            .map(|d| vecycle_hash::to_hex(d).len())
+            .sum::<usize>()
+    });
+    let fmt_time = best_of(reps, || {
+        hex_inputs
+            .iter()
+            .map(|d| {
+                d.iter()
+                    .map(|b| format!("{b:02x}"))
+                    .collect::<String>()
+                    .len()
+            })
+            .sum::<usize>()
+    });
+
+    let hashed_bytes = (pages * 4096) as f64;
+    let hex_bytes = (hex_inputs.len() * 16) as f64;
+    Measurement {
+        pages,
+        reps,
+        modern_pages_per_sec: pages as f64 / modern,
+        legacy_pages_per_sec: pages as f64 / legacy,
+        speedup: legacy / modern,
+        digest_gib_per_sec: hashed_bytes / digest_time / (1u64 << 30) as f64,
+        swiss_lookups_per_sec: probes.len() as f64 / swiss_time,
+        siphash_lookups_per_sec: probes.len() as f64 / sip_time,
+        lut_hex_mib_per_sec: hex_bytes / lut_time / (1u64 << 20) as f64,
+        format_hex_mib_per_sec: hex_bytes / fmt_time / (1u64 << 20) as f64,
+    }
+}
+
+fn to_json(m: &Measurement, quick: bool) -> String {
+    // Hand-rolled for a stable field order (serde_json maps reorder).
+    format!(
+        "{{\n  \"schema\": 1,\n  \"quick\": {quick},\n  \"pages\": {},\n  \"reps\": {},\n  \
+         \"digest_index_modern_pages_per_sec\": {:.0},\n  \
+         \"digest_index_legacy_pages_per_sec\": {:.0},\n  \
+         \"digest_index_speedup\": {:.2},\n  \
+         \"digest_gib_per_sec\": {:.3},\n  \
+         \"swiss_lookups_per_sec\": {:.0},\n  \
+         \"siphash_lookups_per_sec\": {:.0},\n  \
+         \"to_hex_lut_mib_per_sec\": {:.1},\n  \
+         \"to_hex_format_mib_per_sec\": {:.1}\n}}\n",
+        m.pages,
+        m.reps,
+        m.modern_pages_per_sec,
+        m.legacy_pages_per_sec,
+        m.speedup,
+        m.digest_gib_per_sec,
+        m.swiss_lookups_per_sec,
+        m.siphash_lookups_per_sec,
+        m.lut_hex_mib_per_sec,
+        m.format_hex_mib_per_sec,
+    )
+}
+
+/// Pulls one numeric field out of the recorded baseline JSON.
+fn json_field(raw: &str, key: &str) -> Option<f64> {
+    let pos = raw.find(&format!("\"{key}\""))?;
+    let rest = &raw[pos..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let mut check = false;
+    let mut quick = false;
+    let mut out = String::from("results/hotpath_baseline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out: path"),
+            other => panic!("unknown argument {other}; known: --check --quick --out"),
+        }
+    }
+
+    let m = measure(quick);
+    println!(
+        "digest+index: {:.0} pages/s (legacy {:.0} pages/s, speedup {:.2}x)",
+        m.modern_pages_per_sec, m.legacy_pages_per_sec, m.speedup
+    );
+    println!(
+        "digest only:  {:.3} GiB/s hashed   lookups: swiss {:.2}M/s vs siphash {:.2}M/s",
+        m.digest_gib_per_sec,
+        m.swiss_lookups_per_sec / 1e6,
+        m.siphash_lookups_per_sec / 1e6
+    );
+    println!(
+        "to_hex:       lut {:.1} MiB/s vs format {:.1} MiB/s",
+        m.lut_hex_mib_per_sec, m.format_hex_mib_per_sec
+    );
+
+    if !check {
+        std::fs::write(&out, to_json(&m, quick)).expect("write baseline file");
+        println!("baseline written to {out}");
+        return;
+    }
+
+    let mut failures = Vec::new();
+    if m.speedup < REQUIRED_SPEEDUP {
+        failures.push(format!(
+            "digest+index speedup {:.2}x is below the required {REQUIRED_SPEEDUP:.1}x",
+            m.speedup
+        ));
+    }
+    // The LUT hex path must not be slower than the format! path it
+    // replaced (generous 1.5x slack absorbs timer noise; the LUT is
+    // typically ~10x faster).
+    if m.lut_hex_mib_per_sec * 1.5 < m.format_hex_mib_per_sec {
+        failures.push(format!(
+            "to_hex LUT ({:.1} MiB/s) is slower than format! ({:.1} MiB/s)",
+            m.lut_hex_mib_per_sec, m.format_hex_mib_per_sec
+        ));
+    }
+    match std::fs::read_to_string(&out) {
+        Ok(raw) => {
+            let recorded = json_field(&raw, "digest_index_modern_pages_per_sec")
+                .expect("baseline file has digest_index_modern_pages_per_sec");
+            let ratio = m.modern_pages_per_sec / recorded;
+            println!(
+                "recorded baseline {recorded:.0} pages/s; current is {:.0}% of it",
+                ratio * 100.0
+            );
+            if ratio < REGRESSION_TOLERANCE {
+                failures.push(format!(
+                    "hot path regressed to {:.0}% of the recorded {recorded:.0} pages/s \
+                     (tolerance {:.0}%)",
+                    ratio * 100.0,
+                    REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        }
+        Err(e) => failures.push(format!("cannot read baseline file {out}: {e}")),
+    }
+
+    if failures.is_empty() {
+        println!("hot-path check passed");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -138,10 +138,12 @@ impl Checkpoint {
     pub fn digests(&self) -> Vec<PageDigest> {
         match &self.data {
             CheckpointData::Digests(d) => d.clone(),
-            CheckpointData::Pages(b) => b
-                .chunks_exact(PAGE_SIZE as usize)
-                .map(vecycle_hash::page_digest)
-                .collect(),
+            CheckpointData::Pages(b) => {
+                // Batch through the multi-lane hash front-end: this runs
+                // once per index build over the whole checkpoint.
+                let views: Vec<&[u8]> = b.chunks_exact(PAGE_SIZE as usize).collect();
+                vecycle_hash::digest_pages(&views)
+            }
         }
     }
 

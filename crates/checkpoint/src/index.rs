@@ -1,8 +1,8 @@
 //! Checksum → page-offset indexes over a checkpoint (§3.3).
 
-use std::collections::HashMap;
-
 use vecycle_types::{PageDigest, PageIndex};
+
+use crate::swiss::DigestTable;
 
 /// Common interface of the checkpoint indexes.
 ///
@@ -51,7 +51,13 @@ pub trait PageLookup {
 pub struct ChecksumIndex {
     // Sorted by digest; for duplicate digests only the smallest offset
     // is kept (any copy of the content serves a restore equally well).
+    // The sorted order is load-bearing: `digests()` feeds the bulk
+    // checksum pre-exchange and the parallel build merges by it.
     entries: Vec<(PageDigest, PageIndex)>,
+    // Swiss-table accelerator over the same entries: per-message
+    // `lookup`/`contains` queries hit this in O(1) instead of a binary
+    // search over a cache-cold sorted array.
+    table: DigestTable<PageIndex>,
     total_pages: u64,
 }
 
@@ -67,8 +73,19 @@ impl ChecksumIndex {
         // Sort by digest, then offset, so dedup keeps the first offset.
         entries.sort_unstable();
         entries.dedup_by_key(|(d, _)| *d);
+        ChecksumIndex::from_entries(entries, total_pages)
+    }
+
+    /// Finishes construction from deduplicated sorted entries, building
+    /// the lookup accelerator over them.
+    fn from_entries(entries: Vec<(PageDigest, PageIndex)>, total_pages: u64) -> Self {
+        let mut table = DigestTable::with_capacity(entries.len());
+        for &(d, i) in &entries {
+            table.insert(d, i);
+        }
         ChecksumIndex {
             entries,
+            table,
             total_pages,
         }
     }
@@ -114,10 +131,7 @@ impl ChecksumIndex {
         .expect("scoped sort threads");
         let mut entries = merge_sorted_runs(runs);
         entries.dedup_by_key(|(d, _)| *d);
-        ChecksumIndex {
-            entries,
-            total_pages,
-        }
+        ChecksumIndex::from_entries(entries, total_pages)
     }
 
     /// Number of pages the underlying checkpoint holds (with duplicates).
@@ -141,16 +155,11 @@ impl ChecksumIndex {
 
 impl PageLookup for ChecksumIndex {
     fn contains(&self, digest: PageDigest) -> bool {
-        self.entries
-            .binary_search_by_key(&digest, |(d, _)| *d)
-            .is_ok()
+        self.table.contains(digest)
     }
 
     fn lookup(&self, digest: PageDigest) -> Option<PageIndex> {
-        self.entries
-            .binary_search_by_key(&digest, |(d, _)| *d)
-            .ok()
-            .map(|i| self.entries[i].1)
+        self.table.get(digest).copied()
     }
 
     fn distinct(&self) -> usize {
@@ -192,19 +201,21 @@ fn merge_sorted_runs(runs: Vec<Vec<(PageDigest, PageIndex)>>) -> Vec<(PageDigest
 ///
 /// Same semantics as [`ChecksumIndex`]; O(1) expected lookups at the
 /// cost of a larger build-time allocation. The `index_lookup` bench
-/// compares the two.
+/// compares the two. Backed by the crate's [`DigestTable`], which keys
+/// buckets directly off the digest's own entropy instead of re-hashing
+/// through SipHash.
 #[derive(Debug, Clone)]
 pub struct HashChecksumIndex {
-    map: HashMap<PageDigest, PageIndex>,
+    map: DigestTable<PageIndex>,
 }
 
 impl HashChecksumIndex {
     /// Builds the index from per-page digests in page order.
     pub fn build(digests: Vec<PageDigest>) -> Self {
-        let mut map = HashMap::with_capacity(digests.len());
+        let mut map = DigestTable::with_capacity(digests.len());
         for (i, d) in digests.into_iter().enumerate() {
             // Keep the first offset for duplicate contents.
-            map.entry(d).or_insert_with(|| PageIndex::new(i as u64));
+            map.or_insert(d, PageIndex::new(i as u64));
         }
         HashChecksumIndex { map }
     }
@@ -212,11 +223,11 @@ impl HashChecksumIndex {
 
 impl PageLookup for HashChecksumIndex {
     fn contains(&self, digest: PageDigest) -> bool {
-        self.map.contains_key(&digest)
+        self.map.contains(digest)
     }
 
     fn lookup(&self, digest: PageDigest) -> Option<PageIndex> {
-        self.map.get(&digest).copied()
+        self.map.get(digest).copied()
     }
 
     fn distinct(&self) -> usize {
@@ -314,6 +325,23 @@ mod tests {
         let par = ChecksumIndex::build_parallel(digests.clone(), 8);
         let seq = ChecksumIndex::build(digests);
         assert_eq!(par.entries, seq.entries);
+    }
+
+    /// The swiss-table accelerator answers exactly what a binary search
+    /// over the sorted entries would, for hits and misses alike.
+    #[test]
+    fn table_lookup_agrees_with_binary_search() {
+        let index = ChecksumIndex::build(parallel_workload());
+        for probe in 0..8_192u64 {
+            let digest = d(probe);
+            let by_search = index
+                .entries
+                .binary_search_by_key(&digest, |(dg, _)| *dg)
+                .ok()
+                .map(|i| index.entries[i].1);
+            assert_eq!(index.lookup(digest), by_search, "probe {probe}");
+            assert_eq!(index.contains(digest), by_search.is_some(), "probe {probe}");
+        }
     }
 
     #[test]

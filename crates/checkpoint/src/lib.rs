@@ -30,6 +30,7 @@ mod lifecycle;
 mod obs;
 mod partial;
 mod store;
+mod swiss;
 mod wire;
 
 pub use checkpoint::{Checkpoint, CheckpointData};
@@ -40,3 +41,4 @@ pub use lifecycle::{EvictionPolicy, EvictionReason, EvictionRecord, GoneReason, 
 pub use obs::{observe_index, observe_partial};
 pub use partial::PartialCheckpoint;
 pub use store::CheckpointStore;
+pub use swiss::DigestTable;

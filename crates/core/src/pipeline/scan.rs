@@ -8,10 +8,8 @@
 //! shards in page order, so the dedup cache resolves exactly as a
 //! one-page-at-a-time walk would have resolved it.
 
-use std::collections::HashMap;
-
-use vecycle_checkpoint::DedupIndex;
-use vecycle_mem::MemoryImage;
+use vecycle_checkpoint::{DedupIndex, DigestTable};
+use vecycle_mem::{MemoryImage, PageArena};
 use vecycle_types::{PageDigest, PageIndex};
 
 use crate::strategy::PageAction;
@@ -61,7 +59,7 @@ struct ShardScan {
     records: Vec<PreRecord>,
     /// Digest → lowest in-range page that would insert it into the dedup
     /// cache (both full-page candidates and checksum announcements).
-    inserts: HashMap<PageDigest, PageIndex>,
+    inserts: DigestTable<PageIndex>,
 }
 
 /// A page's dedup-independent classification, before `SendFull`
@@ -142,7 +140,7 @@ impl MigrationEngine {
                         let mut shard = ShardScan {
                             skipped: 0,
                             records: Vec::with_capacity((hi - lo) as usize),
-                            inserts: HashMap::new(),
+                            inserts: DigestTable::new(),
                         };
                         for i in lo..hi {
                             let idx = PageIndex::new(i);
@@ -161,11 +159,11 @@ impl MigrationEngine {
                             }
                             match action {
                                 PageAction::SendFull => {
-                                    shard.inserts.entry(digest).or_insert(idx);
+                                    shard.inserts.or_insert(digest, idx);
                                     shard.records.push(PreRecord::Candidate(idx, digest));
                                 }
                                 PageAction::SendChecksum => {
-                                    shard.inserts.entry(digest).or_insert(idx);
+                                    shard.inserts.or_insert(digest, idx);
                                     shard.records.push(PreRecord::Checksum(idx, digest));
                                 }
                                 PageAction::Skip => shard.skipped += 1,
@@ -182,10 +180,10 @@ impl MigrationEngine {
 
         // Phase B: merge shard maps in page order — the earliest range
         // holding a digest wins, which is the global minimum index.
-        let mut round_min: HashMap<PageDigest, PageIndex> = HashMap::new();
+        let mut round_min: DigestTable<PageIndex> = DigestTable::new();
         for shard in &shards {
-            for (&digest, &idx) in &shard.inserts {
-                round_min.entry(digest).or_insert(idx);
+            for (digest, &idx) in shard.inserts.iter() {
+                round_min.or_insert(digest, idx);
             }
         }
 
@@ -202,6 +200,11 @@ impl MigrationEngine {
                     move || {
                         let mut out = ScanOutcome::new(want_msgs);
                         let mut pages = vecycle_obs::CounterShard::default();
+                        // Full-page payloads for this shard accumulate in
+                        // one arena; messages get refcounted slices of it
+                        // after sealing instead of per-page boxes.
+                        let mut arena = PageArena::new();
+                        let mut fixups: Vec<(usize, vecycle_mem::ArenaSlot)> = Vec::new();
                         out.skipped = shard.skipped;
                         if shard.skipped > 0 {
                             pages.inc(
@@ -237,7 +240,9 @@ impl MigrationEngine {
                                     // candidate into a back-reference.
                                     let source = if dedup {
                                         sent_view.get(digest).or_else(|| {
-                                            let first = round_min_view[&digest];
+                                            let first = *round_min_view
+                                                .get(digest)
+                                                .expect("candidate digest recorded in phase A");
                                             (first < idx).then_some(first)
                                         })
                                     } else {
@@ -263,16 +268,29 @@ impl MigrationEngine {
                                                 1,
                                             );
                                             if let Some(t) = out.msgs.as_mut() {
+                                                if let Some(b) = vm.page_bytes(idx) {
+                                                    fixups.push((t.len(), arena.push(b)));
+                                                }
                                                 t.push(PageMsg::Full {
                                                     idx,
                                                     digest,
-                                                    bytes: vm
-                                                        .page_bytes(idx)
-                                                        .map(|b| b.to_vec().into_boxed_slice()),
+                                                    bytes: None,
                                                 });
                                             }
                                         }
                                     }
+                                }
+                            }
+                        }
+                        // Seal the arena and patch the byte-carrying full
+                        // pages. Message order is untouched, so results
+                        // stay bit-identical to the per-page-box path.
+                        if !fixups.is_empty() {
+                            let sealed = arena.seal();
+                            let msgs = out.msgs.as_mut().expect("fixups imply recorded messages");
+                            for (pos, slot) in fixups {
+                                if let PageMsg::Full { bytes, .. } = &mut msgs[pos] {
+                                    *bytes = Some(sealed.slice(slot));
                                 }
                             }
                         }
@@ -295,7 +313,7 @@ impl MigrationEngine {
             // counts.
             self.metrics.absorb(pages);
         }
-        for (&digest, &idx) in &round_min {
+        for (digest, &idx) in round_min.iter() {
             sent.insert_first(digest, idx);
         }
         out

@@ -1,7 +1,7 @@
 //! Migration transcripts and the destination merge (Listing 1).
 
 use vecycle_checkpoint::{Checkpoint, PageLookup};
-use vecycle_mem::{ByteMemory, MemoryImage, MutableMemory, PageContent};
+use vecycle_mem::{ByteMemory, MemoryImage, MutableMemory, PageBuf, PageContent};
 use vecycle_types::{Error, PageDigest, PageIndex};
 
 /// One message of the migration stream, as the destination receives it.
@@ -15,8 +15,9 @@ pub enum PageMsg {
         idx: PageIndex,
         /// Content checksum.
         digest: PageDigest,
-        /// Page bytes; `None` when the source is digest-level.
-        bytes: Option<Box<[u8]>>,
+        /// Page bytes; `None` when the source is digest-level. Backed by
+        /// a scan arena, so cloning a message never copies page bytes.
+        bytes: Option<PageBuf>,
     },
     /// Only the checksum: the destination already holds this content.
     Checksum {
@@ -174,7 +175,7 @@ mod tests {
                 transcript.push(PageMsg::Full {
                     idx,
                     digest: now.page_digest(idx),
-                    bytes: Some(now.read_page(idx).to_vec().into_boxed_slice()),
+                    bytes: Some(PageBuf::copy_from(now.read_page(idx))),
                 });
             } else {
                 transcript.push(PageMsg::Checksum {
@@ -197,7 +198,7 @@ mod tests {
             PageMsg::Full {
                 idx: PageIndex::new(0),
                 digest: now.page_digest(PageIndex::new(0)),
-                bytes: Some(now.read_page(PageIndex::new(0)).to_vec().into_boxed_slice()),
+                bytes: Some(PageBuf::copy_from(now.read_page(PageIndex::new(0)))),
             },
             PageMsg::DedupRef {
                 idx: PageIndex::new(2),
@@ -227,7 +228,7 @@ mod tests {
         let transcript = vec![PageMsg::Full {
             idx: PageIndex::new(0),
             digest: PageDigest::from_content_id(1), // wrong digest
-            bytes: Some(vec![9u8; 4096].into_boxed_slice()),
+            bytes: Some(vec![9u8; 4096].into()),
         }];
         assert!(apply_transcript(&cp, &transcript).is_err());
     }

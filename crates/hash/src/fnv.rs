@@ -7,8 +7,8 @@
 
 use crate::Hasher;
 
-const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-const PRIME: u64 = 0x0000_0100_0000_01b3;
+pub(crate) const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Streaming FNV-1a 64-bit hasher.
 ///

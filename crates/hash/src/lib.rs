@@ -31,15 +31,45 @@
 
 mod fnv;
 mod md5;
+pub mod multilane;
 mod sha1;
 mod sha256;
 
 pub use fnv::Fnv1a64;
 pub use md5::Md5;
+pub use multilane::{fnv1a64_x4, md5_x4, sha1_x4, sha256_x4};
 pub use sha1::Sha1;
 pub use sha256::Sha256;
 
 use vecycle_types::PageDigest;
+
+/// SWAR all-zero test: the zero-page prefilter of the digest hot path.
+///
+/// Folds eight-byte words with `|` instead of walking bytes, checking the
+/// accumulator once per 32-byte stripe so a non-zero page exits after the
+/// first dirty stripe. Zero pages are common enough (freshly booted
+/// guests) that this check runs before every page digest.
+///
+/// # Examples
+///
+/// ```
+/// assert!(vecycle_hash::is_all_zero(&[0u8; 4096]));
+/// assert!(!vecycle_hash::is_all_zero(&[0, 0, 1]));
+/// assert!(vecycle_hash::is_all_zero(&[]));
+/// ```
+pub fn is_all_zero(data: &[u8]) -> bool {
+    let mut stripes = data.chunks_exact(32);
+    for stripe in &mut stripes {
+        let acc = u64::from_ne_bytes(stripe[0..8].try_into().expect("8 bytes"))
+            | u64::from_ne_bytes(stripe[8..16].try_into().expect("8 bytes"))
+            | u64::from_ne_bytes(stripe[16..24].try_into().expect("8 bytes"))
+            | u64::from_ne_bytes(stripe[24..32].try_into().expect("8 bytes"));
+        if acc != 0 {
+            return false;
+        }
+    }
+    stripes.remainder().iter().all(|&b| b == 0)
+}
 
 /// A streaming hash function.
 ///
@@ -124,34 +154,66 @@ impl ChecksumAlgorithm {
     }
 
     /// Digests one page with this algorithm into the 128-bit digest slot.
+    ///
+    /// All-zero pages map to [`PageDigest::ZERO_PAGE`] under every
+    /// algorithm, exactly as the free [`page_digest`] does for MD5 — the
+    /// trace layer and the byte layer must agree on what "zero page"
+    /// means regardless of which checksum the engine was configured with.
     pub fn page_digest(self, page: &[u8]) -> PageDigest {
+        if is_all_zero(page) {
+            return PageDigest::ZERO_PAGE;
+        }
         match self {
             ChecksumAlgorithm::Md5 => PageDigest::new(Md5::digest(page)),
-            ChecksumAlgorithm::Sha1 => {
-                let full = Sha1::digest(page);
-                PageDigest::new(full[..16].try_into().expect("sha1 has 20 bytes"))
-            }
-            ChecksumAlgorithm::Sha256 => {
-                let full = Sha256::digest(page);
-                PageDigest::new(full[..16].try_into().expect("sha256 has 32 bytes"))
-            }
-            ChecksumAlgorithm::Fnv1a => {
-                let h = Fnv1a64::digest(page);
-                let k = u64::from_be_bytes(h);
-                // Widen by hashing the hash again with a length prefix so
-                // both 64-bit halves carry independent entropy.
-                let mut second = Fnv1a64::new();
-                second.update(&h);
-                second.update(&(page.len() as u64).to_be_bytes());
-                second.update(page.get(..64.min(page.len())).unwrap_or(&[]));
-                let k2 = u64::from_be_bytes(second.finalize());
-                let mut out = [0u8; 16];
-                out[..8].copy_from_slice(&k.to_be_bytes());
-                out[8..].copy_from_slice(&k2.to_be_bytes());
-                PageDigest::new(out)
-            }
+            ChecksumAlgorithm::Sha1 => truncate_to_digest(&Sha1::digest(page)),
+            ChecksumAlgorithm::Sha256 => truncate_to_digest(&Sha256::digest(page)),
+            ChecksumAlgorithm::Fnv1a => fnv_widen(Fnv1a64::digest(page), page),
         }
     }
+
+    /// Digests a batch of pages, four lanes per dispatch.
+    ///
+    /// Bit-equal to calling [`ChecksumAlgorithm::page_digest`] on each
+    /// page, but processes quads of equal-length pages through the
+    /// multi-lane kernels in [`multilane`] — the fast path for the
+    /// engine's scan and for checkpoint index builds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vecycle_hash::ChecksumAlgorithm;
+    ///
+    /// let pages: Vec<Vec<u8>> = (0u8..8).map(|k| vec![k; 4096]).collect();
+    /// let views: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+    /// let batch = ChecksumAlgorithm::Md5.digest_pages(&views);
+    /// assert_eq!(batch[0], vecycle_types::PageDigest::ZERO_PAGE);
+    /// assert_eq!(batch[3], ChecksumAlgorithm::Md5.page_digest(&pages[3]));
+    /// ```
+    pub fn digest_pages(self, pages: &[&[u8]]) -> Vec<PageDigest> {
+        multilane::digest_pages(self, pages)
+    }
+}
+
+/// Truncates a wider SHA digest into the 128-bit page-digest slot.
+fn truncate_to_digest(full: &[u8]) -> PageDigest {
+    PageDigest::new(full[..16].try_into().expect("digest has >= 16 bytes"))
+}
+
+/// Widens a 64-bit FNV value to 128 bits by hashing the hash again with a
+/// length prefix and the page head, so both halves carry independent
+/// entropy. Shared by the scalar and multi-lane paths — they must agree
+/// byte-for-byte.
+fn fnv_widen(h: [u8; 8], page: &[u8]) -> PageDigest {
+    let k = u64::from_be_bytes(h);
+    let mut second = Fnv1a64::new();
+    second.update(&h);
+    second.update(&(page.len() as u64).to_be_bytes());
+    second.update(page.get(..64.min(page.len())).unwrap_or(&[]));
+    let k2 = u64::from_be_bytes(second.finalize());
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&k.to_be_bytes());
+    out[8..].copy_from_slice(&k2.to_be_bytes());
+    PageDigest::new(out)
 }
 
 impl std::fmt::Display for ChecksumAlgorithm {
@@ -180,13 +242,28 @@ impl std::fmt::Display for ChecksumAlgorithm {
 /// assert_ne!(page_digest(&one), PageDigest::ZERO_PAGE);
 /// ```
 pub fn page_digest(page: &[u8]) -> PageDigest {
-    if page.iter().all(|&b| b == 0) {
+    if is_all_zero(page) {
         return PageDigest::ZERO_PAGE;
     }
     PageDigest::new(Md5::digest(page))
 }
 
+/// Digests a batch of pages with MD5, four lanes per dispatch.
+///
+/// The batched counterpart of [`page_digest`]: bit-equal results, but
+/// equal-length quads of non-zero pages run through [`md5_x4`].
+pub fn digest_pages(pages: &[&[u8]]) -> Vec<PageDigest> {
+    multilane::digest_pages(ChecksumAlgorithm::Md5, pages)
+}
+
+/// Nibble-to-ASCII table for [`to_hex`].
+const HEX_DIGITS: &[u8; 16] = b"0123456789abcdef";
+
 /// Renders a digest as lowercase hex.
+///
+/// Two table lookups and two pushes per byte into a pre-sized `String` —
+/// no per-byte `format!` allocation; hex rendering must never show up in
+/// a digest-path profile.
 ///
 /// # Examples
 ///
@@ -194,7 +271,13 @@ pub fn page_digest(page: &[u8]) -> PageDigest {
 /// assert_eq!(vecycle_hash::to_hex(&[0xde, 0xad]), "dead");
 /// ```
 pub fn to_hex(bytes: &impl AsRef<[u8]>) -> String {
-    bytes.as_ref().iter().map(|b| format!("{b:02x}")).collect()
+    let bytes = bytes.as_ref();
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX_DIGITS[(b >> 4) as usize] as char);
+        s.push(HEX_DIGITS[(b & 0x0f) as usize] as char);
+    }
+    s
 }
 
 #[cfg(test)]
@@ -207,6 +290,37 @@ mod tests {
         let mut p = [0u8; 4096];
         p[4095] = 1;
         assert_ne!(page_digest(&p), PageDigest::ZERO_PAGE);
+    }
+
+    /// Regression: every algorithm — not just the free MD5 helper — must
+    /// fold the all-zero page onto the sentinel, or engines configured
+    /// with Sha1/Sha256/Fnv1a silently lose zero-page suppression and the
+    /// trace layer and byte layer disagree about what "zero page" means.
+    #[test]
+    fn zero_sentinel_applies_to_every_algorithm() {
+        let zero = [0u8; 4096];
+        for a in ChecksumAlgorithm::ALL {
+            assert_eq!(a.page_digest(&zero), PageDigest::ZERO_PAGE, "{a}");
+            assert_eq!(a.page_digest(&[]), PageDigest::ZERO_PAGE, "{a} empty");
+            // And only the all-zero page: one trailing bit breaks it.
+            let mut almost = [0u8; 4096];
+            almost[4095] = 1;
+            assert_ne!(a.page_digest(&almost), PageDigest::ZERO_PAGE, "{a}");
+        }
+    }
+
+    #[test]
+    fn is_all_zero_boundaries() {
+        for len in [0usize, 1, 7, 8, 31, 32, 33, 4095, 4096] {
+            assert!(is_all_zero(&vec![0u8; len]), "len {len}");
+            if len > 0 {
+                for hot in [0, len / 2, len - 1] {
+                    let mut v = vec![0u8; len];
+                    v[hot] = 0x80;
+                    assert!(!is_all_zero(&v), "len {len} hot {hot}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -240,5 +354,9 @@ mod tests {
     #[test]
     fn to_hex_formats() {
         assert_eq!(to_hex(&[0u8, 255u8]), "00ff");
+        // The LUT rewrite must agree with the format! rendering bytewise.
+        let all: Vec<u8> = (0..=255).collect();
+        let expect: String = all.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(to_hex(&all), expect);
     }
 }

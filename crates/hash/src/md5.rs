@@ -25,8 +25,9 @@ pub struct Md5 {
     length_bytes: u64,
 }
 
-/// Per-round shift amounts (RFC 1321 §3.4).
-const S: [u32; 64] = [
+/// Per-round shift amounts (RFC 1321 §3.4). Shared with the multi-lane
+/// kernel, which runs the same rounds over four messages at once.
+pub(crate) const S: [u32; 64] = [
     7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
     5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
     4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
@@ -34,7 +35,7 @@ const S: [u32; 64] = [
 ];
 
 /// Sine-derived constants `K[i] = floor(2^32 * |sin(i + 1)|)`.
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
     0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
     0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,

@@ -8,6 +8,10 @@
 
 use crate::Hasher;
 
+/// Stage constants for rounds 0–19, 20–39, 40–59 and 60–79. Shared with
+/// the multi-lane kernel.
+pub(crate) const K: [u32; 4] = [0x5a827999, 0x6ed9eba1, 0x8f1bbcdc, 0xca62c1d6];
+
 /// Streaming SHA-1 hasher.
 ///
 /// # Examples
@@ -53,10 +57,10 @@ impl Sha1 {
         let [mut a, mut b, mut c, mut d, mut e] = *state;
         for (i, &wi) in w.iter().enumerate() {
             let (f, k) = match i / 20 {
-                0 => ((b & c) | (!b & d), 0x5a827999),
-                1 => (b ^ c ^ d, 0x6ed9eba1),
-                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
-                _ => (b ^ c ^ d, 0xca62c1d6),
+                0 => ((b & c) | (!b & d), K[0]),
+                1 => (b ^ c ^ d, K[1]),
+                2 => ((b & c) | (b & d) | (c & d), K[2]),
+                _ => (b ^ c ^ d, K[3]),
             };
             let tmp = a
                 .rotate_left(5)

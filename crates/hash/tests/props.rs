@@ -1,9 +1,10 @@
-//! Property tests: streaming semantics of every hash.
+//! Property tests: streaming semantics of every hash, and the
+//! multi-lane kernels pinned byte-equal to the scalar path.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use vecycle_hash::{Fnv1a64, Hasher, Md5, Sha1, Sha256};
+use vecycle_hash::{ChecksumAlgorithm, Fnv1a64, Hasher, Md5, Sha1, Sha256};
 
 fn chunked_digest<H: Hasher + Default>(data: &[u8], cuts: &[usize]) -> H::Output {
     let mut h = H::default();
@@ -63,5 +64,75 @@ proptest! {
         let digest = vecycle_hash::page_digest(&data);
         let all_zero = data.iter().all(|&b| b == 0);
         prop_assert_eq!(digest.is_zero_page(), all_zero);
+    }
+
+    /// Same exactness for every configured algorithm, not just the MD5
+    /// free function (the zero-page divergence regression).
+    #[test]
+    fn algorithm_zero_sentinel_is_exact(data in vec(any::<u8>(), 0..4096)) {
+        let all_zero = data.iter().all(|&b| b == 0);
+        for algo in ChecksumAlgorithm::ALL {
+            prop_assert_eq!(algo.page_digest(&data).is_zero_page(), all_zero);
+        }
+    }
+
+    /// The SWAR prefilter agrees with the per-byte walk at every length.
+    #[test]
+    fn swar_zero_check_matches_bytewise(raw in vec(any::<u8>(), 0..200)) {
+        // Bias toward zeros so both branches of the check are exercised.
+        let data: Vec<u8> = raw.iter().map(|&b| if b < 240 { 0 } else { b }).collect();
+        prop_assert_eq!(vecycle_hash::is_all_zero(&data), data.iter().all(|&b| b == 0));
+    }
+
+    /// Differential pin: `digest_pages` (multi-lane front-end) is
+    /// byte-equal to the scalar per-page path for every algorithm, for
+    /// batch shapes covering zero/partial/full/multi-quad dispatch and
+    /// random page lengths (equal-length runs exercise the lane kernels;
+    /// ragged runs exercise the straggler fallback).
+    #[test]
+    fn multilane_batches_match_scalar(
+        raw_lens in vec(0usize..5000, 0..9),
+        fill in vec(any::<u8>(), 0..16),
+    ) {
+        let pages: Vec<Vec<u8>> = raw_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &raw)| {
+                // 4-in-5 pages are uniform 4 KiB (the lane-kernel case);
+                // the rest keep a random short length (the fallback case).
+                let len = if raw % 5 < 4 { 4096 } else { raw % 700 };
+                let seed = fill.get(i).copied().unwrap_or(0);
+                // Mix of zero pages (seed 0) and patterned pages.
+                (0..len).map(|j| seed.wrapping_mul((j % 251) as u8)).collect()
+            })
+            .collect();
+        let views: Vec<&[u8]> = pages.iter().map(Vec::as_slice).collect();
+        for algo in ChecksumAlgorithm::ALL {
+            let batch = algo.digest_pages(&views);
+            let scalar: Vec<_> = views.iter().map(|p| algo.page_digest(p)).collect();
+            prop_assert_eq!(&batch, &scalar, "{}", algo);
+        }
+    }
+
+    /// The raw lane kernels match the streaming `Hasher` outputs for
+    /// arbitrary equal-length messages (including padding boundaries).
+    #[test]
+    fn lane_kernels_match_streaming_hashers(len in 0usize..200, seeds in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())) {
+        let seeds = [seeds.0, seeds.1, seeds.2, seeds.3];
+        let msgs: Vec<Vec<u8>> = seeds
+            .iter()
+            .map(|&s| (0..len).map(|j| s.wrapping_add(j as u8)).collect())
+            .collect();
+        let views = [msgs[0].as_slice(), msgs[1].as_slice(), msgs[2].as_slice(), msgs[3].as_slice()];
+        let md5 = vecycle_hash::md5_x4(views);
+        let sha1 = vecycle_hash::sha1_x4(views);
+        let sha256 = vecycle_hash::sha256_x4(views);
+        let fnv = vecycle_hash::fnv1a64_x4(views);
+        for lane in 0..4 {
+            prop_assert_eq!(md5[lane], Md5::digest(&msgs[lane]));
+            prop_assert_eq!(sha1[lane], Sha1::digest(&msgs[lane]));
+            prop_assert_eq!(sha256[lane], Sha256::digest(&msgs[lane]));
+            prop_assert_eq!(fnv[lane], Fnv1a64::digest(&msgs[lane]));
+        }
     }
 }

@@ -1,0 +1,264 @@
+//! Arena-backed page buffers for the transfer pipeline.
+//!
+//! The page scan used to box every full page it put on the simulated
+//! wire — one heap allocation per 4 KiB page, tens of thousands per
+//! migration. [`PageArena`] replaces that with one contiguous buffer
+//! per scan shard: workers append page bytes as they classify, seal the
+//! arena into an immutable [`SealedArena`], and hand out [`PageBuf`]s —
+//! cheap reference-counted slices — to the transcript messages. The
+//! messages own their bytes (they outlive the scan and the source
+//! image), but all pages of a shard share a single allocation.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A reference into a [`SealedArena`], produced by [`PageArena::push`]
+/// and resolved by [`SealedArena::slice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaSlot {
+    start: usize,
+    len: usize,
+}
+
+/// An append-only byte arena for page payloads.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_mem::PageArena;
+///
+/// let mut arena = PageArena::new();
+/// let a = arena.push(b"first page");
+/// let b = arena.push(b"second");
+/// let sealed = arena.seal();
+/// assert_eq!(&*sealed.slice(a), b"first page");
+/// assert_eq!(&*sealed.slice(b), b"second");
+/// ```
+#[derive(Debug, Default)]
+pub struct PageArena {
+    buf: Vec<u8>,
+}
+
+impl PageArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PageArena::default()
+    }
+
+    /// An empty arena preallocated for `bytes` bytes of payload.
+    pub fn with_capacity(bytes: usize) -> Self {
+        PageArena {
+            buf: Vec::with_capacity(bytes),
+        }
+    }
+
+    /// Appends a payload, returning the slot to resolve after sealing.
+    pub fn push(&mut self, bytes: &[u8]) -> ArenaSlot {
+        let start = self.buf.len();
+        self.buf.extend_from_slice(bytes);
+        ArenaSlot {
+            start,
+            len: bytes.len(),
+        }
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freezes the arena; slots become resolvable.
+    pub fn seal(self) -> SealedArena {
+        SealedArena {
+            data: Arc::from(self.buf),
+        }
+    }
+}
+
+/// An immutable, shareable arena; see [`PageArena`].
+#[derive(Debug, Clone)]
+pub struct SealedArena {
+    data: Arc<[u8]>,
+}
+
+impl SealedArena {
+    /// Resolves a slot returned by [`PageArena::push`] on the arena this
+    /// was sealed from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of bounds (a slot from a different
+    /// arena).
+    pub fn slice(&self, slot: ArenaSlot) -> PageBuf {
+        assert!(
+            slot.start + slot.len <= self.data.len(),
+            "arena slot out of bounds"
+        );
+        PageBuf {
+            data: Arc::clone(&self.data),
+            start: slot.start,
+            len: slot.len,
+        }
+    }
+}
+
+/// An owned, cheaply clonable view of page bytes.
+///
+/// Behaves like `Box<[u8]>` for readers (`Deref<Target = [u8]>`,
+/// content-based equality) but clones by bumping a reference count, and
+/// many `PageBuf`s typically share one arena allocation.
+///
+/// # Examples
+///
+/// ```
+/// use vecycle_mem::PageBuf;
+///
+/// let buf = PageBuf::copy_from(b"page bytes");
+/// assert_eq!(&*buf, b"page bytes");
+/// assert_eq!(buf, PageBuf::copy_from(b"page bytes")); // content equality
+/// ```
+#[derive(Clone)]
+pub struct PageBuf {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl PageBuf {
+    /// A standalone buffer holding a copy of `bytes` — for callers
+    /// without an arena (tests, single-page paths).
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        PageBuf {
+            data: Arc::from(bytes),
+            start: 0,
+            len: bytes.len(),
+        }
+    }
+}
+
+impl Deref for PageBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for PageBuf {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for PageBuf {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for PageBuf {}
+
+impl fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as the byte slice, like Box<[u8]> would.
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl From<Vec<u8>> for PageBuf {
+    fn from(bytes: Vec<u8>) -> Self {
+        let len = bytes.len();
+        PageBuf {
+            data: Arc::from(bytes),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<Box<[u8]>> for PageBuf {
+    fn from(bytes: Box<[u8]>) -> Self {
+        let len = bytes.len();
+        PageBuf {
+            data: Arc::from(bytes),
+            start: 0,
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_resolve_to_their_bytes() {
+        let mut arena = PageArena::with_capacity(64);
+        let slots: Vec<ArenaSlot> = (0u8..10).map(|i| arena.push(&[i; 16])).collect();
+        assert_eq!(arena.len(), 160);
+        let sealed = arena.seal();
+        for (i, &slot) in slots.iter().enumerate() {
+            assert_eq!(&*sealed.slice(slot), &[i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn bufs_share_one_allocation() {
+        let mut arena = PageArena::new();
+        let a = arena.push(b"aaaa");
+        let b = arena.push(b"bbbb");
+        let sealed = arena.seal();
+        let buf_a = sealed.slice(a);
+        let buf_b = sealed.slice(b);
+        assert!(Arc::ptr_eq(&buf_a.data, &buf_b.data));
+        drop(sealed);
+        // Slices keep the arena alive.
+        assert_eq!(&*buf_a, b"aaaa");
+        assert_eq!(&*buf_b, b"bbbb");
+    }
+
+    #[test]
+    fn equality_is_by_content_not_identity() {
+        let standalone = PageBuf::copy_from(b"same");
+        let mut arena = PageArena::new();
+        let slot = arena.push(b"same");
+        let from_arena = arena.seal().slice(slot);
+        assert_eq!(standalone, from_arena);
+        assert_ne!(standalone, PageBuf::copy_from(b"diff"));
+    }
+
+    #[test]
+    fn empty_arena_and_empty_slices() {
+        let arena = PageArena::new();
+        assert!(arena.is_empty());
+        let sealed = arena.seal();
+        let empty = sealed.slice(ArenaSlot { start: 0, len: 0 });
+        assert_eq!(&*empty, b"");
+    }
+
+    #[test]
+    #[should_panic(expected = "arena slot out of bounds")]
+    fn foreign_slot_panics() {
+        let mut big = PageArena::new();
+        big.push(&[0u8; 100]);
+        let slot = big.push(&[1u8; 100]);
+        let mut small = PageArena::new();
+        small.push(&[2u8; 8]);
+        let _ = small.seal().slice(slot);
+    }
+
+    #[test]
+    fn conversions_preserve_bytes() {
+        let v: PageBuf = vec![1u8, 2, 3].into();
+        let b: PageBuf = vec![1u8, 2, 3].into_boxed_slice().into();
+        assert_eq!(v, b);
+        assert_eq!(v.as_ref(), &[1, 2, 3]);
+        assert_eq!(format!("{v:?}"), "[1, 2, 3]");
+    }
+}

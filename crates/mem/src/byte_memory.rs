@@ -93,6 +93,32 @@ impl MemoryImage for ByteMemory {
     fn page_bytes(&self, idx: PageIndex) -> Option<&[u8]> {
         Some(self.read_page(idx))
     }
+
+    fn digests(&self) -> Vec<PageDigest> {
+        // Serve cached digests directly; batch-hash the rest through the
+        // multi-lane front-end instead of one scalar MD5 per page.
+        let mut out: Vec<PageDigest> = Vec::with_capacity(self.digest_cache.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, cached) in self.digest_cache.iter().enumerate() {
+            match cached {
+                Some(d) => out.push(*d),
+                None => {
+                    out.push(PageDigest::ZERO_PAGE);
+                    missing.push(i);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let views: Vec<&[u8]> = missing
+                .iter()
+                .map(|&i| self.read_page(PageIndex::new(i as u64)))
+                .collect();
+            for (k, d) in vecycle_hash::digest_pages(&views).into_iter().enumerate() {
+                out[missing[k]] = d;
+            }
+        }
+        out
+    }
 }
 
 impl MutableMemory for ByteMemory {
@@ -104,20 +130,19 @@ impl MutableMemory for ByteMemory {
                 self.digest_cache[idx.as_usize()] = Some(PageDigest::ZERO_PAGE);
             }
             other => {
-                let page = other.materialize();
-                self.bytes[range].copy_from_slice(&page);
+                other.write_into(&mut self.bytes[range.clone()]);
                 // Recompute eagerly: callers interleave reads and writes
                 // and the hash cost is what ByteMemory exists to pay.
-                self.digest_cache[idx.as_usize()] = Some(vecycle_hash::page_digest(&page));
+                self.digest_cache[idx.as_usize()] =
+                    Some(vecycle_hash::page_digest(&self.bytes[range]));
             }
         }
     }
 
     fn relocate_page(&mut self, src: PageIndex, dst: PageIndex) {
         let src_range = self.page_range(src);
-        let page = self.bytes[src_range].to_vec();
-        let dst_range = self.page_range(dst);
-        self.bytes[dst_range].copy_from_slice(&page);
+        let dst_start = self.page_range(dst).start;
+        self.bytes.copy_within(src_range, dst_start);
         self.digest_cache[dst.as_usize()] = self.digest_cache[src.as_usize()];
     }
 }
@@ -169,6 +194,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The batched `digests()` override agrees with the per-page walk,
+    /// including pages whose cache entry has been invalidated (those go
+    /// through the multi-lane batch hash).
+    #[test]
+    fn digests_override_matches_per_page_walk() {
+        let mut m = ByteMemory::with_distinct_content(PageCount::new(12), 3);
+        m.write_page(PageIndex::new(4), PageContent::Zero);
+        for i in [1usize, 4, 7] {
+            m.digest_cache[i] = None;
+        }
+        let batched = MemoryImage::digests(&m);
+        let per_page: Vec<_> = (0..12).map(|i| m.page_digest(PageIndex::new(i))).collect();
+        assert_eq!(batched, per_page);
     }
 
     #[test]

@@ -32,30 +32,42 @@ impl PageContent<'_> {
     ///
     /// Panics if a `Bytes` payload is longer than one page.
     pub fn materialize(&self) -> Vec<u8> {
+        let mut out = vec![0u8; PAGE_SIZE as usize];
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Expands this content in place into a page-sized buffer, avoiding
+    /// the temporary allocation of [`PageContent::materialize`] — the
+    /// destination merge writes tens of thousands of pages per restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not exactly one page, or if a `Bytes` payload
+    /// is longer than one page.
+    pub fn write_into(&self, dst: &mut [u8]) {
         let page = PAGE_SIZE as usize;
+        assert_eq!(dst.len(), page, "write_into needs a page-sized buffer");
         match *self {
             PageContent::Bytes(b) => {
                 assert!(b.len() <= page, "page payload too large: {}", b.len());
-                let mut out = vec![0u8; page];
-                out[..b.len()].copy_from_slice(b);
-                out
+                dst[..b.len()].copy_from_slice(b);
+                dst[b.len()..].fill(0);
             }
-            PageContent::ContentId(0) | PageContent::Zero => vec![0u8; page],
+            PageContent::ContentId(0) | PageContent::Zero => dst.fill(0),
             PageContent::ContentId(id) => {
                 // A xorshift-style stream keyed by the ID: cheap,
                 // deterministic and collision-free across IDs because the
                 // first 8 bytes are the ID itself.
-                let mut out = vec![0u8; page];
-                out[..8].copy_from_slice(&id.to_le_bytes());
+                dst[..8].copy_from_slice(&id.to_le_bytes());
                 let mut s = id | 1;
-                for chunk in out[8..].chunks_mut(8) {
+                for chunk in dst[8..].chunks_mut(8) {
                     s ^= s << 13;
                     s ^= s >> 7;
                     s ^= s << 17;
                     let b = s.to_le_bytes();
                     chunk.copy_from_slice(&b[..chunk.len()]);
                 }
-                out
             }
         }
     }
@@ -102,6 +114,28 @@ mod tests {
         assert_eq!(m.len(), 4096);
         assert_eq!(&m[..5], b"hello");
         assert!(m[5..].iter().all(|&b| b == 0));
+    }
+
+    /// `write_into` overwrites whatever the buffer held — including the
+    /// zero-padding tail of a short write — matching `materialize`.
+    #[test]
+    fn write_into_matches_materialize_over_dirty_buffer() {
+        for content in [
+            PageContent::Bytes(b"short"),
+            PageContent::ContentId(0),
+            PageContent::ContentId(99),
+            PageContent::Zero,
+        ] {
+            let mut buf = vec![0xffu8; 4096];
+            content.write_into(&mut buf);
+            assert_eq!(buf, content.materialize(), "{content:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "page-sized buffer")]
+    fn write_into_rejects_wrong_size() {
+        PageContent::Zero.write_into(&mut [0u8; 100]);
     }
 
     #[test]

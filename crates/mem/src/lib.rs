@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod byte_memory;
 mod content;
 mod digest_memory;
@@ -30,6 +31,7 @@ mod generation;
 mod guest;
 pub mod workload;
 
+pub use arena::{ArenaSlot, PageArena, PageBuf, SealedArena};
 pub use byte_memory::ByteMemory;
 pub use content::PageContent;
 pub use digest_memory::DigestMemory;
