@@ -100,17 +100,23 @@ impl Checkpoint {
         let taken_at = SimTime::from_epoch(vecycle_types::SimDuration::from_nanos(buf.get_u64()));
         let pages = buf.get_u64();
 
+        // The declared page count is attacker-controlled (a forged
+        // trailer reaches this point): multiply with checked arithmetic
+        // and validate against the bytes actually present *before*
+        // sizing any allocation, so a hostile header can never request
+        // more memory than the input's own length.
+        let remaining = buf.remaining() as u64;
         let data = match kind {
             KIND_DIGESTS => {
-                let need = pages as usize * 16;
-                if buf.remaining() != need {
+                let need = pages.checked_mul(16).ok_or_else(|| Error::Corrupt {
+                    detail: format!("declared page count {pages} overflows digest payload size"),
+                })?;
+                if remaining != need {
                     return Err(Error::Corrupt {
-                        detail: format!(
-                            "digest payload length {} != expected {need}",
-                            buf.remaining()
-                        ),
+                        detail: format!("digest payload length {remaining} != expected {need}"),
                     });
                 }
+                // `pages <= remaining / 16 <= input length`: bounded.
                 let mut digests = Vec::with_capacity(pages as usize);
                 for _ in 0..pages {
                     let mut d = [0u8; 16];
@@ -120,16 +126,15 @@ impl Checkpoint {
                 CheckpointData::Digests(digests)
             }
             KIND_PAGES => {
-                let need = pages as usize * PAGE_SIZE as usize;
-                if buf.remaining() != need {
+                let need = pages.checked_mul(PAGE_SIZE).ok_or_else(|| Error::Corrupt {
+                    detail: format!("declared page count {pages} overflows page payload size"),
+                })?;
+                if remaining != need {
                     return Err(Error::Corrupt {
-                        detail: format!(
-                            "page payload length {} != expected {need}",
-                            buf.remaining()
-                        ),
+                        detail: format!("page payload length {remaining} != expected {need}"),
                     });
                 }
-                CheckpointData::Pages(buf.copy_to_bytes(need).to_vec())
+                CheckpointData::Pages(buf.copy_to_bytes(need as usize).to_vec())
             }
             other => {
                 return Err(Error::Corrupt {
@@ -227,6 +232,54 @@ mod tests {
         file[body_len..].copy_from_slice(&t);
         let err = Checkpoint::read_from(&file[..]).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    /// Recomputes the FNV trailer over `file` so a forged header passes
+    /// the outer integrity check and reaches the field parser.
+    fn refix_trailer(file: &mut [u8]) {
+        let body_len = file.len() - 8;
+        let mut fnv = Fnv1a64::new();
+        fnv.update(&file[..body_len]);
+        let t = fnv.finalize();
+        file[body_len..].copy_from_slice(&t);
+    }
+
+    #[test]
+    fn forged_page_count_is_rejected_before_allocating() {
+        let cp = sample();
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        // Page count lives at offset 24 (magic 8 + version 2 + kind 1 +
+        // reserved 1 + vm 4 + timestamp 8). Forge counts whose naive
+        // `pages * 16` wraps to a small (or matching) value, plus a
+        // plainly huge one: all must fail Corrupt without a giant
+        // pre-allocation or an overflow panic.
+        for forged in [
+            u64::MAX,
+            u64::MAX / 16 + 1,
+            (1u64 << 60) + cp.page_count().as_u64(), // wraps to the real count * 16
+            1 << 32,
+        ] {
+            let mut f = file.clone();
+            f[24..32].copy_from_slice(&forged.to_be_bytes());
+            refix_trailer(&mut f);
+            let err = Checkpoint::read_from(&f[..]).unwrap_err();
+            assert!(
+                matches!(err, Error::Corrupt { .. }),
+                "pages={forged}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_kind_with_fixed_trailer_is_rejected() {
+        let cp = sample();
+        let mut file = Vec::new();
+        cp.write_to(&mut file).unwrap();
+        file[10] = 7; // unknown kind
+        refix_trailer(&mut file);
+        let err = Checkpoint::read_from(&file[..]).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Round-trip and corruption properties of the checkpoint wire format.
+//!
+//! Three contracts, checked over generated inputs:
+//!
+//! 1. `write_to → read_from` is the identity for every checkpoint kind
+//!    (digest-level and full-byte), including the empty and single-page
+//!    edges and digests produced by every [`ChecksumAlgorithm`];
+//! 2. flipping any *single bit* of a valid file yields
+//!    [`Error::Corrupt`] — never a panic, never a silently different
+//!    checkpoint (the FNV trailer has no blind spots);
+//! 3. the decoder's error is equally clean when whole bytes are
+//!    corrupted at random positions.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vecycle_checkpoint::{Checkpoint, CheckpointData};
+use vecycle_hash::ChecksumAlgorithm;
+use vecycle_types::{Error, PageDigest, SimDuration, SimTime, VmId};
+
+fn encode(cp: &Checkpoint) -> Vec<u8> {
+    let mut buf = Vec::new();
+    cp.write_to(&mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+fn digest_checkpoint(ids: &[u64], vm: u32, at_hours: u64) -> Checkpoint {
+    let digests: Vec<PageDigest> = ids
+        .iter()
+        .map(|&i| PageDigest::from_content_id(i))
+        .collect();
+    Checkpoint::from_parts(
+        VmId::new(vm),
+        SimTime::EPOCH + SimDuration::from_hours(at_hours),
+        CheckpointData::Digests(digests),
+    )
+    .expect("digest payloads are always valid")
+}
+
+fn page_checkpoint(pages: &[u8], vm: u32) -> Checkpoint {
+    // Each input byte inflates to one 4 KiB page filled with it.
+    let bytes: Vec<u8> = pages.iter().flat_map(|&b| [b; 4096]).collect();
+    Checkpoint::from_parts(VmId::new(vm), SimTime::EPOCH, CheckpointData::Pages(bytes))
+        .expect("whole pages are always valid")
+}
+
+#[test]
+fn empty_and_single_page_edges_round_trip() {
+    for cp in [
+        digest_checkpoint(&[], 0, 0),
+        digest_checkpoint(&[7], 1, 1),
+        page_checkpoint(&[], 2),
+        page_checkpoint(&[0xab], 3),
+    ] {
+        let buf = encode(&cp);
+        assert_eq!(Checkpoint::read_from(&buf[..]).unwrap(), cp);
+    }
+}
+
+#[test]
+fn every_checksum_algorithm_round_trips() {
+    // Digests from all four algorithms are opaque 16-byte values to the
+    // wire format; none may confuse the codec (an early XXH3 draft
+    // produced all-zero digests for some inputs — exactly the kind of
+    // value the zero-page special case could trip over).
+    let page_a = [0x5au8; 4096];
+    let page_b = [0x00u8; 4096];
+    for alg in ChecksumAlgorithm::ALL {
+        let digests = vec![
+            alg.page_digest(&page_a),
+            alg.page_digest(&page_b),
+            PageDigest::ZERO_PAGE,
+            alg.page_digest(&page_a),
+        ];
+        let cp = Checkpoint::from_parts(
+            VmId::new(9),
+            SimTime::EPOCH,
+            CheckpointData::Digests(digests),
+        )
+        .unwrap();
+        let buf = encode(&cp);
+        assert_eq!(Checkpoint::read_from(&buf[..]).unwrap(), cp, "{alg:?}");
+    }
+}
+
+#[test]
+fn single_bit_flips_are_always_corrupt_exhaustively() {
+    // Small checkpoints keep the exhaustive sweep cheap: every bit of
+    // every byte, for both kinds.
+    for cp in [
+        digest_checkpoint(&[1, 2, 0, 2], 5, 3),
+        page_checkpoint(&[0x11], 6),
+    ] {
+        let buf = encode(&cp);
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                let mut flipped = buf.clone();
+                flipped[i] ^= 1 << bit;
+                match Checkpoint::read_from(&flipped[..]) {
+                    Err(Error::Corrupt { .. }) => {}
+                    Err(other) => panic!("bit {bit} of byte {i}: non-Corrupt error {other}"),
+                    Ok(decoded) => panic!(
+                        "bit {bit} of byte {i}: decoded silently to {:?} pages",
+                        decoded.page_count()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Digest checkpoints of arbitrary content and metadata round-trip.
+    #[test]
+    fn digest_round_trip(ids in vec(any::<u64>(), 0..96), vm in any::<u32>(), hours in 0u64..100_000) {
+        let cp = digest_checkpoint(&ids, vm, hours);
+        let buf = encode(&cp);
+        prop_assert_eq!(Checkpoint::read_from(&buf[..]).unwrap(), cp);
+    }
+
+    /// Full-byte checkpoints round-trip.
+    #[test]
+    fn pages_round_trip(fills in vec(any::<u8>(), 0..8), vm in any::<u32>()) {
+        let cp = page_checkpoint(&fills, vm);
+        let buf = encode(&cp);
+        prop_assert_eq!(Checkpoint::read_from(&buf[..]).unwrap(), cp);
+    }
+
+    /// A single bit flip anywhere in a generated file is Corrupt.
+    #[test]
+    fn random_bit_flip_is_corrupt(ids in vec(any::<u64>(), 0..64), pos in any::<usize>(), bit in 0u8..8) {
+        let buf = encode(&digest_checkpoint(&ids, 1, 0));
+        let mut flipped = buf.clone();
+        let i = pos % flipped.len();
+        flipped[i] ^= 1 << bit;
+        match Checkpoint::read_from(&flipped[..]) {
+            Err(Error::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "non-Corrupt error {}", other),
+            Ok(_) => prop_assert!(false, "flipped file decoded"),
+        }
+    }
+}

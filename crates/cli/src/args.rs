@@ -136,14 +136,23 @@ pub fn parse_duration(s: &str) -> Result<SimDuration, String> {
 ///
 /// # Errors
 ///
-/// Fails on unknown keys, malformed numbers, or out-of-range rates.
+/// Fails on unknown or duplicate keys, malformed numbers, or
+/// out-of-range rates. Repeated keys are rejected rather than
+/// last-wins: a spec that names the same fault twice almost certainly
+/// means the operator edited the wrong copy, and the incident log
+/// would otherwise record a configuration that was never intended.
 pub fn parse_faults(s: &str) -> Result<(u64, FaultRates), String> {
     let mut seed = 0u64;
     let mut rates = FaultRates::none();
+    let mut seen: Vec<&str> = Vec::new();
     for pair in s.split(',').filter(|p| !p.is_empty()) {
         let (key, value) = pair
             .split_once('=')
             .ok_or_else(|| format!("fault spec {pair:?} is not key=value"))?;
+        if seen.contains(&key) {
+            return Err(format!("fault key {key:?} given twice"));
+        }
+        seen.push(key);
         if key == "seed" {
             seed = value
                 .parse()
@@ -246,5 +255,27 @@ mod tests {
         assert!(parse_faults("drop=2.0").is_err());
         assert!(parse_faults("meteor=0.1").is_err());
         assert!(parse_faults("seed=x").is_err());
+    }
+
+    #[test]
+    fn fault_spec_duplicate_keys_are_rejected() {
+        assert!(parse_faults("drop=0.1,drop=0.2").is_err());
+        assert!(parse_faults("seed=1,corrupt=0.1,seed=2").is_err());
+    }
+
+    /// These errors land verbatim in the CLI incident log; pin the exact
+    /// strings so log-grepping tooling stays stable.
+    #[test]
+    fn fault_spec_error_strings_are_pinned() {
+        let msg = |spec: &str| parse_faults(spec).unwrap_err();
+        assert_eq!(msg("drop=0.1,drop=0.2"), "fault key \"drop\" given twice");
+        assert_eq!(msg("drop"), "fault spec \"drop\" is not key=value");
+        assert_eq!(msg("drop=2.0"), "fault rate drop=2 out of [0, 1]");
+        assert_eq!(msg("drop=zz"), "cannot parse fault rate \"zz\"");
+        assert_eq!(msg("seed=x"), "cannot parse fault seed \"x\"");
+        assert_eq!(
+            msg("meteor=0.1"),
+            "unknown fault \"meteor\" (try drop, degrade, corrupt, spike, crash, hostcrash)"
+        );
     }
 }

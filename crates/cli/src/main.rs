@@ -11,8 +11,7 @@
 
 use std::process::ExitCode;
 
-mod args;
-mod commands;
+use vecycle_cli::commands;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,101 @@
+//! The permanent corpus: fuzz-found inputs, checked into the repo.
+//!
+//! Layout is one directory per target under `fuzz/corpus/` at the
+//! repository root, one file per entry, named by the FNV-1a 64 of the
+//! entry's bytes (16 hex digits). Content addressing makes writes
+//! idempotent — re-running the fuzzer with the same seed re-derives
+//! the same files byte-for-byte, so `git status` stays clean and a
+//! dirty tree after a CI fuzz run *is itself a finding* (either a new
+//! outcome class appeared or determinism broke).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::mutate::fnv64;
+
+/// The corpus root: `$VECYCLE_FUZZ_CORPUS` when set, else the
+/// checked-in `fuzz/corpus/` next to the workspace `Cargo.toml`.
+pub fn corpus_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("VECYCLE_FUZZ_CORPUS") {
+        return PathBuf::from(dir);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+/// The content-addressed file name for an entry.
+pub fn entry_name(bytes: &[u8]) -> String {
+    format!("{:016x}.bin", fnv64(bytes))
+}
+
+/// Writes one entry into `<root>/<target>/`, creating directories as
+/// needed. Idempotent: an existing entry with the same name (hence the
+/// same bytes) is left untouched. Returns `true` if the file is new.
+pub fn write_entry(root: &Path, target: &str, bytes: &[u8]) -> io::Result<bool> {
+    let dir = root.join(target);
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(entry_name(bytes));
+    if path.exists() {
+        return Ok(false);
+    }
+    fs::write(path, bytes)?;
+    Ok(true)
+}
+
+/// Loads every entry for one target, sorted by file name so replay
+/// order (and therefore the replay stream digest) is deterministic and
+/// independent of directory iteration order.
+pub fn load_entries(root: &Path, target: &str) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let dir = root.join(target);
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut entries = Vec::new();
+    for item in fs::read_dir(&dir)? {
+        let item = item?;
+        let name = item.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".bin") {
+            continue;
+        }
+        entries.push((name, fs::read(item.path())?));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_names_are_content_addressed() {
+        assert_eq!(entry_name(b"abc"), entry_name(b"abc"));
+        assert_ne!(entry_name(b"abc"), entry_name(b"abd"));
+        assert_eq!(entry_name(b"x").len(), "0123456789abcdef.bin".len());
+    }
+
+    #[test]
+    fn write_is_idempotent_and_load_is_sorted() {
+        let dir = std::env::temp_dir().join(format!("vecycle-fuzz-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert!(write_entry(&dir, "t", b"bbbb").unwrap());
+        assert!(write_entry(&dir, "t", b"aaaa").unwrap());
+        assert!(
+            !write_entry(&dir, "t", b"bbbb").unwrap(),
+            "second write is a no-op"
+        );
+        let loaded = load_entries(&dir, "t").unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded[0].0 < loaded[1].0, "entries sorted by name");
+        assert_eq!(load_entries(&dir, "missing").unwrap(), Vec::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_root_points_into_the_repo() {
+        // Guard against VECYCLE_FUZZ_CORPUS leaking between tests: only
+        // assert on the compiled-in default.
+        let fallback = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus");
+        assert!(fallback.ends_with("fuzz/corpus"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Deterministic input mutation over the vendored ChaCha8 stream.
+//!
+//! No cargo-fuzz, no libFuzzer: the container vendors every external
+//! dependency as an offline shim, so the mutation engine is hand
+//! rolled on the workspace's own deterministic PRNG. That constraint
+//! is a feature — the same `(seed, iteration)` pair always produces
+//! the same byte stream, so any finding is reproducible from two
+//! integers and the corpus never depends on scheduling, ASLR or
+//! wall-clock time.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use vecycle_hash::{Fnv1a64, Hasher};
+
+/// Values worth splicing into length/count fields: powers of two around
+/// container limits, all-ones patterns, and off-by-one neighbours.
+const INTERESTING: &[u64] = &[
+    0,
+    1,
+    2,
+    15,
+    16,
+    17,
+    255,
+    256,
+    4095,
+    4096,
+    4097,
+    u16::MAX as u64,
+    u32::MAX as u64,
+    u32::MAX as u64 + 1,
+    1 << 32,
+    1 << 60,
+    u64::MAX / 16,
+    u64::MAX / 16 + 1,
+    u64::MAX / 4096,
+    u64::MAX / 4096 + 1,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+/// The deterministic mutator: one per target, seeded from the run seed
+/// and the target name.
+pub struct Mutator {
+    rng: ChaCha8Rng,
+}
+
+impl Mutator {
+    /// Creates a mutator whose stream depends only on `seed`.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produces one mutant of `base`, applying 1–4 stacked mutations.
+    ///
+    /// `dict` supplies grammar tokens (keys, suffixes, separators) that
+    /// get spliced in whole — byte-level flips alone rarely stumble
+    /// from `crash=0.1` to `hosts=`, but a token splice does. The
+    /// result never exceeds `max_len` bytes.
+    pub fn mutate(&mut self, base: &[u8], dict: &[&[u8]], max_len: usize) -> Vec<u8> {
+        let mut out = base.to_vec();
+        let rounds = self.rng.gen_range(1..=4u32);
+        for _ in 0..rounds {
+            self.mutate_once(&mut out, dict);
+        }
+        out.truncate(max_len);
+        out
+    }
+
+    fn mutate_once(&mut self, buf: &mut Vec<u8>, dict: &[&[u8]]) {
+        let op = self.rng.gen_range(0..9u32);
+        if buf.is_empty() && op != 3 && op != 7 {
+            // Everything except insert/splice needs existing bytes.
+            buf.extend((0..self.rng.gen_range(1..16usize)).map(|_| self.rng.gen::<u8>()));
+            return;
+        }
+        match op {
+            // Bit flip.
+            0 => {
+                let i = self.rng.gen_range(0..buf.len());
+                let bit = self.rng.gen_range(0..8u32);
+                buf[i] ^= 1 << bit;
+            }
+            // Random byte overwrite.
+            1 => {
+                let i = self.rng.gen_range(0..buf.len());
+                buf[i] = self.rng.gen::<u8>();
+            }
+            // Delete a short range.
+            2 => {
+                let start = self.rng.gen_range(0..buf.len());
+                let len = self.rng.gen_range(1..=16usize).min(buf.len() - start);
+                buf.drain(start..start + len);
+            }
+            // Insert random bytes.
+            3 => {
+                let at = self.rng.gen_range(0..=buf.len());
+                let n = self.rng.gen_range(1..=16usize);
+                let bytes: Vec<u8> = (0..n).map(|_| self.rng.gen::<u8>()).collect();
+                buf.splice(at..at, bytes);
+            }
+            // Duplicate an existing range elsewhere (structure-preserving
+            // splice: repeats records, keys, digests).
+            4 => {
+                let start = self.rng.gen_range(0..buf.len());
+                let len = self.rng.gen_range(1..=32usize).min(buf.len() - start);
+                let chunk: Vec<u8> = buf[start..start + len].to_vec();
+                let at = self.rng.gen_range(0..=buf.len());
+                buf.splice(at..at, chunk);
+            }
+            // Overwrite 8 bytes with an interesting integer, both
+            // endiannesses: the checkpoint header is big-endian, the
+            // trace format little-endian.
+            5 => {
+                let v = INTERESTING[self.rng.gen_range(0..INTERESTING.len())];
+                let bytes = if self.rng.gen::<bool>() {
+                    v.to_be_bytes()
+                } else {
+                    v.to_le_bytes()
+                };
+                let i = self.rng.gen_range(0..buf.len());
+                for (k, b) in bytes.iter().enumerate() {
+                    if i + k < buf.len() {
+                        buf[i + k] = *b;
+                    }
+                }
+            }
+            // Truncate.
+            6 => {
+                let keep = self.rng.gen_range(0..buf.len());
+                buf.truncate(keep);
+            }
+            // Dictionary token insert (or ASCII noise when no dict).
+            7 => {
+                let token: Vec<u8> = if dict.is_empty() {
+                    let n = self.rng.gen_range(1..=8usize);
+                    (0..n)
+                        .map(|_| self.rng.gen_range(0x20..0x7fu32) as u8)
+                        .collect()
+                } else {
+                    dict[self.rng.gen_range(0..dict.len())].to_vec()
+                };
+                let at = self.rng.gen_range(0..=buf.len());
+                buf.splice(at..at, token);
+            }
+            // Dictionary token overwrite.
+            _ => {
+                let token = if dict.is_empty() {
+                    &[b'0'][..]
+                } else {
+                    dict[self.rng.gen_range(0..dict.len())]
+                };
+                let i = self.rng.gen_range(0..buf.len());
+                for (k, b) in token.iter().enumerate() {
+                    if i + k < buf.len() {
+                        buf[i + k] = *b;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Uniform pick of a pool index (exposed so the driver's pool
+    /// selection rides the same deterministic stream).
+    pub fn pick(&mut self, len: usize) -> usize {
+        self.rng.gen_range(0..len)
+    }
+}
+
+/// Recomputes the FNV-1a 64 trailer over `buf[..len-8]` and patches it
+/// into the last 8 bytes — the trailer-fixing mutator. Without it,
+/// virtually every mutant dies at the outer integrity check and the
+/// inner field parsers (the actual attack surface once a forged file
+/// carries a valid trailer) never see hostile values.
+pub fn fix_trailer(buf: &mut [u8]) {
+    if buf.len() < 8 {
+        return;
+    }
+    let body_len = buf.len() - 8;
+    let mut fnv = Fnv1a64::new();
+    fnv.update(&buf[..body_len]);
+    let t = fnv.finalize();
+    buf[body_len..].copy_from_slice(&t);
+}
+
+/// FNV-1a 64 over a byte slice, as a plain u64 — used for corpus
+/// content addressing and the run's stream digest.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    u64::from_be_bytes(h.finalize())
+}
+
+/// Extends a rolling FNV digest with a length-framed record, so the
+/// stream digest distinguishes `["ab","c"]` from `["a","bc"]`.
+pub fn fnv64_chain(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(&acc.to_be_bytes());
+    h.update(&(bytes.len() as u64).to_be_bytes());
+    h.update(bytes);
+    u64::from_be_bytes(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let base = b"seed=7,legs=20,crash=0.5";
+        let dict: &[&[u8]] = &[b"crash", b"=", b","];
+        let mut a = Mutator::new(42);
+        let mut b = Mutator::new(42);
+        for _ in 0..500 {
+            assert_eq!(a.mutate(base, dict, 4096), b.mutate(base, dict, 4096));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let base = vec![0u8; 64];
+        let mut a = Mutator::new(1);
+        let mut b = Mutator::new(2);
+        let streams_equal =
+            (0..20).all(|_| a.mutate(&base, &[], 4096) == b.mutate(&base, &[], 4096));
+        assert!(!streams_equal);
+    }
+
+    #[test]
+    fn max_len_is_respected() {
+        let base = vec![7u8; 100];
+        let mut m = Mutator::new(9);
+        for _ in 0..200 {
+            assert!(m.mutate(&base, &[], 128).len() <= 128);
+        }
+    }
+
+    #[test]
+    fn fix_trailer_validates() {
+        let mut buf = vec![1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+        fix_trailer(&mut buf);
+        let mut h = Fnv1a64::new();
+        h.update(&buf[..4]);
+        assert_eq!(&buf[4..], &h.finalize());
+        // Too-short buffers are left alone rather than panicking.
+        let mut tiny = vec![1u8, 2, 3];
+        fix_trailer(&mut tiny);
+        assert_eq!(tiny, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fnv_chain_is_length_framed() {
+        let a = fnv64_chain(fnv64_chain(0, b"ab"), b"c");
+        let b = fnv64_chain(fnv64_chain(0, b"a"), b"bc");
+        assert_ne!(a, b);
+    }
+}

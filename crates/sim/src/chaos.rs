@@ -86,22 +86,30 @@ impl ChaosConfig {
     /// Parses a compact `key=value` spec, comma-separated, e.g.
     /// `seed=42,legs=250,crash=0.1,pressure=0.3,corrupt=0.05,loss=0.02`.
     ///
-    /// Unknown keys are rejected so typos fail loudly. Omitted keys keep
-    /// their [`ChaosConfig::default`] value (all rates default to 0).
+    /// Unknown keys are rejected so typos fail loudly, and so are
+    /// repeated keys — a spec like `crash=0.1,crash=0.9` is far more
+    /// likely a copy-paste slip than an intentional override, and
+    /// silently letting the last value win would make incident logs
+    /// lie about the run's configuration. Omitted keys keep their
+    /// [`ChaosConfig::default`] value (all rates default to 0).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidConfig`] on malformed pairs, unknown
-    /// keys, unparsable numbers, rates outside `[0, 1]`, or a zero
-    /// leg/host count.
+    /// Returns [`Error::InvalidConfig`] on malformed pairs, unknown or
+    /// duplicate keys, unparsable numbers, rates outside `[0, 1]`, or a
+    /// zero leg/host count.
     pub fn parse(spec: &str) -> Result<ChaosConfig, Error> {
         let mut cfg = ChaosConfig::default();
         let bad = |reason: String| Error::InvalidConfig { reason };
+        let mut seen: Vec<&str> = Vec::new();
         for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = pair
                 .split_once('=')
                 .ok_or_else(|| bad(format!("chaos spec `{pair}` is not key=value")))?;
             let (key, value) = (key.trim(), value.trim());
+            if seen.contains(&key) {
+                return Err(bad(format!("chaos key `{key}` given twice")));
+            }
             let rate = |field: &mut f64| -> Result<(), Error> {
                 let p: f64 = value
                     .parse()
@@ -135,6 +143,7 @@ impl ChaosConfig {
                 "loss" => rate(&mut cfg.rates.loss)?,
                 _ => return Err(bad(format!("unknown chaos key `{key}`"))),
             }
+            seen.push(key);
         }
         if cfg.legs == 0 {
             return Err(bad("chaos legs must be > 0".into()));
@@ -433,6 +442,53 @@ mod tests {
     #[test]
     fn empty_spec_is_the_default() {
         assert_eq!(ChaosConfig::parse("").unwrap(), ChaosConfig::default());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        assert!(ChaosConfig::parse("crash=0.1,crash=0.9").is_err());
+        assert!(ChaosConfig::parse("seed=1,legs=10,seed=2").is_err());
+        // Whitespace around a repeated key still counts as the same key.
+        assert!(ChaosConfig::parse("loss=0.1, loss =0.2").is_err());
+    }
+
+    /// The CLI prints these errors verbatim into incident logs; pin the
+    /// exact strings so operator tooling that greps them stays stable.
+    #[test]
+    fn error_strings_are_pinned() {
+        let msg = |spec: &str| ChaosConfig::parse(spec).unwrap_err().to_string();
+        assert_eq!(
+            msg("crash=0.1,crash=0.9"),
+            "invalid configuration: chaos key `crash` given twice"
+        );
+        assert_eq!(
+            msg("crash=1.5"),
+            "invalid configuration: chaos rate `crash=1.5` outside [0, 1]"
+        );
+        assert_eq!(
+            msg("crash=abc"),
+            "invalid configuration: chaos rate `crash=abc` is not a number"
+        );
+        assert_eq!(
+            msg("meteor=1"),
+            "invalid configuration: unknown chaos key `meteor`"
+        );
+        assert_eq!(
+            msg("crash"),
+            "invalid configuration: chaos spec `crash` is not key=value"
+        );
+        assert_eq!(
+            msg("seed=zz"),
+            "invalid configuration: chaos seed `zz` is not a u64"
+        );
+        assert_eq!(
+            msg("legs=0"),
+            "invalid configuration: chaos legs must be > 0"
+        );
+        assert_eq!(
+            msg("hosts=1"),
+            "invalid configuration: chaos needs at least 2 hosts"
+        );
     }
 
     #[test]

@@ -90,11 +90,33 @@ impl Trace {
         }
         let ram = Bytes::new(take_u64(&mut pos)?);
         let count = take_u64(&mut pos)?;
-        let mut fingerprints = Vec::with_capacity(count.min(1 << 20) as usize);
+        // Every declared count is attacker-controlled until it has been
+        // checked against the bytes actually present: each fingerprint
+        // record is at least 16 bytes (timestamp + page count), so a
+        // count beyond `remaining / 16` cannot possibly be satisfied.
+        // Rejecting here caps the Vec pre-allocation by input length.
+        let max_count = (body.len().saturating_sub(pos) / 16) as u64;
+        if count > max_count {
+            return Err(Error::Corrupt {
+                detail: format!(
+                    "declared fingerprint count {count} exceeds what {} remaining bytes can hold",
+                    body.len() - pos
+                ),
+            });
+        }
+        let mut fingerprints = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let at = SimTime::from_epoch(SimDuration::from_nanos(take_u64(&mut pos)?));
             let pages = take_u64(&mut pos)?;
-            let bytes = take(&mut pos, pages as usize * 16)?;
+            // Checked multiply: a forged per-fingerprint page count must
+            // not wrap into a small slice length (or panic in debug).
+            let need = pages
+                .checked_mul(16)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| Error::Corrupt {
+                    detail: format!("declared page count {pages} overflows digest payload size"),
+                })?;
+            let bytes = take(&mut pos, need)?;
             let digests: Vec<PageDigest> = bytes
                 .chunks_exact(16)
                 .map(|c| PageDigest::new(c.try_into().expect("16 bytes")))
@@ -166,5 +188,53 @@ mod tests {
     #[test]
     fn empty_input_is_corrupt() {
         assert!(Trace::read_from(&[][..]).is_err());
+    }
+
+    /// Recomputes the FNV trailer so forged counts reach the record
+    /// parser instead of dying at the integrity check.
+    fn refix_trailer(buf: &mut [u8]) {
+        let body_len = buf.len() - 8;
+        let mut fnv = Fnv1a64::new();
+        fnv.update(&buf[..body_len]);
+        let t = fnv.finalize();
+        buf[body_len..].copy_from_slice(&t);
+    }
+
+    #[test]
+    fn forged_fingerprint_count_is_rejected_before_allocating() {
+        let trace = small_trace();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        // Fingerprint count lives at offset 16 (magic 8 + ram 8).
+        for forged in [u64::MAX, 1 << 40, (buf.len() as u64 / 16) + 1] {
+            let mut f = buf.clone();
+            f[16..24].copy_from_slice(&forged.to_le_bytes());
+            refix_trailer(&mut f);
+            let err = Trace::read_from(&f[..]).unwrap_err();
+            assert!(
+                matches!(err, Error::Corrupt { .. }),
+                "count={forged}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_page_count_is_rejected_without_overflow() {
+        let trace = small_trace();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).unwrap();
+        // First fingerprint's page count lives at offset 32 (magic 8 +
+        // ram 8 + count 8 + timestamp 8). Wrapping multipliers must fail
+        // Corrupt, not panic or mis-slice.
+        for forged in [u64::MAX, u64::MAX / 16 + 1, 1 << 61] {
+            let mut f = buf.clone();
+            f[32..40].copy_from_slice(&forged.to_le_bytes());
+            refix_trailer(&mut f);
+            let err = Trace::read_from(&f[..]).unwrap_err();
+            assert!(
+                matches!(err, Error::Corrupt { .. }),
+                "pages={forged}: {err}"
+            );
+        }
     }
 }
